@@ -1,0 +1,69 @@
+"""Experiment: the (epsilon, delta) contract of all three approximation
+schemes, measured as the empirical relative error against exact counts over a
+small battery of seeded instances.
+
+This is the reproduction's stand-in for a "results table": for every scheme
+(Theorem 5, Theorem 13, Theorem 16) the median and maximum relative error
+across the battery should be comfortably within the requested epsilon band.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core import (
+    count_answers_exact,
+    fpras_count_cq,
+    fptras_count_dcq,
+    fptras_count_ecq,
+)
+from repro.queries import parse_query
+from repro.queries.builders import friends_query, path_query, star_query
+from repro.util.estimation import relative_error
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+EPSILON = 0.35
+DELTA = 0.2
+SEEDS = [0, 1, 2]
+
+
+def _instances():
+    for seed in SEEDS:
+        graph = erdos_renyi_graph(11, 0.3, rng=seed)
+        yield seed, database_from_graph(graph), database_from_graph(graph, relation="F")
+
+
+def _errors(scheme):
+    errors = []
+    for seed, db_e, db_f in _instances():
+        if scheme == "fpras":
+            query = path_query(2, free_endpoints_only=True)
+            truth = count_answers_exact(query, db_e)
+            estimate = fpras_count_cq(query, db_e, EPSILON, DELTA, rng=seed + 10)
+        elif scheme == "fptras_dcq":
+            query = star_query(2, with_disequalities=True)
+            truth = count_answers_exact(query, db_e)
+            estimate = fptras_count_dcq(query, db_e, EPSILON, DELTA, rng=seed + 20)
+        else:
+            query = friends_query()
+            truth = count_answers_exact(query, db_f)
+            estimate = fptras_count_ecq(query, db_f, EPSILON, DELTA, rng=seed + 30)
+        if truth > 0:
+            errors.append(relative_error(estimate, truth))
+        else:
+            errors.append(0.0 if estimate <= 0.5 else 1.0)
+    return errors
+
+
+@pytest.mark.parametrize("scheme", ["fpras", "fptras_dcq", "fptras_ecq"])
+def test_accuracy_battery(scheme, table_printer, benchmark):
+    errors = benchmark.pedantic(lambda: _errors(scheme), rounds=1, iterations=1)
+    table_printer(
+        f"Accuracy battery — {scheme} (epsilon = {EPSILON})",
+        ["seed", "relative error"],
+        [[seed, f"{error:.3f}"] for seed, error in zip(SEEDS, errors)],
+    )
+    assert statistics.median(errors) <= EPSILON + 0.15
+    assert max(errors) <= 0.75

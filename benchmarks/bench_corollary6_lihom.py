@@ -1,0 +1,70 @@
+"""Experiment: Corollary 6 — counting locally injective homomorphisms.
+
+Claim reproduced: #LIHom(C_t, all graphs) has an FPTRAS when the pattern class
+C_t has bounded treewidth, via the ECQ encoding
+``phi(G) = ⋀_{edges} E(x_i, x_j) ∧ ⋀_{cn(G)} x_i != x_j``.  The bench encodes
+path and star patterns (treewidth 1), counts locally injective homomorphisms
+into random host graphs exactly and with the Theorem-5 FPTRAS, and reports the
+relative errors, plus timings for both.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    count_locally_injective_homomorphisms_approx,
+    count_locally_injective_homomorphisms_exact,
+)
+from repro.util.estimation import relative_error
+from repro.workloads import erdos_renyi_graph
+
+PATTERNS = {
+    "path-3": nx.path_graph(3),
+    "path-4": nx.path_graph(4),
+    "star-3": nx.star_graph(3),
+}
+
+
+@pytest.mark.parametrize("name", list(PATTERNS))
+def test_corollary6_accuracy(name, table_printer, benchmark):
+    pattern = PATTERNS[name]
+    host = erdos_renyi_graph(9, 0.35, rng=len(name))
+    truth = count_locally_injective_homomorphisms_exact(pattern, host)
+    estimate = benchmark.pedantic(
+        lambda: count_locally_injective_homomorphisms_approx(
+            pattern, host, epsilon=0.4, delta=0.2, rng=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    error = relative_error(estimate, truth) if truth else 0.0
+    table_printer(
+        f"Corollary 6 — locally injective homomorphisms, pattern {name}",
+        ["pattern", "|V(host)|", "exact #LIHom", "FPTRAS", "rel. error"],
+        [[name, 9, truth, f"{estimate:.1f}", f"{error:.3f}"]],
+    )
+    assert error <= 0.6 or abs(estimate - truth) <= 2
+
+
+@pytest.mark.parametrize("name", ["path-3", "star-3"])
+def test_corollary6_fptras_runtime(benchmark, name):
+    pattern = PATTERNS[name]
+    host = erdos_renyi_graph(9, 0.35, rng=3)
+    result = benchmark(
+        lambda: count_locally_injective_homomorphisms_approx(
+            pattern, host, epsilon=0.4, delta=0.2, rng=4
+        )
+    )
+    assert result >= 0
+
+
+@pytest.mark.parametrize("name", ["path-3", "star-3"])
+def test_corollary6_exact_runtime(benchmark, name):
+    pattern = PATTERNS[name]
+    host = erdos_renyi_graph(9, 0.35, rng=3)
+    result = benchmark(
+        lambda: count_locally_injective_homomorphisms_exact(pattern, host)
+    )
+    assert result >= 0

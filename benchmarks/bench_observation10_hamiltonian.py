@@ -1,0 +1,65 @@
+"""Experiment: Figure 1, "no FPRAS" cell / Observation 10.
+
+Claim reproduced: the Hamiltonian-path DCQ has treewidth 1 and arity 2, yet
+counting (even detecting) its answers is NP-hard — so no FPRAS can exist for
+#DCQ unless NP = RP, and the paper's positive results must settle for
+FPTRASes.  The bench (a) validates the encoding (answers = directed
+Hamiltonian paths, via the Held–Karp DP), and (b) shows the exponential growth
+of the exact count time in the number of query variables n — which here equals
+the database size, so the ``f(||phi||)`` factor of an FPTRAS is of no help.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.applications import count_hamiltonian_paths_dp, hamiltonian_instance
+from repro.core import count_answers_exact
+from repro.decomposition import exact_treewidth
+from repro.workloads import erdos_renyi_graph
+
+
+@pytest.mark.parametrize("n", [5, 6, 7])
+def test_hamiltonian_exact_query_counting(benchmark, n):
+    graph = erdos_renyi_graph(n, 0.6, rng=n)
+    query, database = hamiltonian_instance(graph)
+    result = benchmark(lambda: count_answers_exact(query, database))
+    assert result == count_hamiltonian_paths_dp(graph)
+
+
+@pytest.mark.parametrize("n", [6, 8, 10])
+def test_hamiltonian_dp_baseline(benchmark, n):
+    graph = erdos_renyi_graph(n, 0.6, rng=n)
+    result = benchmark(lambda: count_hamiltonian_paths_dp(graph))
+    assert result >= 0
+
+
+def test_observation10_summary(table_printer, benchmark):
+    def run():
+        rows = []
+        for n in (4, 5, 6, 7):
+            graph = erdos_renyi_graph(n, 0.6, rng=n)
+            query, database = hamiltonian_instance(graph)
+            start = time.perf_counter()
+            count = count_answers_exact(query, database)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    n,
+                    exact_treewidth(query.hypergraph()),
+                    len(query.disequalities),
+                    count,
+                    f"{elapsed * 1000:.1f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_printer(
+        "Observation 10 — Hamiltonian-path DCQ (treewidth 1, no FPRAS unless NP=RP)",
+        ["n", "treewidth", "#disequalities", "Hamiltonian paths", "exact time"],
+        rows,
+    )
+    assert True

@@ -1,0 +1,69 @@
+"""Experiment: the oracle-call cost of the Lemma-22 reduction.
+
+Theorem 17 bounds the number of EdgeFree oracle calls by
+``T = Theta(log(1/delta) eps^-2 l^{6l} (log N)^{4l+7})`` — polylogarithmic in
+the number of vertices ``N`` for fixed ``l``.  Our DLM substitute does not
+match that worst-case bound (DESIGN.md, substitution 1), but the bench records
+how the number of EdgeFree calls and Hom queries actually grows with the
+database and with the number of free variables, which is the quantity a user
+of the oracle framework cares about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle_counting import approx_count_answers_via_oracle
+from repro.queries.builders import path_query
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+
+def _run(num_vertices: int, num_free: int, seed: int = 0):
+    graph = erdos_renyi_graph(num_vertices, 0.3, rng=seed)
+    database = database_from_graph(graph)
+    if num_free == 1:
+        from repro.queries import parse_query
+
+        query = parse_query("Ans(x) :- E(x, y), E(y, z)")
+    else:
+        query = path_query(num_free, free_endpoints_only=False)
+    return approx_count_answers_via_oracle(
+        query, database, epsilon=0.5, delta=0.25, rng=seed, oracle_mode="direct",
+        return_statistics=True,
+    )
+
+
+@pytest.mark.parametrize("num_vertices", [8, 12, 16])
+def test_oracle_calls_vs_database(benchmark, num_vertices):
+    _, statistics = benchmark(lambda: _run(num_vertices, num_free=2))
+    assert statistics.edgefree_calls > 0
+
+
+def test_oracle_call_summary(table_printer, benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            (num_vertices, num_free, _run(num_vertices, num_free))
+            for num_vertices in (8, 12, 16)
+            for num_free in (1, 2)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for num_vertices, num_free, (estimate, statistics) in results:
+        rows.append(
+                [
+                    num_vertices,
+                    num_free,
+                    f"{estimate:.1f}",
+                    statistics.edgefree_calls,
+                    statistics.aligned_calls,
+                    statistics.oracle_mode,
+                ]
+            )
+    table_printer(
+        "Lemma 22 oracle cost (EdgeFree calls)",
+        ["|U(D)|", "l", "estimate", "EdgeFree calls", "aligned calls", "oracle mode"],
+        rows,
+    )
+    assert True

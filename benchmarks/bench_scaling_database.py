@@ -1,0 +1,85 @@
+"""Experiment: the runtime *shape* of Theorem 5 / Theorem 16.
+
+Claim reproduced: the approximation schemes run in time
+``f(||phi||) * poly(||D||, 1/epsilon, log(1/delta))`` — i.e. for a *fixed*
+query the cost grows polynomially with the database.  The bench sweeps the
+database size for a fixed two-hop query and reports wall-clock times for the
+FPTRAS, the FPRAS and the exact baseline so the growth curves can be compared
+(who wins: approximate counting stays moderate while brute force grows with
+the answer count; the crossover appears once the answer sets get large).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import count_answers_exact, fpras_count_cq, fptras_count_dcq
+from repro.queries.builders import path_query
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+QUERY = path_query(2, free_endpoints_only=True)
+SIZES = [8, 14, 20]
+
+
+def _database(size: int):
+    return database_from_graph(erdos_renyi_graph(size, 0.3, rng=size))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fpras_scaling_in_database(benchmark, size):
+    database = _database(size)
+    result = benchmark(lambda: fpras_count_cq(QUERY, database, 0.3, 0.1, rng=size))
+    assert result >= 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fptras_scaling_in_database(benchmark, size):
+    database = _database(size)
+    result = benchmark(lambda: fptras_count_dcq(QUERY, database, 0.4, 0.2, rng=size))
+    assert result >= 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exact_scaling_in_database(benchmark, size):
+    database = _database(size)
+    result = benchmark(lambda: count_answers_exact(QUERY, database))
+    assert result >= 0
+
+
+def test_scaling_summary(table_printer, benchmark):
+    def run():
+        rows = []
+        for size in SIZES:
+            database = _database(size)
+            timings = {}
+            start = time.perf_counter()
+            exact = count_answers_exact(QUERY, database)
+            timings["exact"] = time.perf_counter() - start
+            start = time.perf_counter()
+            fpras = fpras_count_cq(QUERY, database, 0.3, 0.1, rng=size)
+            timings["fpras"] = time.perf_counter() - start
+            start = time.perf_counter()
+            fptras = fptras_count_dcq(QUERY, database, 0.4, 0.2, rng=size)
+            timings["fptras"] = time.perf_counter() - start
+            rows.append(
+                [
+                    size,
+                    exact,
+                    f"{fpras:.1f}",
+                    f"{fptras:.1f}",
+                    f"{timings['exact'] * 1000:.0f}ms",
+                    f"{timings['fpras'] * 1000:.0f}ms",
+                    f"{timings['fptras'] * 1000:.0f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_printer(
+        "Runtime shape — fixed two-hop query, growing database",
+        ["|U(D)|", "exact", "FPRAS est.", "FPTRAS est.", "t exact", "t FPRAS", "t FPTRAS"],
+        rows,
+    )
+    assert True

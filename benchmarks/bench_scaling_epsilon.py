@@ -1,0 +1,69 @@
+"""Experiment: dependence of the approximation schemes on the accuracy
+parameter epsilon.
+
+Claim reproduced: the running-time bounds of Theorems 5/13/16 are polynomial
+in ``1/epsilon`` (and only logarithmic in ``1/delta``).  The bench fixes a
+query/database pair and sweeps epsilon; the cost should grow moderately as
+epsilon shrinks, and the measured relative error should shrink along with it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import count_answers_exact, fpras_count_cq, fptras_count_dcq
+from repro.queries.builders import path_query, star_query
+from repro.util.estimation import relative_error
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+DATABASE = database_from_graph(erdos_renyi_graph(14, 0.3, rng=21))
+CQ_QUERY = path_query(2, free_endpoints_only=True)
+DCQ_QUERY = star_query(2, with_disequalities=True)
+EPSILONS = [0.5, 0.3, 0.15]
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fpras_epsilon_scaling(benchmark, epsilon):
+    result = benchmark(lambda: fpras_count_cq(CQ_QUERY, DATABASE, epsilon, 0.1, rng=1))
+    assert result >= 0
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fptras_epsilon_scaling(benchmark, epsilon):
+    result = benchmark(lambda: fptras_count_dcq(DCQ_QUERY, DATABASE, epsilon, 0.2, rng=2))
+    assert result >= 0
+
+
+def test_epsilon_error_summary(table_printer, benchmark):
+    exact_cq = count_answers_exact(CQ_QUERY, DATABASE)
+    exact_dcq = count_answers_exact(DCQ_QUERY, DATABASE)
+
+    def run():
+        rows = []
+        for epsilon in EPSILONS:
+            start = time.perf_counter()
+            fpras = fpras_count_cq(CQ_QUERY, DATABASE, epsilon, 0.1, rng=3)
+            fpras_time = time.perf_counter() - start
+            start = time.perf_counter()
+            fptras = fptras_count_dcq(DCQ_QUERY, DATABASE, epsilon, 0.2, rng=4)
+            fptras_time = time.perf_counter() - start
+            rows.append(
+                [
+                    epsilon,
+                    f"{relative_error(fpras, exact_cq):.3f}",
+                    f"{fpras_time * 1000:.0f}ms",
+                    f"{relative_error(fptras, exact_dcq):.3f}",
+                    f"{fptras_time * 1000:.0f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_printer(
+        "Accuracy / cost vs epsilon",
+        ["epsilon", "FPRAS rel. error", "FPRAS time", "FPTRAS rel. error", "FPTRAS time"],
+        rows,
+    )
+    assert True

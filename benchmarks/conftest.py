@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one row/figure of the paper's "evaluation"
+(the Figure-1 classification and the algorithmic theorems — see DESIGN.md's
+per-experiment index).  Since the paper reports no absolute numbers, each
+bench prints the qualitative series it measured (who wins, how the error and
+runtime behave) in addition to the pytest-benchmark timings; EXPERIMENTS.md
+summarises the outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a small aligned table to stdout (shown with pytest -s, and kept
+    in the benchmark logs)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    header = tuple(str(cell) for cell in header)
+    widths = [len(column) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = " | ".join(column.ljust(width) for column, width in zip(header, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    print(f"\n=== {title} ===")
+    print(line)
+    print(separator)
+    for row in rows:
+        print(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

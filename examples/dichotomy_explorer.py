@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: exploring the Figure-1 classification.
+
+Given a handful of query shapes, this example computes every width measure of
+their hypergraphs, reports which cell of Figure 1 the corresponding query
+class falls into (does it admit an FPTRAS? an FPRAS? under which assumption is
+the negative answer proved?), and which algorithm of this package applies.
+
+Run with:  python examples/dichotomy_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import parse_query
+from repro.core import classify_query
+from repro.queries.builders import (
+    clique_query,
+    hamiltonian_path_query,
+    high_arity_acyclic_query,
+    star_query,
+)
+
+
+def describe(name: str, query) -> None:
+    report = classify_query(query)
+    widths = report.widths
+    verdict = report.class_verdict_if_widths_bounded
+    print(f"--- {name}")
+    print(f"  query:       {query}")
+    print(f"  class:       {report.query_class.value}")
+    print(
+        "  widths:      "
+        f"tw = {widths.treewidth}, hw = {widths.hypertreewidth:.1f}, "
+        f"fhw = {widths.fractional_hypertreewidth:.2f}, "
+        f"aw ∈ [{widths.adaptive_width.lower_bound:.2f}, "
+        f"{widths.adaptive_width.upper_bound:.2f}], arity = {widths.arity}"
+    )
+    print(f"  FPTRAS:      {verdict.fptras.value}  ({verdict.fptras_reference})")
+    print(f"  FPRAS:       {verdict.fpras.value}  ({verdict.fpras_reference})")
+    print(f"  recommended: {report.recommended_algorithm}")
+    print(f"               {report.recommendation_reason}\n")
+
+
+def main() -> None:
+    describe("two-hop CQ", parse_query("Ans(x, y) :- E(x, z), E(z, y)"))
+    describe("friends DCQ (intro example)", parse_query("Ans(x) :- F(x, y), F(x, z), y != z"))
+    describe(
+        "non-coworker friends ECQ",
+        parse_query("Ans(x) :- F(x, y), F(x, z), y != z, !W(y, z)"),
+    )
+    describe("footnote-4 star DCQ (k = 4)", star_query(4, with_disequalities=True))
+    describe("Hamiltonian-path DCQ (Observation 10)", hamiltonian_path_query(5))
+    describe("5-clique CQ (Observation 9 family)", clique_query(5))
+    describe(
+        "arity-4 acyclic chain (Theorems 13/16 territory)",
+        high_arity_acyclic_query(num_blocks=3, block_arity=4, shared=1, num_free=3),
+    )
+
+
+if __name__ == "__main__":
+    main()

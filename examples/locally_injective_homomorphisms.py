@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scenario: counting locally injective homomorphisms (Corollary 6).
+
+Locally injective homomorphisms model interference-free frequency assignments:
+mapping a pattern network G into a host network G' such that no two
+neighbours of any pattern vertex collide.  The paper encodes #LIHom as an
+extended conjunctive query (edges become atoms, common-neighbour pairs become
+disequalities) and Corollary 6 derives an FPTRAS for bounded-treewidth
+patterns from Theorem 5.
+
+This example walks through the encoding for a small pattern, shows the query
+it produces, and compares exact and approximate counts for growing host
+graphs.
+
+Run with:  python examples/locally_injective_homomorphisms.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import networkx as nx
+
+from repro.applications import (
+    count_locally_injective_homomorphisms_approx,
+    count_locally_injective_homomorphisms_exact,
+    lihom_query_and_database,
+)
+from repro.decomposition import exact_treewidth
+from repro.util.estimation import relative_error
+from repro.workloads import erdos_renyi_graph
+
+
+def main() -> None:
+    # The pattern: a path on four vertices (a "chain" of frequencies).
+    pattern = nx.path_graph(4)
+    print("pattern: path on 4 vertices")
+
+    host_example = erdos_renyi_graph(8, 0.4, rng=1)
+    query, _ = lihom_query_and_database(pattern, host_example)
+    print(f"ECQ encoding: {query}")
+    print(f"  free variables:  {len(query.free_variables)}")
+    print(f"  disequalities:   {len(query.disequalities)} (common-neighbour pairs)")
+    print(f"  query treewidth: {exact_treewidth(query.hypergraph())}\n")
+
+    for host_size in (6, 8, 10):
+        host = erdos_renyi_graph(host_size, 0.4, rng=host_size)
+        exact = count_locally_injective_homomorphisms_exact(pattern, host)
+        start = time.perf_counter()
+        estimate = count_locally_injective_homomorphisms_approx(
+            pattern, host, epsilon=0.35, delta=0.15, rng=host_size
+        )
+        elapsed = time.perf_counter() - start
+        error = relative_error(estimate, exact) if exact else 0.0
+        print(
+            f"host with {host_size:2d} vertices: exact = {exact:6d}, "
+            f"FPTRAS = {estimate:8.1f}  (rel. error {error:.3f}, {elapsed:.2f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path in that case).
+"""
+
+from setuptools import setup
+
+setup()

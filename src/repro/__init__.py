@@ -1,0 +1,67 @@
+"""repro — reproduction of "Approximately Counting Answers to Conjunctive Queries
+with Disequalities and Negations" (Focke, Goldberg, Roth, Živný, PODS 2022).
+
+The package implements, from scratch:
+
+* a hypergraph and (hyper)tree-decomposition substrate, including treewidth,
+  hypertreewidth, fractional hypertreewidth and adaptive width,
+* relational signatures, structures/databases and a homomorphism (CSP) engine,
+* conjunctive queries with disequalities and negations (CQ / DCQ / ECQ),
+* the paper's approximation schemes:
+    - the FPTRAS for bounded-treewidth, bounded-arity ECQs (Theorem 5),
+    - the FPTRAS for bounded-adaptive-width DCQs (Theorem 13),
+    - the FPRAS for bounded-fractional-hypertreewidth CQs (Theorem 16),
+  together with the Dell–Lapinskas–Meeks oracle framework, colour coding and
+  the tree-automaton reduction they rely on,
+* exact counting baselines, approximate uniform sampling, unions of queries,
+  the locally-injective-homomorphism application, and the Figure-1 dichotomy
+  classifier.
+
+Quickstart
+----------
+>>> from repro import parse_query, Database, approx_count_answers
+>>> db = Database.from_relations({"E": [(1, 2), (2, 3), (1, 3)]})
+>>> q = parse_query("Ans(x) :- E(x, y), E(x, z), y != z")
+>>> approx_count_answers(q, db, epsilon=0.2, delta=0.05, seed=0)
+1
+"""
+
+from repro.queries import (
+    Atom,
+    ConjunctiveQuery,
+    Disequality,
+    NegatedAtom,
+    parse_query,
+)
+from repro.relational import Database, Signature, Structure
+from repro.core import (
+    approx_count_answers,
+    count_answers_exact,
+    classify_query,
+    fpras_count_cq,
+    fptras_count_dcq,
+    fptras_count_ecq,
+)
+from repro.sampling import sample_answers
+from repro.unions import approx_count_union
+
+__all__ = [
+    "Atom",
+    "NegatedAtom",
+    "Disequality",
+    "ConjunctiveQuery",
+    "parse_query",
+    "Signature",
+    "Structure",
+    "Database",
+    "approx_count_answers",
+    "count_answers_exact",
+    "classify_query",
+    "fptras_count_ecq",
+    "fptras_count_dcq",
+    "fpras_count_cq",
+    "sample_answers",
+    "approx_count_union",
+]
+
+__version__ = "1.0.0"

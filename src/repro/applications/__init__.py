@@ -1,0 +1,32 @@
+"""Applications of the counting machinery discussed in the paper:
+
+* locally injective homomorphisms (Corollary 6),
+* the Hamiltonian-path encoding behind the no-FPRAS result (Observation 10),
+* the star / common-neighbour query family of footnote 4.
+"""
+
+from repro.applications.locally_injective import (
+    count_locally_injective_homomorphisms_approx,
+    count_locally_injective_homomorphisms_exact,
+    is_locally_injective_homomorphism,
+    lihom_query_and_database,
+)
+from repro.applications.hamiltonian import (
+    count_hamiltonian_paths_dp,
+    hamiltonian_instance,
+)
+from repro.applications.star_queries import (
+    count_star_answers_centre_free_closed_form,
+    star_instance,
+)
+
+__all__ = [
+    "lihom_query_and_database",
+    "is_locally_injective_homomorphism",
+    "count_locally_injective_homomorphisms_exact",
+    "count_locally_injective_homomorphisms_approx",
+    "hamiltonian_instance",
+    "count_hamiltonian_paths_dp",
+    "star_instance",
+    "count_star_answers_centre_free_closed_form",
+]

@@ -1,0 +1,49 @@
+"""The star / common-neighbour query family of footnote 4.
+
+The query ``phi(x_1, ..., x_k) = ∃y ⋀_i E(y, x_i)`` asks for tuples of
+vertices with a common neighbour.  The paper uses it to illustrate the
+technical difficulty of quantified variables:
+
+* *deciding* whether an answer exists is trivial (any graph with one edge),
+* *exactly counting* answers cannot beat brute force under SETH [16],
+* *approximately counting* is easy: Arenas et al. give an FPRAS, and
+  Theorem 5 gives an FPTRAS even with added pairwise disequalities,
+* making ``y`` free makes even exact counting easy (treewidth-1 homomorphism
+  counting): the count is ``Σ_y deg(y)^k``.
+
+This module packages the instances and the closed form for the easy variant.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+from repro.queries.builders import star_query
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.structure import Database
+
+
+def star_instance(
+    graph: nx.Graph,
+    k: int,
+    centre_free: bool = False,
+    with_disequalities: bool = False,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """The footnote-4 instance: the star query with ``k`` leaves over the
+    database of ``graph``."""
+    query = star_query(k, centre_free=centre_free, with_disequalities=with_disequalities)
+    database = Database.from_graph_edges(graph.edges(), symmetric=True,
+                                         universe=graph.nodes())
+    return query, database
+
+
+def count_star_answers_centre_free_closed_form(graph: nx.Graph, k: int) -> int:
+    """Exact answer count for the *centre-free* variant
+    ``phi'(x_1, ..., x_k, y) = ⋀_i E(y, x_i)``: every answer fixes ``y`` and
+    independently chooses each ``x_i`` among ``y``'s neighbours, so the count
+    is ``Σ_y deg(y)^k`` (the footnote's "easy" case)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return sum(graph.degree(v) ** k for v in graph.nodes())

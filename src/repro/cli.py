@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Three subcommands, mirroring the package's main entry points::
+
+    repro-count count    --query "Ans(x) :- E(x, y), E(x, z), y != z" --database db.json
+    repro-count classify --query "Ans(x, y) :- E(x, y), x != y"
+    repro-count sample   --query "Ans(x, y) :- E(x, z), E(z, y)" --database db.json -n 5
+
+Databases are JSON files in the format of :mod:`repro.relational.io` (or edge
+lists with ``--edge-list``).  The counting subcommand prints both the chosen
+scheme's estimate and, with ``--exact``, the exact count for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    approx_count_answers,
+    classify_query,
+    count_answers_exact,
+)
+from repro.queries import parse_query
+from repro.relational.io import load_database_json, load_edge_list
+from repro.sampling import sample_answers
+
+
+def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--database", help="path to a JSON database file")
+    parser.add_argument(
+        "--edge-list",
+        help="path to a whitespace-separated edge list, loaded as a symmetric "
+        "binary relation E",
+    )
+    parser.add_argument(
+        "--relation",
+        default="E",
+        help="relation name used with --edge-list (default: E)",
+    )
+
+
+def _load_database(args: argparse.Namespace):
+    if args.database and args.edge_list:
+        raise SystemExit("use either --database or --edge-list, not both")
+    if args.database:
+        return load_database_json(args.database)
+    if args.edge_list:
+        return load_edge_list(args.edge_list, relation=args.relation)
+    raise SystemExit("a database is required (--database or --edge-list)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-count",
+        description="Approximately count answers to conjunctive queries with "
+        "disequalities and negations (PODS 2022 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser("count", help="approximately count query answers")
+    count.add_argument("--query", required=True, help="query in Datalog-ish syntax")
+    _add_database_arguments(count)
+    count.add_argument("--epsilon", type=float, default=0.2)
+    count.add_argument("--delta", type=float, default=0.05)
+    count.add_argument("--seed", type=int, default=None)
+    count.add_argument(
+        "--method",
+        choices=["auto", "fpras", "fptras", "exact"],
+        default="auto",
+        help="counting method (default: auto — FPRAS for CQs, FPTRAS otherwise)",
+    )
+    count.add_argument(
+        "--exact",
+        action="store_true",
+        help="also compute the exact count for comparison (slow on large inputs)",
+    )
+
+    classify = subparsers.add_parser(
+        "classify", help="report the Figure-1 classification of a query"
+    )
+    classify.add_argument("--query", required=True)
+    classify.add_argument("--json", action="store_true", help="emit JSON")
+
+    sample = subparsers.add_parser("sample", help="sample answers approximately uniformly")
+    sample.add_argument("--query", required=True)
+    _add_database_arguments(sample)
+    sample.add_argument("-n", "--num-samples", type=int, default=1)
+    sample.add_argument("--epsilon", type=float, default=0.25)
+    sample.add_argument("--delta", type=float, default=0.1)
+    sample.add_argument("--seed", type=int, default=None)
+    sample.add_argument(
+        "--exact",
+        action="store_true",
+        help="use exact counts inside the sampler (exactly uniform, slower)",
+    )
+    return parser
+
+
+def _command_count(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = _load_database(args)
+    estimate = approx_count_answers(
+        query,
+        database,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        seed=args.seed,
+        method=args.method,
+    )
+    print(f"query class: {query.query_class().value}")
+    print(f"estimate:    {estimate}")
+    if args.exact and args.method != "exact":
+        print(f"exact:       {count_answers_exact(query, database)}")
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    report = classify_query(query)
+    verdict = report.class_verdict_if_widths_bounded
+    if args.json:
+        payload = {
+            "query_class": report.query_class.value,
+            "treewidth": report.widths.treewidth,
+            "hypertreewidth": report.widths.hypertreewidth,
+            "fractional_hypertreewidth": report.widths.fractional_hypertreewidth,
+            "adaptive_width_lower": report.widths.adaptive_width.lower_bound,
+            "adaptive_width_upper": report.widths.adaptive_width.upper_bound,
+            "arity": report.widths.arity,
+            "fptras": verdict.fptras.value,
+            "fptras_reference": verdict.fptras_reference,
+            "fpras": verdict.fpras.value,
+            "fpras_reference": verdict.fpras_reference,
+            "recommended_algorithm": report.recommended_algorithm,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"query class:   {report.query_class.value}")
+    print(
+        "widths:        "
+        f"tw={report.widths.treewidth} hw={report.widths.hypertreewidth:.1f} "
+        f"fhw={report.widths.fractional_hypertreewidth:.2f} "
+        f"aw<= {report.widths.adaptive_width.upper_bound:.2f} arity={report.widths.arity}"
+    )
+    print(f"FPTRAS:        {verdict.fptras.value} ({verdict.fptras_reference})")
+    print(f"FPRAS:         {verdict.fpras.value} ({verdict.fpras_reference})")
+    print(f"recommended:   {report.recommended_algorithm}")
+    print(f"               {report.recommendation_reason}")
+    return 0
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = _load_database(args)
+    samples = sample_answers(
+        query,
+        database,
+        num_samples=args.num_samples,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        rng=args.seed,
+        exact=args.exact,
+    )
+    if not samples:
+        print("(no answers)")
+        return 0
+    for sample in samples:
+        print("\t".join(str(value) for value in sample))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "count":
+        return _command_count(args)
+    if args.command == "classify":
+        return _command_classify(args)
+    if args.command == "sample":
+        return _command_sample(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""The answer hypergraph ``H(phi, D)`` (Definitions 23, 24, Observation 25).
+
+Given an ECQ ``phi`` with ``l`` free variables and a database ``D`` with
+``N = |U(D)|`` elements, ``H(phi, D)`` is the ``l``-uniform, ``l``-partite
+hypergraph whose vertex classes are ``U_i(D) = U(D) x {i}`` (candidate values
+for the ``i``-th free variable) and whose hyperedges are exactly the answers
+of ``(phi, D)`` (Observation 25).  The paper approximates ``|Ans(phi, D)|`` by
+approximating ``|E(H(phi, D))|`` with the Dell–Lapinskas–Meeks framework.
+
+This module provides
+
+* :func:`vertex_classes` — the classes ``U_0(D), ..., U_{l-1}(D)``,
+* :func:`build_answer_hypergraph` — the *explicit* hypergraph, built by brute
+  force; only used as ground truth in tests and on small benches,
+* :class:`DirectEdgeFreeOracle` — an EdgeFree oracle that decides
+  ``EdgeFree(H(phi, D)[V_1, ..., V_l])`` directly with the CSP engine
+  (restricting the free variables to the ``V_i`` and adding the disequality
+  and negation constraints natively).  This is the practical oracle mode; the
+  paper-faithful colour-coding oracle lives in
+  :mod:`repro.core.colour_coding`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.associated_structures import variable_order
+from repro.hypergraph import PartiteHypergraph
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import (
+    Constraint,
+    CSPInstance,
+    NotEqualConstraint,
+    NotInRelationConstraint,
+)
+from repro.relational.structure import Structure
+
+Element = Hashable
+TaggedValue = Tuple[Element, int]
+
+
+def vertex_classes(query: ConjunctiveQuery, database: Structure) -> List[Set[TaggedValue]]:
+    """The classes ``U_i(D) = U(D) x {i}`` for the free variables (0-based)."""
+    return [
+        {(value, index) for value in database.universe}
+        for index in range(query.num_free())
+    ]
+
+
+def build_answer_hypergraph(
+    query: ConjunctiveQuery, database: Structure
+) -> PartiteHypergraph:
+    """The explicit answer hypergraph (brute-force; testing/ground truth)."""
+    classes = vertex_classes(query, database)
+    hypergraph = PartiteHypergraph(classes)
+    for answer in query.answers(database):
+        hypergraph.add_tuple_edge([(value, index) for index, value in enumerate(answer)])
+    return hypergraph
+
+
+class DirectEdgeFreeOracle:
+    """Decide ``EdgeFree(H(phi, D)[V_1, ..., V_l])`` (for class-aligned
+    subsets ``V_i ⊆ U_i(D)``) by solving the underlying CSP directly.
+
+    The CSP has one variable per query variable; the domain of the ``i``-th
+    free variable is (the untagged copy of) ``V_i``, the domain of every
+    existential variable is ``U(D)``.  Constraints:
+
+    * one table constraint per positive atom (allowed tuples = the relation),
+    * one "forbidden table" constraint per negated atom, encoded as the
+      complement restricted to the current domains,
+    * one binary disequality constraint per disequality.
+
+    The subinstance has a hyperedge iff the CSP has a solution.  This oracle
+    is deterministic (no colour coding), which is why it is the default for
+    benches; the colour-coding oracle in :mod:`repro.core.colour_coding`
+    reproduces the paper's reduction exactly and is used to cross-validate.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Structure) -> None:
+        query._check_signature_compatibility(database)
+        self._query = query
+        self._database = database
+        self._order = variable_order(query)
+        self._num_free = query.num_free()
+        self._universe = sorted(database.universe, key=repr)
+        self.calls = 0
+        # The constraint set does not depend on the queried subsets, only the
+        # free-variable domains do — build it once.
+        self._constraints: List[object] = []
+        for atom in query.atoms:
+            self._constraints.append(
+                Constraint(scope=atom.args, allowed=frozenset(database.relation(atom.relation)))
+            )
+        for atom in query.negated_atoms:
+            forbidden = (
+                database.relation(atom.relation)
+                if atom.relation in database.signature
+                else frozenset()
+            )
+            self._constraints.append(
+                NotInRelationConstraint(scope=atom.args, forbidden=frozenset(forbidden))
+            )
+        for disequality in query.disequalities:
+            self._constraints.append(
+                NotEqualConstraint(disequality.left, disequality.right)
+            )
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self._query
+
+    @property
+    def database(self) -> Structure:
+        return self._database
+
+    def _build_csp(self, free_domains: Sequence[Set[Element]]) -> CSPInstance:
+        domains: Dict[str, Set[Element]] = {}
+        for index, variable in enumerate(self._order):
+            if index < self._num_free:
+                domains[variable] = set(free_domains[index])
+            else:
+                domains[variable] = set(self._universe)
+        return CSPInstance(domains, self._constraints)
+
+    def edge_free(self, subsets: Sequence[Iterable[TaggedValue]]) -> bool:
+        """True iff the restricted answer hypergraph has no hyperedge."""
+        self.calls += 1
+        if len(subsets) != self._num_free:
+            raise ValueError(
+                f"expected {self._num_free} subsets, got {len(subsets)}"
+            )
+        free_domains: List[Set[Element]] = []
+        for index, subset in enumerate(subsets):
+            untagged: Set[Element] = set()
+            for item in subset:
+                value, tag = item
+                if tag != index:
+                    raise ValueError(
+                        f"subset {index} contains an element tagged {tag}; the direct "
+                        "oracle expects class-aligned subsets"
+                    )
+                untagged.add(value)
+            if not untagged:
+                return True
+            free_domains.append(untagged)
+        if self._num_free == 0:
+            # Boolean query: an "edge" exists iff the query has a solution.
+            return not self._build_csp([]).is_satisfiable()
+        csp = self._build_csp(free_domains)
+        return not csp.is_satisfiable()
+
+    __call__ = edge_free

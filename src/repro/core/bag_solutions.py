@@ -1,0 +1,194 @@
+"""Bag solutions ``Sol(phi, D, B)`` (Definitions 44–47, Lemma 48).
+
+For a CQ ``phi``, a database ``D`` and a set of variables ``B ⊆ vars(phi)``, a
+*solution of (phi, D, B)* is an assignment ``alpha : B -> U(D)`` such that for
+every atom of ``phi`` there exists a full assignment, consistent with
+``alpha``, that maps the atom into the corresponding relation of ``D``
+(Definition 47).  The condition decomposes per atom, so
+
+    ``Sol(phi, D, B) = ⋈_atoms  proj_{B ∩ vars(atom)}(consistent tuples)``
+
+and Lemma 48 (Grohe–Marx) bounds the time to enumerate it — and its size —
+polynomially when the fractional edge cover number of ``H(phi)[B]`` is
+bounded.  This module implements the enumeration by per-atom projection and
+hash joins; it is the workhorse of the Theorem-16 FPRAS (it computes the bag
+relations ``Sol_t`` of Lemma 52).
+
+Assignments are represented as immutable, canonically ordered tuples of
+``(variable, value)`` pairs so they can serve as automaton states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.queries.atoms import Atom, Variable
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.structure import Structure
+
+Element = Hashable
+#: Canonical immutable representation of a partial assignment.
+AssignmentKey = Tuple[Tuple[Variable, Element], ...]
+
+
+def assignment_key(assignment: Dict[Variable, Element]) -> AssignmentKey:
+    """Canonical (sorted, immutable) form of a partial assignment."""
+    return tuple(sorted(assignment.items(), key=lambda item: item[0]))
+
+
+def assignment_dict(key: AssignmentKey) -> Dict[Variable, Element]:
+    """Inverse of :func:`assignment_key`."""
+    return dict(key)
+
+
+def are_consistent(first: Dict[Variable, Element], second: Dict[Variable, Element]) -> bool:
+    """Definition 44: two assignments are consistent if they agree on every
+    shared variable."""
+    if len(second) < len(first):
+        first, second = second, first
+    return all(second.get(v, value) == value for v, value in first.items())
+
+
+def compose(first: Dict[Variable, Element], second: Dict[Variable, Element]) -> Dict[Variable, Element]:
+    """Definition 45: the composition of two consistent assignments."""
+    if not are_consistent(first, second):
+        raise ValueError("cannot compose inconsistent assignments")
+    combined = dict(first)
+    combined.update(second)
+    return combined
+
+
+def project(assignment: Dict[Variable, Element], variables: Iterable[Variable]) -> Dict[Variable, Element]:
+    """Definition 44/46: the projection of an assignment onto a variable set
+    (only variables the assignment actually defines are kept)."""
+    wanted = set(variables)
+    return {v: value for v, value in assignment.items() if v in wanted}
+
+
+def _atom_projection(
+    atom: Atom, database: Structure, bag: FrozenSet[Variable]
+) -> Optional[Set[AssignmentKey]]:
+    """The set of partial assignments of ``B ∩ vars(atom)`` that extend to a
+    tuple of the atom's relation (respecting repeated variables within the
+    atom).  Returns ``None`` when the relation admits *no* internally
+    consistent tuple at all — in that case ``Sol(phi, D, B)`` is empty no
+    matter what ``B`` is.
+    """
+    relation = database.relation(atom.relation)
+    bag_positions = [
+        (position, variable)
+        for position, variable in enumerate(atom.args)
+        if variable in bag
+    ]
+    projections: Set[AssignmentKey] = set()
+    any_consistent = False
+    for fact in relation:
+        # Repeated variables inside the atom must receive equal values.
+        assignment: Dict[Variable, Element] = {}
+        consistent = True
+        for position, variable in enumerate(atom.args):
+            value = fact[position]
+            if variable in assignment and assignment[variable] != value:
+                consistent = False
+                break
+            assignment[variable] = value
+        if not consistent:
+            continue
+        any_consistent = True
+        projections.add(
+            assignment_key({variable: assignment[variable] for _, variable in bag_positions})
+        )
+    if not any_consistent:
+        return None
+    return projections
+
+
+def _hash_join(
+    left: Set[AssignmentKey], right: Set[AssignmentKey]
+) -> Set[AssignmentKey]:
+    """Natural join of two sets of partial assignments."""
+    if not left or not right:
+        return set()
+    left_dicts = [dict(key) for key in left]
+    right_dicts = [dict(key) for key in right]
+    left_vars = set().union(*(set(d) for d in left_dicts)) if left_dicts else set()
+    right_vars = set().union(*(set(d) for d in right_dicts)) if right_dicts else set()
+    shared = sorted(left_vars & right_vars)
+
+    index: Dict[Tuple, List[Dict[Variable, Element]]] = {}
+    for entry in right_dicts:
+        signature = tuple(entry.get(v) for v in shared)
+        index.setdefault(signature, []).append(entry)
+
+    joined: Set[AssignmentKey] = set()
+    for entry in left_dicts:
+        signature = tuple(entry.get(v) for v in shared)
+        for partner in index.get(signature, []):
+            combined = dict(entry)
+            combined.update(partner)
+            joined.add(assignment_key(combined))
+    return joined
+
+
+def bag_solutions(
+    query: ConjunctiveQuery, database: Structure, bag: Iterable[Variable]
+) -> Set[AssignmentKey]:
+    """``Sol(phi, D, B)`` as a set of canonical assignment keys (Lemma 48).
+
+    Only defined for CQs (the FPRAS of Theorem 16 is restricted to queries
+    without disequalities and negations); raises otherwise.
+    """
+    if query.negated_atoms or query.disequalities:
+        raise ValueError("bag solutions are defined for plain CQs only (Theorem 16)")
+    bag_set = frozenset(bag)
+    unknown = bag_set - query.variables
+    if unknown:
+        raise ValueError(f"bag contains unknown variables {sorted(unknown)}")
+    query._check_signature_compatibility(database)
+
+    # The empty bag: the unique empty assignment is a solution iff every
+    # atom's relation contains an internally consistent tuple.
+    current: Set[AssignmentKey] = {assignment_key({})}
+    # Join atoms in order of decreasing overlap with the accumulated variable
+    # set so intermediate results stay small.
+    atoms = list(query.atoms)
+    processed_vars: Set[Variable] = set()
+    remaining = list(atoms)
+    while remaining:
+        remaining.sort(
+            key=lambda atom: (-len(set(atom.args) & (processed_vars | bag_set)), str(atom))
+        )
+        atom = remaining.pop(0)
+        projection = _atom_projection(atom, database, bag_set)
+        if projection is None:
+            return set()
+        current = _hash_join(current, projection)
+        if not current:
+            return set()
+        processed_vars |= set(atom.args) & bag_set
+    return current
+
+
+def project_solutions(
+    solutions: Iterable[AssignmentKey], variables: Iterable[Variable]
+) -> Set[AssignmentKey]:
+    """Project a set of assignment keys onto a variable set (Definition 46)."""
+    wanted = set(variables)
+    projected: Set[AssignmentKey] = set()
+    for key in solutions:
+        projected.add(tuple((v, value) for v, value in key if v in wanted))
+    return projected
+
+
+def solutions_consistent_with(
+    solutions: Iterable[AssignmentKey], anchor: AssignmentKey
+) -> List[AssignmentKey]:
+    """The assignments among ``solutions`` that are consistent with
+    ``anchor`` (the sets ``A_alpha`` used in the Lemma-52 automaton)."""
+    anchor_dict = dict(anchor)
+    result: List[AssignmentKey] = []
+    for key in solutions:
+        candidate = dict(key)
+        if are_consistent(anchor_dict, candidate):
+            result.append(key)
+    return sorted(result)

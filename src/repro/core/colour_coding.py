@@ -1,0 +1,159 @@
+"""Colour-coding simulation of the EdgeFree oracle via a Hom oracle
+(Lemma 30 and the oracle-simulation part of Lemma 22).
+
+For class-aligned subsets ``V_i ⊆ U_i(D)``, Lemma 30 states:
+
+    ``H(phi, D)[V_1, ..., V_l]`` has a hyperedge
+        iff
+    there is a collection ``f = {f_η}`` of colouring functions
+    (one per disequality pair, each mapping U(D) to {r, b}) such that
+    ``Hom(Â(phi), B̂(phi, D, V_1..V_l, f))`` holds.
+
+The simulation chooses the colouring functions uniformly at random ``Q`` times
+(with ``Q = ceil(ln(1/failure)) * 4^{|∆|}``, so that a witnessing
+homomorphism survives at least one colouring with probability
+``>= 1 - failure``) and reports "has an edge" as soon as the Hom oracle finds
+a homomorphism.  The answer "edge-free" has one-sided error at most
+``failure``; "has an edge" is always correct.
+
+Because ``4^{|∆|}`` grows quickly, :class:`ColourCodingEdgeFreeOracle` caps
+the number of repetitions (configurable); queries with many disequalities
+should use the deterministic :class:`~repro.core.answer_hypergraph.DirectEdgeFreeOracle`
+instead (this is a documented engineering fallback, not a change to the
+paper's reduction — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.associated_structures import (
+    BLUE,
+    RED,
+    build_A_hat,
+    build_B,
+    build_B_hat,
+    variable_order,
+)
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.homomorphism import exists_homomorphism
+from repro.relational.structure import Structure
+from repro.util.rng import RNGLike, as_generator
+
+Element = Hashable
+TaggedValue = Tuple[Element, int]
+#: A Hom oracle: decides whether there is a homomorphism between two structures.
+HomOracle = Callable[[Structure, Structure], bool]
+
+
+def random_colouring(
+    query: ConjunctiveQuery, database: Structure, rng: RNGLike = None
+) -> Dict[FrozenSet[str], Dict[Element, str]]:
+    """Choose the collection ``f = {f_η}`` uniformly at random: independently
+    for every disequality pair and every database value, colour the value red
+    or blue with probability 1/2 each."""
+    generator = as_generator(rng)
+    universe = sorted(database.universe, key=repr)
+    colouring: Dict[FrozenSet[str], Dict[Element, str]] = {}
+    for pair in query.delta():
+        flips = generator.random(len(universe)) < 0.5
+        colouring[pair] = {
+            value: (RED if flip else BLUE) for value, flip in zip(universe, flips)
+        }
+    return colouring
+
+
+def required_colouring_repetitions(
+    num_disequalities: int, failure_probability: float
+) -> int:
+    """The number ``Q`` of random colourings needed so that a fixed witnessing
+    homomorphism is compatible with at least one of them with probability at
+    least ``1 - failure_probability`` (each colouring succeeds with
+    probability ``>= 4^{-|∆|}``, so ``Q = ceil(ln(1/failure) * 4^{|∆|})``)."""
+    if not 0 < failure_probability < 1:
+        raise ValueError("failure_probability must be in (0, 1)")
+    if num_disequalities == 0:
+        return 1
+    return int(math.ceil(math.log(1.0 / failure_probability) * (4 ** num_disequalities)))
+
+
+class ColourCodingEdgeFreeOracle:
+    """The paper's EdgeFree oracle simulation: colour coding + Hom oracle.
+
+    Parameters
+    ----------
+    query, database:
+        The #ECQ instance.
+    failure_probability:
+        Per-call one-sided failure probability (probability that an existing
+        hyperedge is missed).  Lemma 22 budgets this as ``delta / (2 T l!)``.
+    hom_oracle:
+        The Hom decision procedure; defaults to the package's CSP-based
+        engine (standing in for Theorems 31/36).
+    max_repetitions:
+        Safety cap on the number of random colourings per call; ``None``
+        disables the cap.  When the cap truncates the theoretical repetition
+        count, the one-sided error guarantee degrades accordingly (recorded in
+        :attr:`truncated`).
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Structure,
+        failure_probability: float = 0.05,
+        hom_oracle: Optional[HomOracle] = None,
+        rng: RNGLike = None,
+        max_repetitions: Optional[int] = 512,
+    ) -> None:
+        query._check_signature_compatibility(database)
+        self._query = query
+        self._database = database
+        self._failure = failure_probability
+        self._hom = hom_oracle if hom_oracle is not None else exists_homomorphism
+        self._rng = as_generator(rng)
+        self._a_hat = build_A_hat(query)
+        self._b_base = build_B(query, database)
+        self._num_free = query.num_free()
+        requested = required_colouring_repetitions(
+            len(query.delta()), failure_probability
+        )
+        if max_repetitions is not None and requested > max_repetitions:
+            self.repetitions = max_repetitions
+            self.truncated = True
+        else:
+            self.repetitions = requested
+            self.truncated = False
+        self.calls = 0
+        self.hom_queries = 0
+
+    @property
+    def a_hat(self) -> Structure:
+        """The coloured query structure Â(phi) (constant across calls)."""
+        return self._a_hat
+
+    def edge_free(self, subsets: Sequence[Iterable[TaggedValue]]) -> bool:
+        """True iff (with one-sided error) ``H(phi, D)[V_1..V_l]`` has no
+        hyperedge; ``subsets`` must be class-aligned (V_i ⊆ U_i(D))."""
+        self.calls += 1
+        subsets = [set(block) for block in subsets]
+        if len(subsets) != self._num_free:
+            raise ValueError(f"expected {self._num_free} subsets, got {len(subsets)}")
+        if any(not block for block in subsets):
+            return True
+        for _ in range(self.repetitions):
+            colouring = random_colouring(self._query, self._database, rng=self._rng)
+            b_hat = build_B_hat(
+                self._query,
+                self._database,
+                subsets,
+                colouring=colouring,
+                b_structure=self._b_base,
+            )
+            self.hom_queries += 1
+            if self._hom(self._a_hat, b_hat):
+                return False
+        return True
+
+    __call__ = edge_free

@@ -1,0 +1,214 @@
+"""The Figure-1 classification.
+
+Figure 1 of the paper classifies the approximability of #CQ / #DCQ / #ECQ in
+terms of which width measure of the underlying hypergraph class is bounded:
+
+Bounded arity (all width measures coincide):
+    * bounded treewidth  → FPTRAS for CQ, DCQ, ECQ (Theorem 5);
+                           FPRAS for CQ (Arenas et al.);
+                           no FPRAS for DCQ/ECQ unless NP = RP (Obs. 10).
+    * unbounded treewidth → no FPTRAS (hence no FPRAS) for any of the three,
+                           assuming rETH (Obs. 9).
+
+Unbounded arity:
+    * bounded hypertreewidth          → FPRAS for CQ (Arenas et al., Thm 38).
+    * bounded fractional hypertreewidth → FPRAS for CQ (Theorem 16).
+    * bounded adaptive width          → FPTRAS for CQ and DCQ (Theorem 13);
+                                        FPRAS for CQ open; FPTRAS for ECQ open.
+    * unbounded adaptive width        → no FPTRAS for CQ/DCQ/ECQ (Obs. 15).
+    * DCQ/ECQ never admit an FPRAS (Obs. 10), already at treewidth 1.
+
+Two views are provided:
+
+* :func:`classify_class` — the *class-level* dichotomy verdict: given a query
+  class (CQ/DCQ/ECQ) and which width measures are bounded, report whether an
+  FPTRAS / FPRAS exists, which theorem provides it or rules it out, and under
+  which complexity assumption.
+* :func:`classify_query` — the *instance-level* report: compute the width
+  profile of one query's hypergraph and recommend which of the package's
+  algorithms applies (and with what parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.decomposition.widths import WidthProfile, width_profile
+from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.util.rng import RNGLike
+
+
+class Verdict(Enum):
+    """Tractability verdict for an approximation notion on a query class."""
+
+    YES = "yes"
+    NO = "no"
+    OPEN = "open"
+
+
+@dataclass(frozen=True)
+class ClassVerdict:
+    """The Figure-1 verdict for one (query class, width regime) cell."""
+
+    query_class: QueryClass
+    bounded_arity: bool
+    bounded_treewidth: bool
+    bounded_hypertreewidth: bool
+    bounded_fractional_hypertreewidth: bool
+    bounded_adaptive_width: bool
+    fptras: Verdict
+    fptras_reference: str
+    fpras: Verdict
+    fpras_reference: str
+
+
+def classify_class(
+    query_class: QueryClass,
+    bounded_arity: bool,
+    bounded_treewidth: bool,
+    bounded_hypertreewidth: Optional[bool] = None,
+    bounded_fractional_hypertreewidth: Optional[bool] = None,
+    bounded_adaptive_width: Optional[bool] = None,
+) -> ClassVerdict:
+    """The Figure-1 verdict for a class of queries.
+
+    In the bounded-arity case all width measures are weakly equivalent
+    (Observation 34), so unspecified hypergraph measures default to the value
+    of ``bounded_treewidth``.  In the unbounded-arity case unspecified
+    measures default according to the domination chain of Lemma 12
+    (``tw bounded ⇒ hw bounded ⇒ fhw bounded ⇒ aw bounded``).
+    """
+    if bounded_arity:
+        if bounded_hypertreewidth is None:
+            bounded_hypertreewidth = bounded_treewidth
+        if bounded_fractional_hypertreewidth is None:
+            bounded_fractional_hypertreewidth = bounded_treewidth
+        if bounded_adaptive_width is None:
+            bounded_adaptive_width = bounded_treewidth
+    else:
+        if bounded_hypertreewidth is None:
+            bounded_hypertreewidth = bounded_treewidth
+        if bounded_fractional_hypertreewidth is None:
+            bounded_fractional_hypertreewidth = bounded_hypertreewidth
+        if bounded_adaptive_width is None:
+            bounded_adaptive_width = bounded_fractional_hypertreewidth
+
+    # ----------------------------------------------------------------- FPTRAS
+    if bounded_arity:
+        if bounded_treewidth:
+            fptras, fptras_reference = Verdict.YES, "Theorem 5"
+        else:
+            fptras, fptras_reference = Verdict.NO, "Observation 9 (assuming rETH)"
+    else:
+        if not bounded_adaptive_width:
+            fptras, fptras_reference = Verdict.NO, "Observation 15 (assuming rETH)"
+        elif query_class in (QueryClass.CQ, QueryClass.DCQ):
+            fptras, fptras_reference = Verdict.YES, "Theorem 13"
+        else:  # ECQ with bounded adaptive width but unbounded arity
+            if bounded_treewidth:
+                fptras, fptras_reference = Verdict.NO, (
+                    "not covered: Theorem 5 needs bounded arity; bounded treewidth "
+                    "with unbounded arity is outside both Theorem 5 and Theorem 13"
+                )
+                # Treewidth bounded with unbounded arity still implies bounded
+                # adaptive width; the ECQ case there is open in the paper.
+                fptras = Verdict.OPEN
+                fptras_reference = "open problem (Figure 1, ECQ with bounded aw, unbounded arity)"
+            else:
+                fptras, fptras_reference = Verdict.OPEN, (
+                    "open problem (Figure 1, ECQ with bounded aw, unbounded arity)"
+                )
+
+    # ------------------------------------------------------------------ FPRAS
+    if query_class in (QueryClass.DCQ, QueryClass.ECQ):
+        fpras, fpras_reference = Verdict.NO, "Observation 10 (unless NP = RP)"
+    else:  # CQ
+        if bounded_fractional_hypertreewidth:
+            if bounded_hypertreewidth:
+                fpras, fpras_reference = Verdict.YES, "Arenas et al. (Theorem 38)"
+            else:
+                fpras, fpras_reference = Verdict.YES, "Theorem 16"
+        elif bounded_adaptive_width:
+            fpras, fpras_reference = Verdict.OPEN, (
+                "open problem (Figure 1: FPRAS for CQ with bounded aw but unbounded fhw)"
+            )
+        else:
+            fpras, fpras_reference = Verdict.NO, (
+                "Observation 15 rules out even an FPTRAS (assuming rETH)"
+            )
+
+    return ClassVerdict(
+        query_class=query_class,
+        bounded_arity=bounded_arity,
+        bounded_treewidth=bounded_treewidth,
+        bounded_hypertreewidth=bounded_hypertreewidth,
+        bounded_fractional_hypertreewidth=bounded_fractional_hypertreewidth,
+        bounded_adaptive_width=bounded_adaptive_width,
+        fptras=fptras,
+        fptras_reference=fptras_reference,
+        fpras=fpras,
+        fpras_reference=fpras_reference,
+    )
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Instance-level report: the query's own widths and the recommended
+    algorithm from this package."""
+
+    query_class: QueryClass
+    widths: WidthProfile
+    recommended_algorithm: str
+    recommendation_reason: str
+    class_verdict_if_widths_bounded: ClassVerdict
+
+
+def classify_query(
+    query: ConjunctiveQuery,
+    arity_bound: Optional[int] = None,
+    rng: RNGLike = None,
+) -> QueryReport:
+    """Classify a single query: compute its width profile, say which of the
+    package's algorithms applies, and report the Figure-1 verdict for the
+    class of queries whose widths are bounded by this query's widths."""
+    hypergraph = query.hypergraph()
+    profile = width_profile(hypergraph, rng=rng)
+    query_class = query.query_class()
+    bounded_arity = arity_bound is None or profile.arity <= arity_bound
+
+    if query_class is QueryClass.CQ:
+        recommended = "fpras_count_cq"
+        reason = (
+            "plain CQ: Theorem 16's FPRAS applies (fhw = "
+            f"{profile.fractional_hypertreewidth:.2f})"
+        )
+    elif query_class is QueryClass.DCQ:
+        recommended = "fptras_count_dcq"
+        reason = (
+            "DCQ: Theorem 13's FPTRAS applies (adaptive width <= fhw = "
+            f"{profile.fractional_hypertreewidth:.2f}); no FPRAS exists unless NP = RP"
+        )
+    else:
+        recommended = "fptras_count_ecq"
+        reason = (
+            "ECQ: Theorem 5's FPTRAS applies (treewidth = "
+            f"{profile.treewidth}, arity = {profile.arity}); no FPRAS exists unless NP = RP"
+        )
+
+    verdict = classify_class(
+        query_class,
+        bounded_arity=True if profile.arity <= 2 else bounded_arity,
+        bounded_treewidth=True,
+        bounded_hypertreewidth=True,
+        bounded_fractional_hypertreewidth=True,
+        bounded_adaptive_width=True,
+    )
+    return QueryReport(
+        query_class=query_class,
+        widths=profile,
+        recommended_algorithm=recommended,
+        recommendation_reason=reason,
+        class_verdict_if_widths_bounded=verdict,
+    )

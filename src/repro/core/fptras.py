@@ -1,0 +1,195 @@
+"""The FPTRASes of Theorem 5 (bounded treewidth + arity, ECQs) and
+Theorem 13 (bounded adaptive width, DCQs).
+
+Both theorems instantiate the same machine (Lemma 22): approximate the number
+of hyperedges of the answer hypergraph using an EdgeFree oracle simulated by
+colour coding and a Hom decision oracle.  The difference is only which Hom
+algorithm backs the oracle:
+
+* Theorem 5 relies on Theorem 31 (Dalmau–Kolaitis–Vardi): Hom(S) is
+  polynomial-time when the left-hand structures have bounded treewidth and
+  arity.  Adding the unary relations of Â never increases treewidth beyond
+  ``max(tw, 0)`` (shown inside the proof of Theorem 5).
+* Theorem 13 relies on Theorem 36 (Marx): Hom(S) is fixed-parameter tractable
+  when the left-hand structures have bounded adaptive width; Lemma 35 shows
+  adding unary relations keeps the adaptive width at most ``max(aw, 1)``.
+
+The reproduction backs both with the same CSP-based homomorphism engine (see
+DESIGN.md, substitution 2) — the reduction itself (colour coding, the answer
+hypergraph, the DLM estimator) is reproduced faithfully.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.core.oracle_counting import (
+    OracleCountingStatistics,
+    approx_count_answers_via_oracle,
+)
+from repro.decomposition.f_width import EXACT_F_WIDTH_LIMIT
+from repro.decomposition.treewidth import exact_treewidth, treewidth_upper_bound
+from repro.decomposition.adaptive import adaptive_width_upper_bound
+from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.relational.structure import Structure
+from repro.util.rng import RNGLike
+
+
+@dataclass(frozen=True)
+class FPTRASResult:
+    """The result of an FPTRAS run, with the instance diagnostics that the
+    theorems' preconditions refer to."""
+
+    estimate: float
+    epsilon: float
+    delta: float
+    treewidth: Optional[int]
+    arity: int
+    adaptive_width_upper_bound: Optional[float]
+    oracle_mode: str
+    statistics: OracleCountingStatistics
+
+    def rounded(self) -> int:
+        """The estimate rounded to the nearest integer (answer counts are
+        integers; rounding cannot hurt the multiplicative guarantee when the
+        true count is at least 1/(2 epsilon))."""
+        return int(round(self.estimate))
+
+
+def _query_treewidth(query: ConjunctiveQuery) -> Optional[int]:
+    hypergraph = query.hypergraph()
+    if hypergraph.num_vertices() == 0:
+        return -1
+    if hypergraph.num_vertices() <= EXACT_F_WIDTH_LIMIT:
+        return exact_treewidth(hypergraph)
+    return treewidth_upper_bound(hypergraph)
+
+
+def fptras_count_ecq(
+    query: ConjunctiveQuery,
+    database: Structure,
+    epsilon: float,
+    delta: float,
+    rng: RNGLike = None,
+    oracle_mode: str = "auto",
+    treewidth_bound: Optional[int] = None,
+    arity_bound: Optional[int] = None,
+    return_result: bool = False,
+):
+    """Theorem 5: FPTRAS for #ECQ on queries with bounded treewidth and arity.
+
+    Parameters
+    ----------
+    query:
+        Any ECQ (predicates, negated predicates, disequalities).
+    database:
+        A database whose signature contains the query's.
+    epsilon, delta:
+        The (epsilon, delta)-approximation contract.
+    oracle_mode:
+        Passed to the Lemma-22 engine: ``"colour_coding"`` (paper-faithful),
+        ``"direct"`` (deterministic EdgeFree decisions) or ``"auto"``.
+    treewidth_bound, arity_bound:
+        Optional declared bounds ``t`` and ``a`` of the query class Φ_C.  When
+        given, the query is checked against them (a query outside the class is
+        rejected — this mirrors the theorem being a statement about promise
+        classes).  When omitted, no check is performed: the algorithm is
+        correct for every ECQ, merely not fixed-parameter efficient outside
+        the bounded-treewidth regime.
+    return_result:
+        Return a full :class:`FPTRASResult` instead of only the estimate.
+    """
+    treewidth = _query_treewidth(query)
+    arity = query.arity()
+    if treewidth_bound is not None and treewidth is not None and treewidth > treewidth_bound:
+        raise ValueError(
+            f"query treewidth {treewidth} exceeds the declared bound {treewidth_bound}"
+        )
+    if arity_bound is not None and arity > arity_bound:
+        raise ValueError(f"query arity {arity} exceeds the declared bound {arity_bound}")
+
+    estimate, statistics = approx_count_answers_via_oracle(
+        query,
+        database,
+        epsilon=epsilon,
+        delta=delta,
+        rng=rng,
+        oracle_mode=oracle_mode,
+        return_statistics=True,
+    )
+    result = FPTRASResult(
+        estimate=float(estimate),
+        epsilon=epsilon,
+        delta=delta,
+        treewidth=treewidth,
+        arity=arity,
+        adaptive_width_upper_bound=None,
+        oracle_mode=statistics.oracle_mode,
+        statistics=statistics,
+    )
+    return result if return_result else result.estimate
+
+
+def fptras_count_dcq(
+    query: ConjunctiveQuery,
+    database: Structure,
+    epsilon: float,
+    delta: float,
+    rng: RNGLike = None,
+    oracle_mode: str = "auto",
+    adaptive_width_bound: Optional[float] = None,
+    return_result: bool = False,
+):
+    """Theorem 13: FPTRAS for #DCQ on queries with bounded adaptive width
+    (unbounded arity allowed).
+
+    Rejects queries with negated predicates (those are ECQs; Theorem 13 does
+    not cover them and whether it can is an open problem stated in Figure 1).
+    """
+    if query.query_class() is QueryClass.ECQ:
+        raise ValueError(
+            "Theorem 13 applies to DCQs (no negated predicates); "
+            "use fptras_count_ecq for queries with negations"
+        )
+    hypergraph = query.hypergraph()
+    aw_upper: Optional[float]
+    if hypergraph.num_vertices() <= EXACT_F_WIDTH_LIMIT:
+        aw_upper = adaptive_width_upper_bound(hypergraph)
+    else:
+        aw_upper = None
+    if (
+        adaptive_width_bound is not None
+        and aw_upper is not None
+        and aw_upper > adaptive_width_bound + 1e-9
+    ):
+        # The upper bound exceeding the declared bound does not prove the
+        # query is outside the class (aw <= fhw), so only warn.
+        warnings.warn(
+            "the query's adaptive-width upper bound (fhw = "
+            f"{aw_upper:.3f}) exceeds the declared bound {adaptive_width_bound}; "
+            "the FPTRAS still runs but may not be fixed-parameter efficient",
+            stacklevel=2,
+        )
+
+    estimate, statistics = approx_count_answers_via_oracle(
+        query,
+        database,
+        epsilon=epsilon,
+        delta=delta,
+        rng=rng,
+        oracle_mode=oracle_mode,
+        return_statistics=True,
+    )
+    result = FPTRASResult(
+        estimate=float(estimate),
+        epsilon=epsilon,
+        delta=delta,
+        treewidth=_query_treewidth(query),
+        arity=query.arity(),
+        adaptive_width_upper_bound=aw_upper,
+        oracle_mode=statistics.oracle_mode,
+        statistics=statistics,
+    )
+    return result if return_result else result.estimate

@@ -1,0 +1,499 @@
+"""Tree automata and counting accepted inputs (Definitions 49, 50, Lemma 51).
+
+A (nondeterministic, top-down) tree automaton ``A = (S, Sigma, Delta, s0)``
+runs over labelled rooted trees in which every node has at most two children
+(``Trees_2[Sigma]``, Definition 49).  A run assigns a state to every node such
+that the transition relation is respected (Definition 50); the automaton
+accepts a labelled tree if some run assigns the initial state to the root.
+
+The FPRAS of Theorem 16 reduces answer counting to counting the accepted
+labelled trees over a *fixed* tree shape (the nice tree decomposition), and
+Lemma 51 (Arenas–Croquevielle–Jayaram–Riveros) supplies an FPRAS for that
+counting problem.  This module implements
+
+* the automaton model and acceptance test (:meth:`TreeAutomaton.accepts`),
+* brute-force counting of accepted labellings (tests / tiny instances),
+* :meth:`TreeAutomaton.count_labelings` — an ACJR-inspired approximate
+  counter: a bottom-up dynamic program over (node, state) pairs that is exact
+  at nodes whose transition targets form products or disjoint unions, and uses
+  Karp–Luby union estimation with recursive approximate-uniform sampling where
+  target languages may overlap (exactly the situation created by existential
+  variables).  See DESIGN.md, substitution 3, for how this relates to the
+  original ACJR construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.util.rng import RNGLike, as_generator
+from repro.util.validation import check_epsilon_delta
+
+State = Hashable
+Label = Hashable
+NodeId = Hashable
+#: A transition target: () for a leaf transition, (s,) for one child,
+#: (s1, s2) for two (ordered) children.
+Target = Tuple[State, ...]
+#: A labelling of a rooted tree.
+Labeling = Dict[NodeId, Label]
+
+
+@dataclass(frozen=True)
+class RootedTree:
+    """A rooted tree with at most two (ordered) children per node."""
+
+    root: NodeId
+    children: Mapping[NodeId, Tuple[NodeId, ...]]
+
+    def __post_init__(self) -> None:
+        for node, kids in self.children.items():
+            if len(kids) > 2:
+                raise ValueError(f"node {node!r} has more than two children")
+
+    def nodes(self) -> List[NodeId]:
+        """All nodes in root-to-leaf (preorder) order."""
+        order: List[NodeId] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self.children.get(node, ())))
+        return order
+
+    def bottom_up(self) -> List[NodeId]:
+        return list(reversed(self.nodes()))
+
+    def children_of(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return tuple(self.children.get(node, ()))
+
+    def size(self) -> int:
+        return len(self.nodes())
+
+    def subtree_nodes(self, node: NodeId) -> List[NodeId]:
+        order: List[NodeId] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            order.append(current)
+            stack.extend(reversed(self.children.get(current, ())))
+        return order
+
+
+class TreeAutomaton:
+    """A nondeterministic top-down tree automaton (Definition 50).
+
+    ``transitions`` maps ``(state, label)`` to the *set* of allowed targets
+    (the paper writes the transition function as single-valued but uses it as
+    a relation in the Lemma-52 construction; a relation is the general form).
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Label],
+        transitions: Mapping[Tuple[State, Label], Iterable[Target]],
+        initial_state: State,
+    ) -> None:
+        self._states: Set[State] = set(states)
+        self._alphabet: Set[Label] = set(alphabet)
+        if initial_state not in self._states:
+            raise ValueError("the initial state must be one of the states")
+        self._initial = initial_state
+        self._transitions: Dict[Tuple[State, Label], Set[Target]] = {}
+        for (state, label), targets in transitions.items():
+            if state not in self._states:
+                raise ValueError(f"transition from unknown state {state!r}")
+            if label not in self._alphabet:
+                raise ValueError(f"transition on unknown label {label!r}")
+            target_set = set()
+            for target in targets:
+                target = tuple(target)
+                if len(target) > 2:
+                    raise ValueError("targets have at most two states")
+                for child_state in target:
+                    if child_state not in self._states:
+                        raise ValueError(f"transition to unknown state {child_state!r}")
+                target_set.add(target)
+            if target_set:
+                self._transitions[(state, label)] = target_set
+        # Index the states that have at least one transition on a given label;
+        # acceptance tests only need to consider those states at a node.
+        self._states_by_label: Dict[Label, Set[State]] = {}
+        for (state, label) in self._transitions:
+            self._states_by_label.setdefault(label, set()).add(state)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def states(self) -> FrozenSet[State]:
+        return frozenset(self._states)
+
+    @property
+    def alphabet(self) -> FrozenSet[Label]:
+        return frozenset(self._alphabet)
+
+    @property
+    def initial_state(self) -> State:
+        return self._initial
+
+    def targets(self, state: State, label: Label) -> FrozenSet[Target]:
+        return frozenset(self._transitions.get((state, label), set()))
+
+    def labels_from(self, state: State) -> List[Label]:
+        """Labels for which the state has at least one transition."""
+        return sorted(
+            {label for (s, label) in self._transitions if s == state}, key=repr
+        )
+
+    def num_transitions(self) -> int:
+        return sum(len(targets) for targets in self._transitions.values())
+
+    # ------------------------------------------------------------- acceptance
+    def viable_states(self, tree: RootedTree, labeling: Labeling, node: NodeId) -> Set[State]:
+        """The set of states ``s`` such that the labelled subtree rooted at
+        ``node`` admits an accepting run starting from ``s``."""
+        viable: Dict[NodeId, Set[State]] = {}
+        for current in reversed(tree.subtree_nodes(node)):
+            label = labeling[current]
+            kids = tree.children_of(current)
+            states: Set[State] = set()
+            for state in self._states_by_label.get(label, ()):
+                targets = self._transitions.get((state, label), set())
+                if not targets:
+                    continue
+                if len(kids) == 0:
+                    if () in targets:
+                        states.add(state)
+                elif len(kids) == 1:
+                    child_viable = viable[kids[0]]
+                    if any(len(t) == 1 and t[0] in child_viable for t in targets):
+                        states.add(state)
+                else:
+                    left_viable, right_viable = viable[kids[0]], viable[kids[1]]
+                    if any(
+                        len(t) == 2 and t[0] in left_viable and t[1] in right_viable
+                        for t in targets
+                    ):
+                        states.add(state)
+            viable[current] = states
+        return viable[node]
+
+    def accepts(self, tree: RootedTree, labeling: Labeling) -> bool:
+        """Whether the automaton accepts the labelled tree (Definition 50)."""
+        missing = [node for node in tree.nodes() if node not in labeling]
+        if missing:
+            raise ValueError(f"labeling is missing nodes {missing!r}")
+        return self._initial in self.viable_states(tree, labeling, tree.root)
+
+    # ---------------------------------------------------- brute-force counting
+    def count_labelings_bruteforce(self, tree: RootedTree) -> int:
+        """The number of labellings of ``tree`` accepted by the automaton, by
+        exhaustive enumeration over ``|Sigma|^{|tree|}`` labellings (tests and
+        tiny instances only)."""
+        nodes = tree.nodes()
+        alphabet = sorted(self._alphabet, key=repr)
+        count = 0
+        for combination in itertools.product(alphabet, repeat=len(nodes)):
+            labeling = dict(zip(nodes, combination))
+            if self.accepts(tree, labeling):
+                count += 1
+        return count
+
+    def count_nslice_bruteforce(self, size: int) -> int:
+        """|L_N(A)| by brute force: enumerate every rooted tree with ``size``
+        nodes and at most two children per node, and every labelling of it.
+        Exponential; used only to validate the N-slice semantics on tiny
+        automata."""
+        total = 0
+        for tree in _enumerate_trees(size):
+            total += self.count_labelings_bruteforce(tree)
+        return total
+
+    # ----------------------------------------------- approximate counting (ACJR)
+    def count_labelings(
+        self,
+        tree: RootedTree,
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+        rng: RNGLike = None,
+        disjoint_union_hints: Optional[Callable[[State, Label], bool]] = None,
+        samples_per_union: Optional[int] = None,
+    ) -> float:
+        """Approximately count the labellings of ``tree`` accepted by the
+        automaton (the fixed-tree case of Lemma 51).
+
+        ``disjoint_union_hints(state, label)`` may certify that the languages
+        of the different targets of ``(state, label)`` are pairwise disjoint;
+        the estimator then sums their sizes exactly instead of sampling.  (The
+        Lemma-52 reduction supplies this hint for transitions that re-bind a
+        *free* variable, where disjointness holds by construction.)
+        """
+        check_epsilon_delta(epsilon, delta)
+        estimator = _LanguageEstimator(
+            automaton=self,
+            tree=tree,
+            rng=as_generator(rng),
+            epsilon=epsilon,
+            delta=delta,
+            disjoint_union_hints=disjoint_union_hints,
+            samples_per_union=samples_per_union,
+        )
+        return estimator.estimate(tree.root, self._initial)
+
+    def sample_labeling(
+        self,
+        tree: RootedTree,
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+        rng: RNGLike = None,
+        disjoint_union_hints: Optional[Callable[[State, Label], bool]] = None,
+    ) -> Optional[Labeling]:
+        """Draw an (approximately uniform) accepted labelling of ``tree``, or
+        ``None`` if the language is empty.  This is the sampling counterpart
+        ACJR provide alongside their counter (used for Section 6)."""
+        generator = as_generator(rng)
+        estimator = _LanguageEstimator(
+            automaton=self,
+            tree=tree,
+            rng=generator,
+            epsilon=epsilon,
+            delta=delta,
+            disjoint_union_hints=disjoint_union_hints,
+            samples_per_union=None,
+        )
+        if estimator.estimate(tree.root, self._initial) <= 0:
+            return None
+        return estimator.sample(tree.root, self._initial)
+
+
+class _LanguageEstimator:
+    """Bottom-up estimator of ``|L(node, state)|`` — the number of accepted
+    labellings of the subtree rooted at ``node`` when started in ``state`` —
+    with a companion approximate-uniform sampler.  Implements the scheme
+    described in the module docstring."""
+
+    def __init__(
+        self,
+        automaton: TreeAutomaton,
+        tree: RootedTree,
+        rng: np.random.Generator,
+        epsilon: float,
+        delta: float,
+        disjoint_union_hints: Optional[Callable[[State, Label], bool]],
+        samples_per_union: Optional[int],
+    ) -> None:
+        self._automaton = automaton
+        self._tree = tree
+        self._rng = rng
+        self._epsilon = epsilon
+        self._delta = delta
+        self._hints = disjoint_union_hints
+        if samples_per_union is None:
+            samples_per_union = int(min(max(64, math.ceil(12.0 / (epsilon ** 2))), 4000))
+        self._samples_per_union = samples_per_union
+        self._estimates: Dict[Tuple[NodeId, State], float] = {}
+        # Estimate of |U(node, state, label)| per reachable label.
+        self._label_estimates: Dict[Tuple[NodeId, State], Dict[Label, float]] = {}
+
+    # ------------------------------------------------------------ estimation
+    def estimate(self, node: NodeId, state: State) -> float:
+        key = (node, state)
+        if key in self._estimates:
+            return self._estimates[key]
+        per_label: Dict[Label, float] = {}
+        total = 0.0
+        for label in self._automaton.labels_from(state):
+            value = self._estimate_union(node, state, label)
+            if value > 0:
+                per_label[label] = value
+                total += value
+        self._estimates[key] = total
+        self._label_estimates[key] = per_label
+        return total
+
+    def _targets(self, node: NodeId, state: State, label: Label) -> List[Target]:
+        kids = self._tree.children_of(node)
+        arity = len(kids)
+        return sorted(
+            (t for t in self._automaton.targets(state, label) if len(t) == arity),
+            key=repr,
+        )
+
+    def _target_size(self, node: NodeId, target: Target) -> float:
+        kids = self._tree.children_of(node)
+        size = 1.0
+        for child, child_state in zip(kids, target):
+            size *= self.estimate(child, child_state)
+        return size
+
+    def _estimate_union(self, node: NodeId, state: State, label: Label) -> float:
+        targets = self._targets(node, state, label)
+        if not targets:
+            return 0.0
+        kids = self._tree.children_of(node)
+        if not kids:
+            # Leaf: the only labelling of the subtree is {node: label}.
+            return 1.0 if () in targets else 0.0
+        sizes = [self._target_size(node, target) for target in targets]
+        total = sum(sizes)
+        if total <= 0:
+            return 0.0
+        positive = [(t, s) for t, s in zip(targets, sizes) if s > 0]
+        if len(positive) == 1:
+            return positive[0][1]
+        if self._hints is not None and self._hints(state, label):
+            # Certified pairwise-disjoint target languages: exact sum.
+            return total
+        # Karp–Luby union estimation.
+        targets_pos = [t for t, _ in positive]
+        sizes_pos = np.asarray([s for _, s in positive], dtype=float)
+        probabilities = sizes_pos / sizes_pos.sum()
+        successes = 0
+        samples = self._samples_per_union
+        for _ in range(samples):
+            index = int(self._rng.choice(len(targets_pos), p=probabilities))
+            target = targets_pos[index]
+            element = self._sample_target(node, target)
+            if element is None:
+                continue
+            owner = self._owner(node, state, label, targets_pos, element)
+            if owner == index:
+                successes += 1
+        fraction = successes / samples if samples else 0.0
+        return float(sizes_pos.sum() * fraction)
+
+    def _owner(
+        self,
+        node: NodeId,
+        state: State,
+        label: Label,
+        targets: Sequence[Target],
+        element: Dict[NodeId, Dict[NodeId, Label]],
+    ) -> Optional[int]:
+        """Index of the first target whose (product of) child languages
+        contains the sampled child labellings."""
+        kids = self._tree.children_of(node)
+        viable_per_child = [
+            self._automaton.viable_states(self._tree, element[child], child)
+            for child in kids
+        ]
+        for index, target in enumerate(targets):
+            if all(
+                child_state in viable
+                for child_state, viable in zip(target, viable_per_child)
+            ):
+                return index
+        return None
+
+    # -------------------------------------------------------------- sampling
+    def _sample_target(
+        self, node: NodeId, target: Target
+    ) -> Optional[Dict[NodeId, Labeling]]:
+        """Sample child labellings (one labelling per child subtree) from the
+        product language of ``target``."""
+        kids = self._tree.children_of(node)
+        result: Dict[NodeId, Labeling] = {}
+        for child, child_state in zip(kids, target):
+            labeling = self.sample(child, child_state)
+            if labeling is None:
+                return None
+            result[child] = labeling
+        return result
+
+    def sample(self, node: NodeId, state: State, max_attempts: int = 64) -> Optional[Labeling]:
+        """An (approximately uniform) accepted labelling of the subtree rooted
+        at ``node`` started in ``state``; ``None`` if the language is empty."""
+        total = self.estimate(node, state)
+        if total <= 0:
+            return None
+        per_label = self._label_estimates[(node, state)]
+        labels = sorted(per_label, key=repr)
+        weights = np.asarray([per_label[label] for label in labels], dtype=float)
+        label = labels[int(self._rng.choice(len(labels), p=weights / weights.sum()))]
+
+        targets = self._targets(node, state, label)
+        kids = self._tree.children_of(node)
+        if not kids:
+            return {node: label}
+        sizes = np.asarray([self._target_size(node, t) for t in targets], dtype=float)
+        mask = sizes > 0
+        targets = [t for t, keep in zip(targets, mask) if keep]
+        sizes = sizes[mask]
+        if len(targets) == 0:
+            return None
+        probabilities = sizes / sizes.sum()
+        disjoint = len(targets) == 1 or (
+            self._hints is not None and self._hints(state, label)
+        )
+        for _ in range(max_attempts):
+            index = int(self._rng.choice(len(targets), p=probabilities))
+            target = targets[index]
+            element = self._sample_target(node, target)
+            if element is None:
+                continue
+            if not disjoint:
+                owner = self._owner(node, state, label, targets, element)
+                if owner != index:
+                    continue
+            labeling: Labeling = {node: label}
+            for child_labeling in element.values():
+                labeling.update(child_labeling)
+            return labeling
+        # Fall back to the last sample even if rejection failed repeatedly
+        # (introduces a small bias but guarantees termination).
+        if element is not None:
+            labeling = {node: label}
+            for child_labeling in element.values():
+                labeling.update(child_labeling)
+            return labeling
+        return None
+
+
+def _enumerate_trees(size: int) -> Iterable[RootedTree]:
+    """Enumerate all rooted trees with ``size`` nodes and at most two children
+    per node (children are ordered).  Node identifiers are assigned in
+    preorder.  Exponential — testing helper only."""
+    if size <= 0:
+        return
+
+    def build(count: int, next_id: int) -> Iterable[Tuple[Dict[NodeId, Tuple[NodeId, ...]], NodeId, int]]:
+        """Yield (children-map, root, next_free_id) for trees with ``count``
+        nodes whose identifiers start at ``next_id``."""
+        root = next_id
+        if count == 1:
+            yield {root: ()}, root, next_id + 1
+            return
+        # One child taking all remaining nodes.
+        for child_map, child_root, free in build(count - 1, next_id + 1):
+            children = dict(child_map)
+            children[root] = (child_root,)
+            yield children, root, free
+        # Two children splitting the remaining nodes.
+        for left_size in range(1, count - 1):
+            right_size = count - 1 - left_size
+            for left_map, left_root, middle in build(left_size, next_id + 1):
+                for right_map, right_root, free in build(right_size, middle):
+                    children = dict(left_map)
+                    children.update(right_map)
+                    children[root] = (left_root, right_root)
+                    yield children, root, free
+
+    for children_map, root, _ in build(size, 0):
+        yield RootedTree(root=root, children=children_map)

@@ -1,0 +1,65 @@
+"""Tree decompositions and hypergraph width measures.
+
+Implements the width-measure toolbox the paper's classification is phrased in
+(Figure 1): treewidth (Definition 4), hypertree decompositions and
+hypertreewidth (Definition 37), fractional edge covers and fractional
+hypertreewidth (Definitions 39 and 41), fractional independent sets and
+adaptive width (Definition 33), the generic f-width framework (Definition 32),
+nice tree decompositions (Definition 42, Lemma 43) and the domination
+relations between the measures (Lemma 12, Observation 34).
+"""
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.decomposition.treewidth import (
+    exact_treewidth,
+    treewidth_decomposition,
+    treewidth_upper_bound,
+)
+from repro.decomposition.nice import NiceTreeDecomposition, make_nice
+from repro.decomposition.fractional import (
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_hypertreewidth,
+    fractional_hypertreewidth_decomposition,
+)
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    edge_cover_number,
+    generalized_hypertreewidth,
+    hypertree_decomposition,
+)
+from repro.decomposition.adaptive import (
+    adaptive_width_lower_bound,
+    adaptive_width_upper_bound,
+    estimate_adaptive_width,
+    mu_width,
+    uniform_fractional_independent_set,
+)
+from repro.decomposition.widths import WidthProfile, width_profile
+from repro.decomposition.f_width import exact_f_width, f_width_decomposition
+
+__all__ = [
+    "TreeDecomposition",
+    "NiceTreeDecomposition",
+    "make_nice",
+    "exact_treewidth",
+    "treewidth_upper_bound",
+    "treewidth_decomposition",
+    "exact_f_width",
+    "f_width_decomposition",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "fractional_hypertreewidth",
+    "fractional_hypertreewidth_decomposition",
+    "HypertreeDecomposition",
+    "hypertree_decomposition",
+    "edge_cover_number",
+    "generalized_hypertreewidth",
+    "mu_width",
+    "uniform_fractional_independent_set",
+    "adaptive_width_lower_bound",
+    "adaptive_width_upper_bound",
+    "estimate_adaptive_width",
+    "WidthProfile",
+    "width_profile",
+]

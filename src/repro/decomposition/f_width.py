@@ -1,0 +1,203 @@
+"""Exact f-width computation (Definition 32) via elimination-ordering DP.
+
+For a monotone bag-cost function ``f`` (monotone means ``f(X) <= f(Y)``
+whenever ``X ⊆ Y``; all the cost functions used in the paper — ``|X| - 1`` for
+treewidth, ``fcn(H[X])`` for fractional hypertreewidth (Observation 40), and
+``mu(X)`` for adaptive width — are monotone), the f-width of a hypergraph
+equals the minimum over *elimination orderings* of the maximum cost of the
+bags produced by eliminating vertices in that order.
+
+We implement the classic Bodlaender–Fomin–Koster–Kratsch–Thilikos style
+dynamic program over subsets of eliminated vertices, which runs in
+``O(2^n * poly(n))`` and is therefore exact for the small hypergraphs that
+occur as query hypergraphs (queries are assumed to be much smaller than the
+database).  Larger hypergraphs should use the heuristic routines in
+:mod:`repro.decomposition.treewidth` and friends.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+#: Hypergraphs with more vertices than this are rejected by the exact routines.
+EXACT_F_WIDTH_LIMIT = 18
+
+
+def _reachable_through(
+    graph: nx.Graph, source: Vertex, allowed: FrozenSet[Vertex]
+) -> FrozenSet[Vertex]:
+    """Vertices outside ``allowed ∪ {source}`` reachable from ``source`` via
+    paths whose internal vertices all lie in ``allowed``.
+
+    This is the set ``Q(allowed, source)`` from the exact-treewidth DP: when
+    ``allowed`` is the set of already-eliminated vertices, eliminating
+    ``source`` next creates a bag ``{source} ∪ Q(allowed, source)``.
+    """
+    seen = {source}
+    stack = [source]
+    result = set()
+    while stack:
+        vertex = stack.pop()
+        for neighbour in graph.neighbors(vertex):
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            if neighbour in allowed:
+                stack.append(neighbour)
+            else:
+                result.add(neighbour)
+    return frozenset(result)
+
+
+def _elimination_bag(
+    graph: nx.Graph, eliminated: FrozenSet[Vertex], vertex: Vertex
+) -> FrozenSet[Vertex]:
+    """The bag created by eliminating ``vertex`` after ``eliminated``."""
+    return _reachable_through(graph, vertex, eliminated) | {vertex}
+
+
+def best_elimination_ordering(
+    hypergraph: Hypergraph,
+    cost: Callable[[FrozenSet[Vertex]], float],
+) -> Tuple[List[Vertex], float]:
+    """Return an elimination ordering minimising the maximum bag cost, and
+    that optimal cost.
+
+    Raises
+    ------
+    ValueError
+        If the hypergraph has more than :data:`EXACT_F_WIDTH_LIMIT` vertices.
+    """
+    vertices = sorted(hypergraph.vertices, key=repr)
+    n = len(vertices)
+    if n == 0:
+        return [], 0.0
+    if n > EXACT_F_WIDTH_LIMIT:
+        raise ValueError(
+            f"exact f-width is limited to {EXACT_F_WIDTH_LIMIT} vertices, got {n}"
+        )
+    graph = hypergraph.primal_graph()
+    index_of = {v: i for i, v in enumerate(vertices)}
+    full_mask = (1 << n) - 1
+
+    cost_cache: Dict[FrozenSet[Vertex], float] = {}
+
+    def bag_cost(bag: FrozenSet[Vertex]) -> float:
+        if bag not in cost_cache:
+            cost_cache[bag] = float(cost(bag))
+        return cost_cache[bag]
+
+    def mask_to_set(mask: int) -> FrozenSet[Vertex]:
+        return frozenset(vertices[i] for i in range(n) if mask & (1 << i))
+
+    # dp[mask] = minimal (over orderings of the vertices in mask, eliminated
+    # first) maximum bag cost incurred while eliminating exactly those
+    # vertices.  choice[mask] = the vertex eliminated last among mask.
+    dp: Dict[int, float] = {0: float("-inf")}
+    choice: Dict[int, Optional[Vertex]] = {0: None}
+
+    masks_by_popcount: List[List[int]] = [[] for _ in range(n + 1)]
+    for mask in range(full_mask + 1):
+        masks_by_popcount[bin(mask).count("1")].append(mask)
+
+    for size in range(1, n + 1):
+        for mask in masks_by_popcount[size]:
+            best_value = float("inf")
+            best_vertex: Optional[Vertex] = None
+            for i in range(n):
+                bit = 1 << i
+                if not mask & bit:
+                    continue
+                previous = mask ^ bit
+                if previous not in dp:
+                    continue
+                vertex = vertices[i]
+                bag = _elimination_bag(graph, mask_to_set(previous), vertex)
+                value = max(dp[previous], bag_cost(bag))
+                if value < best_value:
+                    best_value = value
+                    best_vertex = vertex
+            dp[mask] = best_value
+            choice[mask] = best_vertex
+
+    # Reconstruct the ordering (the vertex stored for a mask is eliminated
+    # *last* among that mask).
+    ordering_reversed: List[Vertex] = []
+    mask = full_mask
+    while mask:
+        vertex = choice[mask]
+        assert vertex is not None
+        ordering_reversed.append(vertex)
+        mask ^= 1 << index_of[vertex]
+    ordering = list(reversed(ordering_reversed))
+    return ordering, dp[full_mask]
+
+
+def decomposition_from_ordering(
+    hypergraph: Hypergraph, ordering: Sequence[Vertex]
+) -> TreeDecomposition:
+    """Build a tree decomposition from an elimination ordering.
+
+    The bag of the ``i``-th node is the elimination bag of ``ordering[i]``
+    (the vertex plus its not-yet-eliminated "neighbours through eliminated
+    vertices"); node ``i`` is attached to the node of the first later vertex
+    appearing in its bag, which yields a valid tree decomposition.
+    """
+    vertices = list(ordering)
+    n = len(vertices)
+    if n == 0:
+        return TreeDecomposition.single_bag(hypergraph.vertices)
+    if set(vertices) != set(hypergraph.vertices):
+        raise ValueError("ordering must contain every vertex exactly once")
+    graph = hypergraph.primal_graph()
+    position = {v: i for i, v in enumerate(vertices)}
+
+    bags: List[FrozenSet[Vertex]] = []
+    eliminated: set = set()
+    for vertex in vertices:
+        bag = _elimination_bag(graph, frozenset(eliminated), vertex)
+        bags.append(bag)
+        eliminated.add(vertex)
+
+    tree = nx.Graph()
+    tree.add_nodes_from(range(n))
+    for i in range(n):
+        later = [position[v] for v in bags[i] if position[v] > i]
+        if later:
+            tree.add_edge(i, min(later))
+        elif i < n - 1:
+            # Disconnected component: attach to the last node so the result
+            # remains a tree.
+            tree.add_edge(i, n - 1)
+    decomposition = TreeDecomposition(tree, dict(enumerate(bags)), root=n - 1)
+    return decomposition
+
+
+def exact_f_width(
+    hypergraph: Hypergraph, cost: Callable[[FrozenSet[Vertex]], float]
+) -> float:
+    """The exact f-width of a (small) hypergraph for a monotone cost ``f``."""
+    if hypergraph.num_vertices() == 0:
+        return 0.0
+    _, value = best_elimination_ordering(hypergraph, cost)
+    return value
+
+
+def f_width_decomposition(
+    hypergraph: Hypergraph, cost: Callable[[FrozenSet[Vertex]], float]
+) -> Tuple[TreeDecomposition, float]:
+    """An f-width-optimal tree decomposition and its f-width."""
+    if hypergraph.num_vertices() == 0:
+        decomposition = TreeDecomposition.single_bag([])
+        return decomposition, 0.0
+    ordering, _ = best_elimination_ordering(hypergraph, cost)
+    decomposition = decomposition_from_ordering(hypergraph, ordering)
+    return decomposition, decomposition.f_width(cost)

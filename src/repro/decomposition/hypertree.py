@@ -1,0 +1,174 @@
+"""Hypertree decompositions and (generalized) hypertreewidth (Definition 37).
+
+A hypertree decomposition extends a tree decomposition with *guards*: each bag
+``B_t`` is assigned a set of hyperedges ``Γ_t ⊆ E(H)`` whose union covers the
+bag.  The hypertreewidth of the decomposition is the maximum guard size.
+
+Computing hypertreewidth exactly is NP-hard in general.  For the reproduction
+we compute the *generalized* hypertreewidth ``ghw`` (which drops the
+"descendant" condition (iv) of Definition 37 and satisfies
+``ghw <= hw <= 3·ghw + 1``); it is the f-width with bag cost equal to the
+minimum number of full hyperedges covering the bag, which is monotone, so the
+generic elimination-ordering DP applies on small hypergraphs.  Guards are then
+reconstructed per bag with an exact set cover.
+
+The measure is only used for comparison with the Arenas et al. baseline
+(Theorem 38) and by the width-profile report; the paper's own algorithms need
+treewidth, fractional hypertreewidth and adaptive width, which are computed in
+their dedicated modules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.decomposition.f_width import (
+    EXACT_F_WIDTH_LIMIT,
+    best_elimination_ordering,
+    decomposition_from_ordering,
+)
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+def edge_cover_number(hypergraph: Hypergraph, bag: FrozenSet) -> int:
+    """Minimum number of hyperedges of ``hypergraph`` whose union covers
+    ``bag`` (infinite if no cover exists).
+
+    Solved exactly by trying cover sizes in increasing order; bags are small
+    (they come from query hypergraphs), so this is fast in practice.
+    """
+    bag = frozenset(bag)
+    if not bag:
+        return 0
+    edges = [edge for edge in hypergraph.edges if edge & bag]
+    union_all = frozenset().union(*edges) if edges else frozenset()
+    if not bag <= union_all:
+        return int(1e9)  # effectively infinite; bag cannot be guarded
+    # Greedy upper bound first, to cap the exact search.
+    uncovered = set(bag)
+    greedy = 0
+    while uncovered:
+        best_edge = max(edges, key=lambda e: len(e & uncovered))
+        if not best_edge & uncovered:
+            break
+        uncovered -= best_edge
+        greedy += 1
+    for size in range(1, greedy + 1):
+        for combo in itertools.combinations(edges, size):
+            covered = frozenset().union(*combo)
+            if bag <= covered:
+                return size
+    return greedy
+
+
+def guard_for_bag(hypergraph: Hypergraph, bag: FrozenSet) -> List[FrozenSet]:
+    """A minimum-cardinality set of hyperedges covering ``bag``."""
+    bag = frozenset(bag)
+    if not bag:
+        return []
+    edges = [edge for edge in hypergraph.edges if edge & bag]
+    target = edge_cover_number(hypergraph, bag)
+    if target >= int(1e9):
+        raise ValueError("bag cannot be covered by hyperedges")
+    for size in range(0, target + 1):
+        for combo in itertools.combinations(edges, size):
+            covered = frozenset().union(*combo) if combo else frozenset()
+            if bag <= covered:
+                return list(combo)
+    raise RuntimeError("unreachable: greedy bound was attainable")
+
+
+@dataclass
+class HypertreeDecomposition:
+    """A tree decomposition together with guards ``Γ_t`` for each bag."""
+
+    decomposition: TreeDecomposition
+    guards: Dict[Hashable, List[FrozenSet]]
+
+    def width(self) -> int:
+        """Hypertreewidth of the decomposition: maximum guard cardinality."""
+        if not self.guards:
+            return 0
+        return max(len(guard) for guard in self.guards.values())
+
+    def is_valid_for(self, hypergraph: Hypergraph) -> bool:
+        """Check conditions (i)-(iii) of Definition 37 (the generalized
+        hypertree decomposition conditions)."""
+        if not self.decomposition.is_valid_for(hypergraph):
+            return False
+        for node in self.decomposition.nodes():
+            bag = self.decomposition.bag(node)
+            guard = self.guards.get(node, [])
+            if any(edge not in hypergraph.edges for edge in guard):
+                return False
+            covered = frozenset().union(*guard) if guard else frozenset()
+            if not bag <= covered:
+                return False
+        return True
+
+
+def _ghw_cost(hypergraph: Hypergraph):
+    cache: Dict[FrozenSet, float] = {}
+
+    def cost(bag: FrozenSet) -> float:
+        key = frozenset(bag)
+        if key not in cache:
+            cache[key] = float(edge_cover_number(hypergraph, key))
+        return cache[key]
+
+    return cost
+
+
+def generalized_hypertreewidth(
+    hypergraph: Hypergraph, exact: Optional[bool] = None
+) -> Tuple[float, bool]:
+    """The generalized hypertreewidth of ``hypergraph`` and whether it is
+    exact (exact for <= EXACT_F_WIDTH_LIMIT vertices)."""
+    n = hypergraph.num_vertices()
+    if n == 0:
+        return 0.0, True
+    cost = _ghw_cost(hypergraph)
+    if exact is None:
+        exact = n <= EXACT_F_WIDTH_LIMIT
+    if exact:
+        _, width = best_elimination_ordering(hypergraph, cost)
+        return float(width), True
+    from repro.decomposition.treewidth import _greedy_ordering  # local import
+
+    graph = hypergraph.primal_graph()
+    best = float("inf")
+    for rule in ("min_fill", "min_degree"):
+        ordering = _greedy_ordering(graph, rule)
+        decomposition = decomposition_from_ordering(hypergraph, ordering)
+        best = min(best, decomposition.f_width(cost))
+    return float(best), False
+
+
+def hypertree_decomposition(
+    hypergraph: Hypergraph, exact: Optional[bool] = None
+) -> HypertreeDecomposition:
+    """A (generalized) hypertree decomposition of ``hypergraph``: a ghw-optimal
+    tree decomposition on small inputs with minimum guards per bag."""
+    n = hypergraph.num_vertices()
+    if n == 0:
+        return HypertreeDecomposition(TreeDecomposition.single_bag([]), {0: []})
+    cost = _ghw_cost(hypergraph)
+    if exact is None:
+        exact = n <= EXACT_F_WIDTH_LIMIT
+    if exact:
+        ordering, _ = best_elimination_ordering(hypergraph, cost)
+    else:
+        from repro.decomposition.treewidth import _greedy_ordering  # local import
+
+        ordering = _greedy_ordering(hypergraph.primal_graph(), "min_fill")
+    decomposition = decomposition_from_ordering(hypergraph, ordering)
+    guards = {
+        node: guard_for_bag(hypergraph, decomposition.bag(node))
+        for node in decomposition.nodes()
+    }
+    return HypertreeDecomposition(decomposition, guards)

@@ -1,0 +1,195 @@
+"""Nice tree decompositions (Definition 42 and Lemma 43).
+
+A tree decomposition is *nice* if
+
+* the root and all leaves have empty bags,
+* every internal node has at most two children,
+* a node with two children has the same bag as both children (a *join* node),
+* a node with one child differs from the child's bag by exactly one vertex
+  (an *introduce* node if the parent bag is larger, a *forget* node if it is
+  smaller).
+
+Lemma 43 turns an arbitrary tree decomposition into a nice one in polynomial
+time without increasing any monotone bag cost (every new bag is a subset of an
+original bag; Observation 40 then bounds the fractional hypertreewidth).  The
+FPRAS of Theorem 16 consumes nice tree decompositions when building its tree
+automaton (Lemma 52).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.hypergraph import Hypergraph
+
+NodeId = int
+
+
+class NiceTreeDecomposition(TreeDecomposition):
+    """A tree decomposition satisfying the niceness conditions of
+    Definition 42, with node-kind introspection helpers."""
+
+    KIND_LEAF = "leaf"
+    KIND_ROOT = "root"
+    KIND_JOIN = "join"
+    KIND_INTRODUCE = "introduce"
+    KIND_FORGET = "forget"
+    KIND_NOOP = "noop"
+
+    def node_kind(self, node: NodeId) -> str:
+        """Classify a node as leaf / join / introduce / forget.
+
+        The root is classified by its relationship with its child like any
+        other internal node; use ``node == decomposition.root`` to test for
+        the root itself.
+        """
+        children = self.children(node)
+        if not children:
+            return self.KIND_LEAF
+        if len(children) == 2:
+            return self.KIND_JOIN
+        child = children[0]
+        bag, child_bag = self.bag(node), self.bag(child)
+        if bag == child_bag:
+            return self.KIND_NOOP
+        if len(bag) == len(child_bag) + 1 and child_bag <= bag:
+            return self.KIND_INTRODUCE
+        if len(bag) == len(child_bag) - 1 and bag <= child_bag:
+            return self.KIND_FORGET
+        raise ValueError(f"node {node!r} violates niceness")
+
+    def introduced_vertex(self, node: NodeId):
+        """The vertex introduced at an introduce node."""
+        if self.node_kind(node) != self.KIND_INTRODUCE:
+            raise ValueError(f"node {node!r} is not an introduce node")
+        (child,) = self.children(node)
+        (vertex,) = tuple(self.bag(node) - self.bag(child))
+        return vertex
+
+    def forgotten_vertex(self, node: NodeId):
+        """The vertex forgotten at a forget node."""
+        if self.node_kind(node) != self.KIND_FORGET:
+            raise ValueError(f"node {node!r} is not a forget node")
+        (child,) = self.children(node)
+        (vertex,) = tuple(self.bag(child) - self.bag(node))
+        return vertex
+
+    def is_nice(self) -> bool:
+        """Verify all niceness conditions of Definition 42."""
+        if self.bag(self.root):
+            return False
+        for node in self.nodes():
+            children = self.children(node)
+            if not children:
+                if self.bag(node):
+                    return False
+                continue
+            if len(children) > 2:
+                return False
+            if len(children) == 2:
+                left, right = children
+                if not (self.bag(node) == self.bag(left) == self.bag(right)):
+                    return False
+            else:
+                (child,) = children
+                difference = self.bag(node) ^ self.bag(child)
+                if len(difference) != 1:
+                    return False
+        return True
+
+
+def make_nice(
+    decomposition: TreeDecomposition, hypergraph: Optional[Hypergraph] = None
+) -> NiceTreeDecomposition:
+    """Convert a tree decomposition into an equivalent nice one (Lemma 43).
+
+    Every bag of the result is a subset of some bag of the input, so any
+    monotone f-width (treewidth, fractional hypertreewidth, mu-width) does not
+    increase.  If ``hypergraph`` is given, the result is validated against it.
+    """
+    counter = itertools.count()
+    tree = nx.Graph()
+    bags: Dict[NodeId, FrozenSet] = {}
+
+    def new_node(bag: FrozenSet) -> NodeId:
+        node = next(counter)
+        tree.add_node(node)
+        bags[node] = frozenset(bag)
+        return node
+
+    def add_path_between(parent: NodeId, parent_bag: FrozenSet, child_bag: FrozenSet) -> NodeId:
+        """Create a chain of introduce/forget nodes from ``parent_bag`` down to
+        ``child_bag`` below ``parent``; return the final node (whose bag is
+        ``child_bag``)."""
+        current = parent
+        current_bag = set(parent_bag)
+        # Drop vertices not present in the child, one at a time.
+        for vertex in sorted(parent_bag - child_bag, key=repr):
+            current_bag.discard(vertex)
+            node = new_node(frozenset(current_bag))
+            tree.add_edge(current, node)
+            current = node
+        # Add vertices present only in the child, one at a time.
+        for vertex in sorted(child_bag - parent_bag, key=repr):
+            current_bag.add(vertex)
+            node = new_node(frozenset(current_bag))
+            tree.add_edge(current, node)
+            current = node
+        return current
+
+    original_root = decomposition.root
+    # New root with an empty bag, then a chain down to the original root's bag.
+    root = new_node(frozenset())
+    entry = add_path_between(root, frozenset(), decomposition.bag(original_root))
+
+    def build(original_node, attach_at: NodeId) -> None:
+        """Recursively attach the children of ``original_node`` below
+        ``attach_at`` (whose bag equals ``original_node``'s bag)."""
+        children = decomposition.children(original_node)
+        bag = decomposition.bag(original_node)
+        if not children:
+            # Chain down to an empty leaf bag.
+            final = add_path_between(attach_at, bag, frozenset())
+            if bags[final]:
+                empty = new_node(frozenset())
+                tree.add_edge(final, empty)
+            return
+        if len(children) == 1:
+            child = children[0]
+            connector = add_path_between(attach_at, bag, decomposition.bag(child))
+            build(child, connector)
+            return
+        # Two or more children: build a binary join spine, every node of which
+        # carries ``bag``.
+        pending = attach_at
+        for index, child in enumerate(children):
+            is_last = index == len(children) - 1
+            if is_last:
+                left = pending
+            else:
+                left = new_node(bag)
+                right_spine = new_node(bag)
+                tree.add_edge(pending, left)
+                tree.add_edge(pending, right_spine)
+            connector = add_path_between(left, bag, decomposition.bag(child))
+            build(child, connector)
+            if not is_last:
+                pending = right_spine
+
+    build(original_root, entry)
+
+    nice = NiceTreeDecomposition(tree, bags, root=root)
+    if hypergraph is not None:
+        errors = nice.validation_errors(hypergraph)
+        if errors:
+            raise RuntimeError(
+                "nice tree decomposition construction produced an invalid "
+                f"decomposition: {errors}"
+            )
+    if not nice.is_nice():
+        raise RuntimeError("nice tree decomposition construction violated niceness")
+    return nice

@@ -1,0 +1,33 @@
+"""Hypergraphs: the combinatorial substrate for query hypergraphs H(phi)
+(Definition 3), induced hypergraphs H[X] (Definition 39) and the l-uniform,
+l-partite answer hypergraphs of Section 2.1."""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partite import (
+    PartiteHypergraph,
+    is_partite_subset,
+    restrict_to_partite_subset,
+)
+from repro.hypergraph.generators import (
+    complete_graph_hypergraph,
+    cycle_hypergraph,
+    grid_hypergraph,
+    path_hypergraph,
+    random_hypergraph,
+    star_hypergraph,
+    tree_hypergraph,
+)
+
+__all__ = [
+    "Hypergraph",
+    "PartiteHypergraph",
+    "is_partite_subset",
+    "restrict_to_partite_subset",
+    "path_hypergraph",
+    "cycle_hypergraph",
+    "star_hypergraph",
+    "tree_hypergraph",
+    "grid_hypergraph",
+    "complete_graph_hypergraph",
+    "random_hypergraph",
+]

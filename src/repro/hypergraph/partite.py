@@ -1,0 +1,161 @@
+"""l-uniform, l-partite hypergraphs (Section 2.1 of the paper).
+
+The Dell–Lapinskas–Meeks framework (Theorem 17) estimates the number of
+hyperedges of an l-uniform hypergraph given only an oracle for the predicate
+``EdgeFree(H[V_1, ..., V_l])``, where ``(V_1, ..., V_l)`` ranges over
+*l-partite subsets* of the vertex set: tuples of pairwise-disjoint vertex
+subsets.  ``H[V_1, ..., V_l]`` keeps exactly the hyperedges containing one
+vertex from each ``V_i``.
+
+This module provides the :class:`PartiteHypergraph` specialisation used for
+the answer hypergraph ``H(phi, D)`` of Definition 24 together with the
+restriction operation ``H[V_1, ..., V_l]``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+
+
+class PartiteHypergraph(Hypergraph):
+    """An l-uniform, l-partite hypergraph with an explicit l-partition.
+
+    Every hyperedge must contain exactly one vertex from each class of the
+    partition.  The classes are indexed ``0 .. l-1``; in the answer hypergraph
+    of Definition 24, class ``i`` is ``U_i(D) = U(D) x {i}``, the candidate
+    values of the ``i``-th free variable.
+    """
+
+    def __init__(self, classes: Sequence[Iterable[Vertex]]) -> None:
+        class_sets: List[Set[Vertex]] = [set(block) for block in classes]
+        for i, block_i in enumerate(class_sets):
+            for block_j in class_sets[i + 1 :]:
+                if block_i & block_j:
+                    raise ValueError("partition classes must be pairwise disjoint")
+        all_vertices: Set[Vertex] = set()
+        for block in class_sets:
+            all_vertices |= block
+        super().__init__(vertices=all_vertices, edges=())
+        self._classes: List[FrozenSet[Vertex]] = [frozenset(block) for block in class_sets]
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def num_classes(self) -> int:
+        """The uniformity l of the hypergraph."""
+        return len(self._classes)
+
+    @property
+    def classes(self) -> Tuple[FrozenSet[Vertex], ...]:
+        return tuple(self._classes)
+
+    def class_of(self, vertex: Vertex) -> int:
+        """Index of the partition class containing ``vertex``."""
+        for index, block in enumerate(self._classes):
+            if vertex in block:
+                return index
+        raise KeyError(f"vertex {vertex!r} is not in any partition class")
+
+    def add_edge(self, edge: Iterable[Vertex]) -> FrozenSet[Vertex]:
+        frozen = frozenset(edge)
+        if len(frozen) != self.num_classes:
+            raise ValueError(
+                f"edges of an {self.num_classes}-partite hypergraph must have "
+                f"cardinality {self.num_classes}, got {len(frozen)}"
+            )
+        hits = [0] * self.num_classes
+        for vertex in frozen:
+            hits[self.class_of(vertex)] += 1
+        if any(count != 1 for count in hits):
+            raise ValueError("edges must contain exactly one vertex from each class")
+        return super().add_edge(frozen)
+
+    def add_tuple_edge(self, assignment: Sequence[Vertex]) -> FrozenSet[Vertex]:
+        """Add the edge {assignment[0], ..., assignment[l-1]} where
+        ``assignment[i]`` must lie in class ``i``."""
+        if len(assignment) != self.num_classes:
+            raise ValueError("assignment length must equal the number of classes")
+        for index, vertex in enumerate(assignment):
+            if vertex not in self._classes[index]:
+                raise ValueError(f"vertex {vertex!r} is not in class {index}")
+        return self.add_edge(assignment)
+
+    # ------------------------------------------------------------ restriction
+    def restrict(self, subsets: Sequence[Iterable[Vertex]]) -> "PartiteHypergraph":
+        """The hypergraph ``H[V_1, ..., V_l]`` of Section 2.1.
+
+        ``subsets`` must be an l-partite subset of ``V(H)`` (pairwise disjoint;
+        they need *not* be aligned with the partition classes — the paper's
+        oracle is queried with arbitrary disjoint subsets, and Lemma 22 reduces
+        to the aligned case by permuting).  The result keeps exactly the
+        hyperedges with one vertex in each ``V_i``; its partition classes are
+        the ``V_i``.
+        """
+        subset_sets = [set(block) for block in subsets]
+        if len(subset_sets) != self.num_classes:
+            raise ValueError("need exactly one subset per partition class")
+        for block in subset_sets:
+            unknown = block - set(self.vertices)
+            if unknown:
+                raise KeyError(f"vertices not in hypergraph: {sorted(map(repr, unknown))}")
+        restricted = PartiteHypergraph(subset_sets)
+        for edge in self.edges:
+            signature = []
+            ok = True
+            for block in subset_sets:
+                hits = edge & block
+                if len(hits) != 1:
+                    ok = False
+                    break
+                signature.append(next(iter(hits)))
+            if ok:
+                restricted.add_edge(signature)
+        return restricted
+
+    def is_edge_free(self) -> bool:
+        """The predicate ``EdgeFree(H)``: true iff H has no hyperedges."""
+        return self.num_edges() == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PartiteHypergraph(l={self.num_classes}, |V|={self.num_vertices()}, "
+            f"|E|={self.num_edges()})"
+        )
+
+
+def is_partite_subset(
+    hypergraph: Hypergraph, subsets: Sequence[Iterable[Vertex]]
+) -> bool:
+    """Whether ``subsets`` is an l-partite subset of ``V(hypergraph)``:
+    pairwise-disjoint subsets of the vertex set (Section 2.1)."""
+    subset_sets = [set(block) for block in subsets]
+    vertices = set(hypergraph.vertices)
+    for block in subset_sets:
+        if not block <= vertices:
+            return False
+    for i, block_i in enumerate(subset_sets):
+        for block_j in subset_sets[i + 1 :]:
+            if block_i & block_j:
+                return False
+    return True
+
+
+def restrict_to_partite_subset(
+    hypergraph: Hypergraph, subsets: Sequence[Iterable[Vertex]]
+) -> Hypergraph:
+    """``H[V_1, ..., V_l]`` for a plain (not necessarily partite) l-uniform
+    hypergraph: keep the hyperedges containing exactly one vertex in each
+    ``V_i``.  Used for testing the partite machinery against a reference
+    implementation."""
+    if not is_partite_subset(hypergraph, subsets):
+        raise ValueError("subsets must be pairwise disjoint subsets of the vertex set")
+    subset_sets = [set(block) for block in subsets]
+    vertices: Set[Vertex] = set()
+    for block in subset_sets:
+        vertices |= block
+    kept = []
+    for edge in hypergraph.edges:
+        if all(len(edge & block) == 1 for block in subset_sets):
+            kept.append(edge)
+    return Hypergraph(vertices=vertices, edges=kept)

@@ -1,0 +1,52 @@
+"""Conjunctive queries and their extensions (Section 1.1).
+
+* CQ — conjunctive query: conjunction of relational atoms with free and
+  existentially quantified variables.
+* DCQ — CQ extended with disequalities ``x != y``.
+* ECQ — CQ extended with disequalities and negated atoms ``not R(...)``
+  (equalities are allowed in the input but rewritten away, as in the paper).
+
+The model lives in :mod:`repro.queries.query`, a small text parser in
+:mod:`repro.queries.parser`, and programmatic builders for the query families
+used throughout the paper (Hamiltonian path, locally injective homomorphisms,
+star queries, ...) in :mod:`repro.queries.builders`.
+"""
+
+from repro.queries.atoms import Atom, Disequality, Equality, NegatedAtom
+from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.queries.parser import parse_query
+from repro.queries.rewriting import eliminate_equalities, add_constant_constraint
+from repro.queries.builders import (
+    clique_query,
+    common_neighbour_query,
+    cycle_query,
+    friends_query,
+    grid_query,
+    hamiltonian_path_query,
+    high_arity_acyclic_query,
+    path_query,
+    star_query,
+    tree_query,
+)
+
+__all__ = [
+    "Atom",
+    "NegatedAtom",
+    "Disequality",
+    "Equality",
+    "ConjunctiveQuery",
+    "QueryClass",
+    "parse_query",
+    "eliminate_equalities",
+    "add_constant_constraint",
+    "path_query",
+    "star_query",
+    "clique_query",
+    "cycle_query",
+    "common_neighbour_query",
+    "friends_query",
+    "grid_query",
+    "hamiltonian_path_query",
+    "high_arity_acyclic_query",
+    "tree_query",
+]

@@ -1,0 +1,138 @@
+"""Atom types of extended conjunctive queries (Section 1.1).
+
+An ECQ may contain four kinds of atoms over its variables:
+
+* predicates ``R(y_1, ..., y_j)``,
+* negated predicates ``not R(y_1, ..., y_j)``,
+* disequalities ``y_i != y_j``, and
+* equalities ``y_i = y_j`` (always rewritten away before algorithms run, see
+  :mod:`repro.queries.rewriting`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+Variable = str
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A positive predicate ``relation(args...)``."""
+
+    relation: str
+    args: Tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("atoms need a relation name")
+        if not self.args:
+            raise ValueError("atoms need at least one argument (arities are positive)")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.args)
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Atom":
+        """Rename variables according to ``mapping`` (missing keys unchanged)."""
+        return Atom(self.relation, tuple(mapping.get(v, v) for v in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class NegatedAtom:
+    """A negated predicate ``not relation(args...)`` (ECQs only)."""
+
+    relation: str
+    args: Tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("negated atoms need a relation name")
+        if not self.args:
+            raise ValueError("negated atoms need at least one argument")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.args)
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "NegatedAtom":
+        return NegatedAtom(self.relation, tuple(mapping.get(v, v) for v in self.args))
+
+    def positive(self) -> Atom:
+        """The positive atom over the same relation and arguments."""
+        return Atom(self.relation, self.args)
+
+    def __str__(self) -> str:
+        return f"!{self.relation}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class Disequality:
+    """A disequality ``left != right`` between two (distinct) variables."""
+
+    left: Variable
+    right: Variable
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise ValueError(
+                f"disequality {self.left} != {self.right} is unsatisfiable "
+                "(same variable on both sides)"
+            )
+
+    @property
+    def arity(self) -> int:
+        return 2
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.left, self.right})
+
+    @property
+    def pair(self) -> FrozenSet[Variable]:
+        """The unordered pair {left, right}; the paper's ∆(phi) is a set of
+        such pairs."""
+        return frozenset({self.left, self.right})
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Disequality":
+        return Disequality(mapping.get(self.left, self.left), mapping.get(self.right, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+
+@dataclass(frozen=True)
+class Equality:
+    """An equality ``left = right``; only a surface-syntax construct, always
+    eliminated by variable unification before any algorithm runs."""
+
+    left: Variable
+    right: Variable
+
+    @property
+    def arity(self) -> int:
+        return 2
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.left, self.right})
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Equality":
+        return Equality(mapping.get(self.left, self.left), mapping.get(self.right, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"

@@ -1,0 +1,249 @@
+"""Programmatic builders for the query families used in the paper.
+
+These are the workloads the benches and tests use to populate the cells of
+Figure 1:
+
+* :func:`path_query`, :func:`star_query`, :func:`tree_query` — bounded
+  treewidth (treewidth 1), arity 2;
+* :func:`clique_query` — treewidth k-1, the family behind Observation 9;
+* :func:`grid_query` — treewidth min(rows, cols);
+* :func:`hamiltonian_path_query` — the Observation-10 DCQ (treewidth 1 but no
+  FPRAS unless NP = RP);
+* :func:`common_neighbour_query` — the footnote-4 query
+  ``∃y ⋀_i E(y, x_i)`` and its all-distinct DCQ variant;
+* :func:`high_arity_acyclic_query` — bounded fractional hypertreewidth /
+  adaptive width with unbounded arity (Theorems 13 and 16 territory).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import networkx as nx
+
+from repro.queries.atoms import Atom, Disequality, NegatedAtom
+from repro.queries.query import ConjunctiveQuery
+
+
+def path_query(
+    length: int,
+    free_endpoints_only: bool = False,
+    with_disequalities: bool = False,
+    relation: str = "E",
+) -> ConjunctiveQuery:
+    """A path query ``E(x_0, x_1), ..., E(x_{k-1}, x_k)`` on ``length`` edges.
+
+    With ``free_endpoints_only`` only the two endpoints are free (the interior
+    vertices are existential); otherwise every variable is free.  With
+    ``with_disequalities`` all pairs of variables are required to be distinct.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    variables = [f"x{i}" for i in range(length + 1)]
+    atoms = [Atom(relation, (variables[i], variables[i + 1])) for i in range(length)]
+    disequalities: List[Disequality] = []
+    if with_disequalities:
+        for i in range(len(variables)):
+            for j in range(i + 1, len(variables)):
+                disequalities.append(Disequality(variables[i], variables[j]))
+    free = [variables[0], variables[-1]] if free_endpoints_only else variables
+    return ConjunctiveQuery(free_variables=free, atoms=atoms, disequalities=disequalities)
+
+
+def star_query(
+    leaves: int,
+    centre_free: bool = False,
+    with_disequalities: bool = False,
+    relation: str = "E",
+) -> ConjunctiveQuery:
+    """The footnote-4 family ``phi(x_1, ..., x_k) = ∃y ⋀_i E(y, x_i)``.
+
+    With ``centre_free=True`` the centre ``y`` becomes a free variable, which
+    is the easy variant the footnote discusses (exact counting becomes
+    homomorphism counting of a treewidth-1 structure).  With
+    ``with_disequalities`` the leaves are required to be pairwise distinct.
+    """
+    if leaves <= 0:
+        raise ValueError("need at least one leaf")
+    leaf_variables = [f"x{i}" for i in range(1, leaves + 1)]
+    atoms = [Atom(relation, ("y", leaf)) for leaf in leaf_variables]
+    disequalities: List[Disequality] = []
+    if with_disequalities:
+        for i in range(len(leaf_variables)):
+            for j in range(i + 1, len(leaf_variables)):
+                disequalities.append(Disequality(leaf_variables[i], leaf_variables[j]))
+    free = leaf_variables + (["y"] if centre_free else [])
+    return ConjunctiveQuery(free_variables=free, atoms=atoms, disequalities=disequalities)
+
+
+def common_neighbour_query(k: int, with_disequalities: bool = True) -> ConjunctiveQuery:
+    """Alias for the footnote-4 query with pairwise-distinct leaves."""
+    return star_query(k, centre_free=False, with_disequalities=with_disequalities)
+
+
+def clique_query(
+    k: int, free: Optional[Sequence[str]] = None, relation: str = "E"
+) -> ConjunctiveQuery:
+    """The k-clique query: an atom ``E(x_i, x_j)`` for every pair.
+
+    Its hypergraph is K_k (treewidth k-1), so the family over all k has
+    unbounded treewidth — the hard regime of Observation 9.
+    """
+    if k < 2:
+        raise ValueError("a clique query needs at least 2 variables")
+    variables = [f"x{i}" for i in range(k)]
+    atoms = [
+        Atom(relation, (variables[i], variables[j]))
+        for i in range(k)
+        for j in range(i + 1, k)
+    ]
+    free_variables = list(free) if free is not None else variables
+    return ConjunctiveQuery(free_variables=free_variables, atoms=atoms)
+
+
+def cycle_query(length: int, relation: str = "E", all_free: bool = True) -> ConjunctiveQuery:
+    """The cycle query on ``length`` >= 3 variables (treewidth 2)."""
+    if length < 3:
+        raise ValueError("a cycle query needs at least 3 variables")
+    variables = [f"x{i}" for i in range(length)]
+    atoms = [
+        Atom(relation, (variables[i], variables[(i + 1) % length])) for i in range(length)
+    ]
+    free = variables if all_free else [variables[0]]
+    return ConjunctiveQuery(free_variables=free, atoms=atoms)
+
+
+def grid_query(rows: int, cols: int, relation: str = "E",
+               num_free: Optional[int] = None) -> ConjunctiveQuery:
+    """The rows x cols grid query (treewidth min(rows, cols)).
+
+    ``num_free`` keeps only the first ``num_free`` variables (row-major order)
+    free and quantifies the rest.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    variables = {(r, c): f"x_{r}_{c}" for r in range(rows) for c in range(cols)}
+    atoms = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                atoms.append(Atom(relation, (variables[(r, c)], variables[(r, c + 1)])))
+            if r + 1 < rows:
+                atoms.append(Atom(relation, (variables[(r, c)], variables[(r + 1, c)])))
+    ordered = [variables[(r, c)] for r in range(rows) for c in range(cols)]
+    free = ordered if num_free is None else ordered[:num_free]
+    if not free:
+        free = ordered[:1]
+    return ConjunctiveQuery(free_variables=free, atoms=atoms)
+
+
+def hamiltonian_path_query(n: int, relation: str = "E") -> ConjunctiveQuery:
+    """The Observation-10 DCQ whose answers are the Hamiltonian paths of the
+    database graph:
+
+        phi(x_1, ..., x_n) = ⋀_{i<n} E(x_i, x_{i+1})  ∧  ⋀_{i<j} x_i != x_j.
+
+    Its hypergraph is the path on n vertices (treewidth 1, arity 2), yet no
+    FPRAS exists unless NP = RP — the reason the paper settles for FPTRASes.
+    """
+    if n < 2:
+        raise ValueError("a Hamiltonian path query needs at least 2 variables")
+    variables = [f"x{i}" for i in range(1, n + 1)]
+    atoms = [Atom(relation, (variables[i], variables[i + 1])) for i in range(n - 1)]
+    disequalities = [
+        Disequality(variables[i], variables[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    return ConjunctiveQuery(free_variables=variables, atoms=atoms, disequalities=disequalities)
+
+
+def tree_query(
+    tree: nx.Graph,
+    free: Optional[Sequence[str]] = None,
+    relation: str = "E",
+    with_disequalities: bool = False,
+) -> ConjunctiveQuery:
+    """A query whose atom structure follows an arbitrary tree (or graph): one
+    binary atom per edge, variable ``v_<node>`` per node."""
+    variables = {node: f"v_{node}" for node in tree.nodes()}
+    atoms = [Atom(relation, (variables[u], variables[v])) for u, v in tree.edges()]
+    disequalities: List[Disequality] = []
+    if with_disequalities:
+        names = sorted(variables.values())
+        disequalities = [
+            Disequality(names[i], names[j])
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+        ]
+    free_variables = list(free) if free is not None else sorted(variables.values())
+    return ConjunctiveQuery(
+        free_variables=free_variables, atoms=atoms, disequalities=disequalities
+    )
+
+
+def high_arity_acyclic_query(
+    num_blocks: int,
+    block_arity: int,
+    shared: int = 1,
+    num_free: Optional[int] = None,
+    with_disequalities: bool = False,
+) -> ConjunctiveQuery:
+    """A chain of high-arity atoms ``R_i(...)`` in which consecutive atoms
+    share ``shared`` variables.
+
+    The hypergraph is an "acyclic hyperpath": hypertreewidth 1, fractional
+    hypertreewidth 1 and adaptive width 1, but treewidth ``block_arity - 1``.
+    This is the family used to exercise the unbounded-arity results
+    (Theorems 13 and 16) beyond the reach of Theorem 5.
+    """
+    if num_blocks <= 0 or block_arity <= 1:
+        raise ValueError("need at least one block of arity >= 2")
+    if not 0 < shared < block_arity:
+        raise ValueError("shared must be in (0, block_arity)")
+    atoms: List[Atom] = []
+    variables: List[str] = []
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        name = f"v{counter}"
+        counter += 1
+        variables.append(name)
+        return name
+
+    previous_tail: List[str] = []
+    for block in range(num_blocks):
+        if previous_tail:
+            head = previous_tail
+        else:
+            head = [fresh() for _ in range(shared)]
+        body = [fresh() for _ in range(block_arity - len(head))]
+        scope = head + body
+        atoms.append(Atom(f"R{block}", tuple(scope)))
+        previous_tail = scope[-shared:]
+
+    free = variables if num_free is None else variables[:num_free]
+    if not free:
+        free = variables[:1]
+    disequalities: List[Disequality] = []
+    if with_disequalities:
+        free_list = list(free)
+        disequalities = [
+            Disequality(free_list[i], free_list[j])
+            for i in range(len(free_list))
+            for j in range(i + 1, len(free_list))
+        ]
+    return ConjunctiveQuery(free_variables=free, atoms=atoms, disequalities=disequalities)
+
+
+def friends_query() -> ConjunctiveQuery:
+    """The introduction's example (1): people with at least two friends,
+
+        phi(x) = ∃y ∃z  F(x, y) ∧ F(x, z) ∧ y != z.
+    """
+    return ConjunctiveQuery(
+        free_variables=["x"],
+        atoms=[Atom("F", ("x", "y")), Atom("F", ("x", "z"))],
+        disequalities=[Disequality("y", "z")],
+    )

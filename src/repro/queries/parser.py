@@ -1,0 +1,143 @@
+"""A small textual query language for (extended) conjunctive queries.
+
+Syntax (Datalog-ish)::
+
+    Ans(x, y) :- E(x, z), E(z, y), x != y, !F(x, y), z = w
+
+* The head lists the free variables (``Ans()`` for a Boolean query).
+* The body is a comma-separated list of atoms:
+  - ``R(v1, ..., vk)``    positive predicate,
+  - ``!R(v1, ..., vk)`` or ``not R(...)``   negated predicate,
+  - ``u != v``            disequality,
+  - ``u = v``             equality (eliminated by variable unification,
+                          exactly as the paper assumes w.l.o.g.).
+
+Variable names are identifiers (letters, digits, underscores, starting with a
+letter or underscore).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.queries.atoms import Atom, Disequality, Equality, NegatedAtom
+from repro.queries.query import ConjunctiveQuery
+from repro.queries.rewriting import eliminate_equalities
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_HEAD_RE = re.compile(rf"^\s*({_IDENT})\s*\(\s*(.*?)\s*\)\s*$")
+_ATOM_RE = re.compile(rf"^\s*(!|not\s+)?\s*({_IDENT})\s*\(\s*(.*?)\s*\)\s*$")
+_DISEQ_RE = re.compile(rf"^\s*({_IDENT})\s*!=\s*({_IDENT})\s*$")
+_EQ_RE = re.compile(rf"^\s*({_IDENT})\s*=\s*({_IDENT})\s*$")
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+def _split_arguments(argument_string: str) -> List[str]:
+    if not argument_string.strip():
+        return []
+    arguments = [part.strip() for part in argument_string.split(",")]
+    for argument in arguments:
+        if not re.fullmatch(_IDENT, argument):
+            raise QueryParseError(f"invalid variable name {argument!r}")
+    return arguments
+
+
+def _split_body(body: str) -> List[str]:
+    """Split the body on commas that are not inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for character in body:
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError("unbalanced parentheses in query body")
+        if character == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    if depth != 0:
+        raise QueryParseError("unbalanced parentheses in query body")
+    if current:
+        parts.append("".join(current))
+    return [part for part in (p.strip() for p in parts) if part]
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a query string into a :class:`ConjunctiveQuery`.
+
+    Equalities in the body are eliminated by unifying variables (keeping free
+    variables as the representatives whenever possible), so the returned
+    query never contains equality atoms.
+    """
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    else:
+        head_text, body_text = text, ""
+    head_match = _HEAD_RE.match(head_text)
+    if not head_match:
+        raise QueryParseError(f"cannot parse query head {head_text.strip()!r}")
+    free_variables = _split_arguments(head_match.group(2))
+    if len(set(free_variables)) != len(free_variables):
+        raise QueryParseError("free variables in the head must be distinct")
+
+    atoms: List[Atom] = []
+    negated: List[NegatedAtom] = []
+    disequalities: List[Disequality] = []
+    equalities: List[Equality] = []
+
+    for part in _split_body(body_text):
+        diseq_match = _DISEQ_RE.match(part)
+        if diseq_match:
+            disequalities.append(Disequality(diseq_match.group(1), diseq_match.group(2)))
+            continue
+        eq_match = _EQ_RE.match(part)
+        if eq_match:
+            equalities.append(Equality(eq_match.group(1), eq_match.group(2)))
+            continue
+        atom_match = _ATOM_RE.match(part)
+        if atom_match:
+            negation, relation, argument_string = atom_match.groups()
+            arguments = _split_arguments(argument_string)
+            if not arguments:
+                raise QueryParseError(f"atom {part!r} needs at least one argument")
+            if negation:
+                negated.append(NegatedAtom(relation, tuple(arguments)))
+            else:
+                atoms.append(Atom(relation, tuple(arguments)))
+            continue
+        raise QueryParseError(f"cannot parse body atom {part!r}")
+
+    try:
+        return eliminate_equalities(
+            free_variables=free_variables,
+            atoms=atoms,
+            negated_atoms=negated,
+            disequalities=disequalities,
+            equalities=equalities,
+        )
+    except QueryParseError:
+        raise
+    except ValueError as error:
+        # Surface model-level validation problems (head variables not used in
+        # the body, contradictory equalities, ...) as parse errors.
+        raise QueryParseError(str(error)) from error
+
+
+def format_query(query: ConjunctiveQuery) -> str:
+    """Render a query back into the textual syntax accepted by
+    :func:`parse_query` (a round-trip partner for serialisation in tests)."""
+    body_parts = [str(atom) for atom in query.atoms]
+    body_parts += [str(atom) for atom in query.negated_atoms]
+    body_parts += [str(d) for d in query.disequalities]
+    head = f"Ans({', '.join(query.free_variables)})"
+    if not body_parts:
+        return head
+    return f"{head} :- {', '.join(body_parts)}"

@@ -1,0 +1,156 @@
+"""Query rewritings.
+
+* :func:`eliminate_equalities` — the paper's w.l.o.g. step: an ECQ with
+  equalities is rewritten by unifying equal variables into a single
+  representative, so algorithms never see equality atoms.  If an equality
+  forces two *distinct free* variables together the construction keeps both
+  free variables distinct in the head and raises (the paper's model does not
+  allow repeated head variables); callers should merge head variables
+  themselves in that case.
+* :func:`add_constant_constraint` — the "constants via singleton unary
+  relations" trick of Section 1.1: to constrain a variable to a constant
+  ``v``, add a fresh unary relation ``R_v = {v}`` to the database and the atom
+  ``R_v(x)`` to the query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.queries.atoms import Atom, Disequality, Equality, NegatedAtom, Variable
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.structure import Structure
+
+
+class _UnionFind:
+    """Union-find over variable names with deterministic representatives."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Variable, Variable] = {}
+
+    def find(self, item: Variable) -> Variable:
+        self._parent.setdefault(item, item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Variable, b: Variable) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def redirect_to(self, preferred: Iterable[Variable]) -> Dict[Variable, Variable]:
+        """Mapping from every seen variable to its class representative,
+        preferring representatives from ``preferred`` (e.g. free variables)."""
+        preferred = list(preferred)
+        classes: Dict[Variable, List[Variable]] = {}
+        for variable in list(self._parent):
+            classes.setdefault(self.find(variable), []).append(variable)
+        mapping: Dict[Variable, Variable] = {}
+        for root, members in classes.items():
+            representative = next(
+                (v for v in preferred if v in members), sorted(members)[0]
+            )
+            for member in members:
+                mapping[member] = representative
+        return mapping
+
+
+def eliminate_equalities(
+    free_variables: Sequence[Variable],
+    atoms: Iterable[Atom],
+    negated_atoms: Iterable[NegatedAtom] = (),
+    disequalities: Iterable[Disequality] = (),
+    equalities: Iterable[Equality] = (),
+) -> ConjunctiveQuery:
+    """Build a :class:`ConjunctiveQuery` with the equalities eliminated by
+    variable unification.
+
+    Raises
+    ------
+    ValueError
+        If the equalities force two distinct free variables to coincide (the
+        rewritten query could no longer report both output coordinates), or if
+        unification makes a disequality of the form ``x != x`` (the query is
+        unsatisfiable; the paper's syntax forbids it, so we reject it rather
+        than silently producing an always-empty query).
+    """
+    equalities = list(equalities)
+    atoms = list(atoms)
+    negated_atoms = list(negated_atoms)
+    disequalities = list(disequalities)
+    free_variables = list(free_variables)
+
+    if not equalities:
+        return ConjunctiveQuery(
+            free_variables=free_variables,
+            atoms=atoms,
+            negated_atoms=negated_atoms,
+            disequalities=disequalities,
+        )
+
+    union_find = _UnionFind()
+    for equality in equalities:
+        union_find.union(equality.left, equality.right)
+    mapping = union_find.redirect_to(free_variables)
+
+    merged_free = [mapping.get(v, v) for v in free_variables]
+    if len(set(merged_free)) != len(merged_free):
+        raise ValueError(
+            "equalities identify two distinct free variables; merge the head "
+            "variables explicitly before parsing"
+        )
+
+    new_atoms = [atom.rename(mapping) for atom in atoms]
+    new_negated = [atom.rename(mapping) for atom in negated_atoms]
+    new_disequalities = []
+    for disequality in disequalities:
+        left = mapping.get(disequality.left, disequality.left)
+        right = mapping.get(disequality.right, disequality.right)
+        if left == right:
+            raise ValueError(
+                f"equalities contradict the disequality {disequality}; the query "
+                "would be trivially unsatisfiable"
+            )
+        new_disequalities.append(Disequality(left, right))
+
+    return ConjunctiveQuery(
+        free_variables=merged_free,
+        atoms=new_atoms,
+        negated_atoms=new_negated,
+        disequalities=new_disequalities,
+    )
+
+
+def add_constant_constraint(
+    query: ConjunctiveQuery,
+    database: Structure,
+    variable: Variable,
+    constant,
+    relation_name: str = None,
+) -> Tuple[ConjunctiveQuery, Structure]:
+    """Constrain ``variable`` to the constant ``constant`` using a singleton
+    unary relation (Section 1.1).
+
+    Returns a new (query, database) pair: the database gains the relation
+    ``R_<constant> = {constant}`` (name overridable) and the query gains the
+    atom ``R_<constant>(variable)``.
+    """
+    if variable not in query.variables:
+        raise ValueError(f"{variable!r} is not a variable of the query")
+    if constant not in database.universe:
+        raise ValueError(f"{constant!r} is not an element of the database universe")
+    if relation_name is None:
+        relation_name = f"R_const_{constant}"
+    new_database = database.with_unary_relation(relation_name, [constant])
+    new_query = ConjunctiveQuery(
+        free_variables=query.free_variables,
+        atoms=list(query.atoms) + [Atom(relation_name, (variable,))],
+        negated_atoms=query.negated_atoms,
+        disequalities=query.disequalities,
+        existential_variables=query.existential_variables,
+    )
+    return new_query, new_database

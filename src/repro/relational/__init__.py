@@ -1,0 +1,58 @@
+"""Relational signatures, structures/databases and the homomorphism engine.
+
+A *signature* is a finite set of relation symbols with specified positive
+arities; a *structure* (and in particular a relational *database*) consists of
+a finite universe together with a relation for every symbol of its signature
+(Sections 1.1 and 2.2 of the paper).  Homomorphisms between structures are the
+lens through which the paper expresses query answers (Section 2.2); the
+``Hom`` decision oracle needed by Lemma 22 is provided by
+:mod:`repro.relational.homomorphism`.
+"""
+
+from repro.relational.signature import RelationSymbol, Signature
+from repro.relational.structure import Database, Structure
+from repro.relational.homomorphism import (
+    count_homomorphisms,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+    find_homomorphism,
+    is_homomorphism,
+)
+from repro.relational.csp import (
+    CSPInstance,
+    Constraint,
+    NotEqualConstraint,
+    NotInRelationConstraint,
+    solve_csp,
+)
+from repro.relational.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database_json,
+    load_edge_list,
+    load_relation_csv,
+    save_database_json,
+)
+
+__all__ = [
+    "RelationSymbol",
+    "Signature",
+    "Structure",
+    "Database",
+    "is_homomorphism",
+    "exists_homomorphism",
+    "find_homomorphism",
+    "enumerate_homomorphisms",
+    "count_homomorphisms",
+    "CSPInstance",
+    "Constraint",
+    "NotEqualConstraint",
+    "NotInRelationConstraint",
+    "solve_csp",
+    "database_to_dict",
+    "database_from_dict",
+    "save_database_json",
+    "load_database_json",
+    "load_relation_csv",
+    "load_edge_list",
+]

@@ -1,0 +1,276 @@
+"""A small constraint-satisfaction (CSP) engine.
+
+The homomorphism problem Hom(A, B) — the decision oracle required by
+Lemma 22 and provided to it by Theorems 31 (Dalmau–Kolaitis–Vardi, bounded
+treewidth) and 36 (Marx, bounded adaptive width) — is an instance of CSP:
+variables are the elements of ``U(A)``, domains are ``U(B)``, and every fact
+of ``A`` is a constraint whose allowed tuples are the corresponding relation
+of ``B``.
+
+The engine combines
+
+* per-variable domain initialisation from unary projections of the
+  constraints,
+* generalized arc consistency (GAC) propagation, and
+* backtracking search whose variable order follows an elimination ordering of
+  the constraint hypergraph (min-fill), which makes the search backtrack-free
+  on acyclic instances and polynomial on bounded-treewidth instances in
+  practice — the role Theorem 31 plays in the paper.
+
+It supports deciding satisfiability, finding one solution, enumerating, and
+counting all solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph import Hypergraph
+
+Variable = Hashable
+Value = Hashable
+AssignmentTuple = Tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A table constraint: the variables in ``scope`` must jointly take a
+    tuple of values from ``allowed``."""
+
+    scope: Tuple[Variable, ...]
+    allowed: FrozenSet[AssignmentTuple]
+
+    def __post_init__(self) -> None:
+        for tup in self.allowed:
+            if len(tup) != len(self.scope):
+                raise ValueError(
+                    f"allowed tuple {tup!r} does not match scope of length {len(self.scope)}"
+                )
+
+    def is_satisfied_by(self, assignment: Dict[Variable, Value]) -> bool:
+        """Whether a *total* assignment of the scope satisfies the constraint."""
+        return tuple(assignment[v] for v in self.scope) in self.allowed
+
+    def consistent_with_partial(self, assignment: Dict[Variable, Value]) -> bool:
+        """Whether some allowed tuple agrees with the given partial assignment
+        on the assigned scope variables."""
+        positions = [
+            (index, assignment[variable])
+            for index, variable in enumerate(self.scope)
+            if variable in assignment
+        ]
+        if not positions:
+            return True
+        return any(
+            all(tup[index] == value for index, value in positions) for tup in self.allowed
+        )
+
+    def project_to(self, variable: Variable) -> Set[Value]:
+        """Values of ``variable`` appearing in at least one allowed tuple."""
+        values: Set[Value] = set()
+        for index, scope_variable in enumerate(self.scope):
+            if scope_variable == variable:
+                values.update(tup[index] for tup in self.allowed)
+        return values
+
+
+#: Backwards/forwards-compatible alias: the table constraint is the basic kind.
+TableConstraint = Constraint
+
+
+@dataclass(frozen=True)
+class NotEqualConstraint:
+    """A binary disequality constraint ``left != right``.
+
+    Used for the disequality atoms of DCQs/ECQs: representing them as table
+    constraints would need ``|U(D)|^2`` tuples, whereas this class checks the
+    predicate directly.
+    """
+
+    left: Variable
+    right: Variable
+
+    @property
+    def scope(self) -> Tuple[Variable, ...]:
+        return (self.left, self.right)
+
+    def is_satisfied_by(self, assignment: Dict[Variable, Value]) -> bool:
+        return assignment[self.left] != assignment[self.right]
+
+    def consistent_with_partial(self, assignment: Dict[Variable, Value]) -> bool:
+        if self.left in assignment and self.right in assignment:
+            return assignment[self.left] != assignment[self.right]
+        return True
+
+
+@dataclass(frozen=True)
+class NotInRelationConstraint:
+    """A negated table constraint: the scope tuple must *not* belong to the
+    forbidden relation (used for the negated predicates of ECQs without
+    materialising the ``|U(D)|^{arity}`` complement)."""
+
+    scope: Tuple[Variable, ...]
+    forbidden: FrozenSet[AssignmentTuple]
+
+    def is_satisfied_by(self, assignment: Dict[Variable, Value]) -> bool:
+        return tuple(assignment[v] for v in self.scope) not in self.forbidden
+
+    def consistent_with_partial(self, assignment: Dict[Variable, Value]) -> bool:
+        if all(variable in assignment for variable in self.scope):
+            return self.is_satisfied_by(assignment)
+        return True
+
+
+class CSPInstance:
+    """A CSP over explicit finite domains with table constraints."""
+
+    def __init__(
+        self,
+        domains: Dict[Variable, Iterable[Value]],
+        constraints: Sequence[Constraint] = (),
+    ) -> None:
+        self._domains: Dict[Variable, Set[Value]] = {
+            variable: set(values) for variable, values in domains.items()
+        }
+        self._constraints: List[Constraint] = []
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    @property
+    def variables(self) -> List[Variable]:
+        return sorted(self._domains, key=repr)
+
+    @property
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints)
+
+    def domain(self, variable: Variable) -> Set[Value]:
+        return set(self._domains[variable])
+
+    def add_constraint(self, constraint) -> None:
+        """Add a constraint (table, disequality, or negated-table)."""
+        unknown = [v for v in constraint.scope if v not in self._domains]
+        if unknown:
+            raise KeyError(f"constraint over unknown variables {unknown!r}")
+        self._constraints.append(constraint)
+
+    # ---------------------------------------------------------------- solving
+    def constraint_hypergraph(self) -> Hypergraph:
+        """Hypergraph whose vertices are variables and whose edges are the
+        constraint scopes (used to pick a good search order)."""
+        return Hypergraph(
+            vertices=self._domains.keys(),
+            edges=[frozenset(constraint.scope) for constraint in self._constraints]
+            or [],
+        )
+
+    def _search_order(self) -> List[Variable]:
+        """Variable order from a min-fill elimination ordering, reversed so
+        that "last eliminated" variables (roughly, the most connected) are
+        assigned first."""
+        from repro.decomposition.treewidth import _greedy_ordering  # local import
+
+        hypergraph = self.constraint_hypergraph()
+        if hypergraph.num_edges() == 0:
+            return self.variables
+        ordering = _greedy_ordering(hypergraph.primal_graph(), "min_fill")
+        ordered = list(reversed(ordering))
+        remaining = [v for v in self.variables if v not in set(ordered)]
+        return ordered + remaining
+
+    def propagate(
+        self, domains: Optional[Dict[Variable, Set[Value]]] = None
+    ) -> Optional[Dict[Variable, Set[Value]]]:
+        """Generalized arc consistency: repeatedly remove domain values not
+        supported by every constraint.  Returns the reduced domains, or
+        ``None`` if some domain becomes empty (no solution)."""
+        if domains is None:
+            domains = {v: set(values) for v, values in self._domains.items()}
+        changed = True
+        while changed:
+            changed = False
+            for constraint in self._constraints:
+                if not isinstance(constraint, Constraint):
+                    # Only table constraints participate in GAC propagation;
+                    # disequalities and negated tables are checked during search.
+                    continue
+                scope = constraint.scope
+                # Restrict allowed tuples to current domains.
+                live = [
+                    tup
+                    for tup in constraint.allowed
+                    if all(value in domains[var] for var, value in zip(scope, tup))
+                ]
+                if not live:
+                    return None
+                for index, variable in enumerate(scope):
+                    supported = {tup[index] for tup in live}
+                    if not domains[variable] <= supported:
+                        domains[variable] &= supported
+                        changed = True
+                        if not domains[variable]:
+                            return None
+        return domains
+
+    def _constraints_by_variable(self) -> Dict[Variable, List[Constraint]]:
+        index: Dict[Variable, List[Constraint]] = {v: [] for v in self._domains}
+        for constraint in self._constraints:
+            for variable in set(constraint.scope):
+                index[variable].append(constraint)
+        return index
+
+    def iter_solutions(self, limit: Optional[int] = None) -> Iterator[Dict[Variable, Value]]:
+        """Enumerate solutions by propagation + backtracking search."""
+        domains = self.propagate()
+        if domains is None:
+            return
+        order = self._search_order()
+        by_variable = self._constraints_by_variable()
+        produced = 0
+
+        def backtrack(position: int, assignment: Dict[Variable, Value]) -> Iterator[Dict[Variable, Value]]:
+            nonlocal produced
+            if limit is not None and produced >= limit:
+                return
+            if position == len(order):
+                produced += 1
+                yield dict(assignment)
+                return
+            variable = order[position]
+            for value in sorted(domains[variable], key=repr):
+                assignment[variable] = value
+                consistent = all(
+                    constraint.consistent_with_partial(assignment)
+                    for constraint in by_variable[variable]
+                )
+                if consistent:
+                    yield from backtrack(position + 1, assignment)
+                    if limit is not None and produced >= limit:
+                        del assignment[variable]
+                        return
+                del assignment[variable]
+
+        yield from backtrack(0, {})
+
+    def solve(self) -> Optional[Dict[Variable, Value]]:
+        """Return one solution, or ``None`` if the instance is unsatisfiable."""
+        for solution in self.iter_solutions(limit=1):
+            return solution
+        return None
+
+    def is_satisfiable(self) -> bool:
+        return self.solve() is not None
+
+    def count_solutions(self) -> int:
+        """Exact number of solutions (exponential in the worst case; intended
+        for the small instances used as test baselines)."""
+        return sum(1 for _ in self.iter_solutions())
+
+
+def solve_csp(
+    domains: Dict[Variable, Iterable[Value]], constraints: Sequence[Constraint]
+) -> Optional[Dict[Variable, Value]]:
+    """Convenience wrapper: build a :class:`CSPInstance` and return one
+    solution (or ``None``)."""
+    return CSPInstance(domains, constraints).solve()

@@ -1,0 +1,107 @@
+"""Homomorphisms between relational structures (Section 2.2).
+
+Given structures ``A`` and ``B`` with ``sig(A) ⊆ sig(B)``, a homomorphism from
+``A`` to ``B`` is a map ``h : U(A) -> U(B)`` such that every fact
+``(a_1, ..., a_t) ∈ R^A`` is mapped to a fact ``(h(a_1), ..., h(a_t)) ∈ R^B``.
+
+This module provides the ``Hom`` decision procedure used as the oracle in
+Lemma 22 (and hence in the FPTRASes of Theorems 5 and 13), together with
+enumeration and exact counting used as baselines in tests and benches.
+
+The implementation reduces Hom(A, B) to a CSP (variables = U(A), domains =
+U(B), one table constraint per fact of A) and solves it with the engine in
+:mod:`repro.relational.csp`, whose search order follows an elimination
+ordering of H(A).  For bounded-treewidth, bounded-arity left-hand sides this
+matches the role of Theorem 31 (Dalmau–Kolaitis–Vardi); for the
+unbounded-arity benches it stands in for Marx's Theorem 36 (see DESIGN.md,
+substitution 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.relational.csp import Constraint, CSPInstance
+from repro.relational.structure import Structure
+
+Element = Hashable
+Homomorphism = Dict[Element, Element]
+
+
+def is_homomorphism(
+    mapping: Dict[Element, Element], source: Structure, target: Structure
+) -> bool:
+    """Check whether ``mapping`` is a homomorphism from ``source`` to
+    ``target``."""
+    if not source.signature <= target.signature:
+        return False
+    for element in source.universe:
+        if element not in mapping:
+            return False
+        if mapping[element] not in target.universe:
+            return False
+    for name, fact in source.facts():
+        image = tuple(mapping[element] for element in fact)
+        if not target.has_fact(name, image):
+            return False
+    return True
+
+
+def _build_csp(source: Structure, target: Structure) -> CSPInstance:
+    """The CSP whose solutions are exactly Hom(source -> target)."""
+    if not source.signature <= target.signature:
+        raise ValueError(
+            "sig(A) must be a sub-signature of sig(B) for Hom(A, B) to be defined"
+        )
+    domains = {element: set(target.universe) for element in source.universe}
+    constraints: List[Constraint] = []
+    for name, fact in source.facts():
+        allowed = frozenset(target.relation(name))
+        constraints.append(Constraint(scope=tuple(fact), allowed=allowed))
+    return CSPInstance(domains, constraints)
+
+
+def exists_homomorphism(source: Structure, target: Structure) -> bool:
+    """The Hom decision problem: is there a homomorphism from ``source`` to
+    ``target``?
+
+    An empty source universe admits exactly one (empty) homomorphism, even if
+    the target universe is empty.
+    """
+    if not source.universe:
+        return True
+    if not target.universe:
+        return False
+    return _build_csp(source, target).is_satisfiable()
+
+
+def find_homomorphism(source: Structure, target: Structure) -> Optional[Homomorphism]:
+    """Return one homomorphism from ``source`` to ``target`` or ``None``."""
+    if not source.universe:
+        return {}
+    if not target.universe:
+        return None
+    return _build_csp(source, target).solve()
+
+
+def enumerate_homomorphisms(
+    source: Structure, target: Structure, limit: Optional[int] = None
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms from ``source`` to ``target`` (optionally at
+    most ``limit`` of them)."""
+    if not source.universe:
+        yield {}
+        return
+    if not target.universe:
+        return
+    yield from _build_csp(source, target).iter_solutions(limit=limit)
+
+
+def count_homomorphisms(source: Structure, target: Structure) -> int:
+    """Exact |Hom(source -> target)| by enumeration (baseline / test helper;
+    exponential in the worst case)."""
+    if not source.universe:
+        return 1
+    if not target.universe:
+        return 0
+    return _build_csp(source, target).count_solutions()

@@ -1,0 +1,129 @@
+"""Loading and saving databases.
+
+Small utilities so the examples, the CLI and downstream users can keep
+databases in plain files:
+
+* JSON — ``{"universe": [...], "relations": {"E": [[1, 2], ...], ...}}``
+  (universe may be omitted; it is then the active domain).
+* CSV — one file per relation, one fact per line; the relation name is the
+  file's stem.
+* edge lists — ``u v`` per line, loaded as a (by default symmetric) binary
+  relation, the usual input format for the graph workloads.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.relational.signature import RelationSymbol, Signature
+from repro.relational.structure import Database
+
+PathLike = Union[str, Path]
+
+
+def database_to_dict(database: Database) -> Dict:
+    """A JSON-serialisable dictionary representation of a database."""
+    return {
+        "universe": sorted(database.universe, key=repr),
+        "relations": {
+            name: sorted([list(fact) for fact in facts], key=repr)
+            for name, facts in database.relations().items()
+        },
+    }
+
+
+def database_from_dict(data: Dict) -> Database:
+    """Inverse of :func:`database_to_dict`.
+
+    Arities are inferred from the first tuple of each relation; empty
+    relations may declare their arity via ``"arities": {"R": 2}``.
+    """
+    universe = data.get("universe", [])
+    relations = data.get("relations", {})
+    arities = data.get("arities", {})
+    signature = Signature()
+    for name, arity in arities.items():
+        signature.add(RelationSymbol(name, int(arity)))
+    for name, facts in relations.items():
+        facts = list(facts)
+        if facts and signature.get(name) is None:
+            signature.add(RelationSymbol(name, len(facts[0])))
+        elif not facts and signature.get(name) is None:
+            raise ValueError(
+                f"relation {name!r} is empty; declare its arity under 'arities'"
+            )
+    database = Database(signature=signature, universe=universe)
+    for name, facts in relations.items():
+        for fact in facts:
+            database.add_fact(name, tuple(_normalise(value) for value in fact))
+    return database
+
+
+def _normalise(value):
+    """JSON round-trips tuples into lists and all scalars into json types;
+    keep values hashable and stable."""
+    if isinstance(value, list):
+        return tuple(_normalise(item) for item in value)
+    return value
+
+
+def save_database_json(database: Database, path: PathLike) -> None:
+    """Write a database to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(database_to_dict(database), indent=2, default=str))
+
+
+def load_database_json(path: PathLike) -> Database:
+    """Read a database from a JSON file produced by :func:`save_database_json`
+    (or hand-written in the same format)."""
+    path = Path(path)
+    return database_from_dict(json.loads(path.read_text()))
+
+
+def load_relation_csv(
+    path: PathLike, relation: Optional[str] = None, database: Optional[Database] = None
+) -> Database:
+    """Load one relation from a CSV file (one fact per row).
+
+    The relation name defaults to the file stem; rows must all have the same
+    length.  If ``database`` is given the relation is added to it (and the
+    same object returned), otherwise a fresh database is created.
+    """
+    path = Path(path)
+    name = relation if relation is not None else path.stem
+    if database is None:
+        database = Database()
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row:
+                continue
+            database.add_fact(name, tuple(cell.strip() for cell in row))
+    return database
+
+
+def load_edge_list(
+    path: PathLike,
+    relation: str = "E",
+    symmetric: bool = True,
+    comment_prefix: str = "#",
+) -> Database:
+    """Load a whitespace-separated edge list (``u v`` per line) as a binary
+    relation; the standard input format for graph benchmarks."""
+    path = Path(path)
+    database = Database(signature=Signature([RelationSymbol(relation, 2)]))
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith(comment_prefix):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"cannot parse edge-list line {line!r}")
+        u, v = parts
+        database.add_fact(relation, (u, v))
+        if symmetric:
+            database.add_fact(relation, (v, u))
+    return database

@@ -1,0 +1,114 @@
+"""Relational signatures (Section 1.1).
+
+A signature consists of a finite set of relation symbols with specified
+positive arities.  ``ar(R)`` denotes the arity of a symbol and ``ar(sigma)``
+the maximum arity over the signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A named relation symbol with a positive arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation symbols need a non-empty name")
+        if self.arity <= 0:
+            raise ValueError(f"arity of {self.name!r} must be positive, got {self.arity}")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Signature:
+    """A finite set of relation symbols, indexed by name.
+
+    Symbol names are unique within a signature; adding a symbol with an
+    existing name but different arity is an error.
+    """
+
+    def __init__(self, symbols: Iterable[Union[RelationSymbol, tuple]] = ()) -> None:
+        self._symbols: Dict[str, RelationSymbol] = {}
+        for symbol in symbols:
+            self.add(symbol)
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "Signature":
+        """Build a signature from a ``{name: arity}`` mapping."""
+        return cls(RelationSymbol(name, arity) for name, arity in arities.items())
+
+    def add(self, symbol: Union[RelationSymbol, tuple]) -> RelationSymbol:
+        """Add a relation symbol (idempotent for identical symbols)."""
+        if isinstance(symbol, tuple):
+            symbol = RelationSymbol(*symbol)
+        if not isinstance(symbol, RelationSymbol):
+            raise TypeError(f"expected a RelationSymbol, got {symbol!r}")
+        existing = self._symbols.get(symbol.name)
+        if existing is not None and existing.arity != symbol.arity:
+            raise ValueError(
+                f"symbol {symbol.name!r} already has arity {existing.arity}, "
+                f"cannot re-declare with arity {symbol.arity}"
+            )
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def get(self, name: str) -> Optional[RelationSymbol]:
+        return self._symbols.get(name)
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise KeyError(f"unknown relation symbol {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, RelationSymbol):
+            existing = self._symbols.get(name.name)
+            return existing == name
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(sorted(self._symbols.values()))
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __le__(self, other: "Signature") -> bool:
+        """Sub-signature test: every symbol of self appears (with the same
+        arity) in ``other``."""
+        return all(symbol in other for symbol in self)
+
+    def names(self) -> List[str]:
+        return sorted(self._symbols)
+
+    def arity(self) -> int:
+        """``ar(sigma)``: the maximum arity of any symbol (0 if empty)."""
+        if not self._symbols:
+            return 0
+        return max(symbol.arity for symbol in self._symbols.values())
+
+    def union(self, other: "Signature") -> "Signature":
+        """The union of two signatures (arities must agree on shared names)."""
+        merged = Signature(self)
+        for symbol in other:
+            merged.add(symbol)
+        return merged
+
+    def copy(self) -> "Signature":
+        return Signature(self)
+
+    def __repr__(self) -> str:
+        return "Signature({" + ", ".join(str(s) for s in self) + "})"

@@ -1,0 +1,278 @@
+"""Relational structures and databases (Sections 1.1 and 2.2).
+
+A structure ``A`` with signature ``sig(A)`` consists of a finite universe
+``U(A)`` and, for each relation symbol ``R`` of the signature, a relation
+``R^A ⊆ U(A)^{ar(R)}``.  A relational database is simply a structure (the
+paper uses "database" for the large right-hand side and "structure" for the
+small left-hand side of the homomorphism problem).
+
+The size of a structure is ``||A|| = |sig(A)| + |U(A)| + sum_R |R^A| * ar(R)``
+(following Grohe), which is the quantity the paper's running-time bounds are
+stated in.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.hypergraph import Hypergraph
+from repro.relational.signature import RelationSymbol, Signature
+
+Element = Hashable
+Fact = Tuple[Element, ...]
+
+
+class Structure:
+    """A finite relational structure.
+
+    Parameters
+    ----------
+    signature:
+        The signature; may also be grown implicitly via :meth:`add_fact` /
+        :meth:`add_relation`.
+    universe:
+        Iterable of universe elements.  Elements appearing in facts are added
+        automatically.
+    relations:
+        Mapping from relation-symbol name to an iterable of tuples.
+    """
+
+    def __init__(
+        self,
+        signature: Optional[Signature] = None,
+        universe: Iterable[Element] = (),
+        relations: Optional[Mapping[str, Iterable[Sequence[Element]]]] = None,
+    ) -> None:
+        self._signature = signature.copy() if signature is not None else Signature()
+        self._universe: Set[Element] = set(universe)
+        self._relations: Dict[str, Set[Fact]] = {
+            symbol.name: set() for symbol in self._signature
+        }
+        if relations:
+            for name, tuples in relations.items():
+                tuples = [tuple(t) for t in tuples]
+                if name not in self._signature and tuples:
+                    self._signature.add(RelationSymbol(name, len(tuples[0])))
+                    self._relations.setdefault(name, set())
+                elif name not in self._signature:
+                    raise ValueError(
+                        f"cannot infer the arity of empty relation {name!r}; "
+                        "declare it in the signature"
+                    )
+                for fact in tuples:
+                    self.add_fact(name, fact)
+
+    # --------------------------------------------------------------- building
+    @classmethod
+    def from_relations(
+        cls,
+        relations: Mapping[str, Iterable[Sequence[Element]]],
+        universe: Iterable[Element] = (),
+        signature: Optional[Signature] = None,
+    ) -> "Structure":
+        """Convenience constructor from a ``{name: [tuples]}`` mapping."""
+        return cls(signature=signature, universe=universe, relations=relations)
+
+    @classmethod
+    def from_graph(cls, edges: Iterable[Sequence[Element]], symmetric: bool = True,
+                   universe: Iterable[Element] = ()) -> "Structure":
+        """The structure of a graph over a binary relation ``E``.
+
+        With ``symmetric=True`` both orientations of every edge are added,
+        which matches the usual encoding of undirected graphs as symmetric
+        binary relations.
+        """
+        structure = cls(signature=Signature([RelationSymbol("E", 2)]), universe=universe)
+        for edge in edges:
+            u, v = tuple(edge)
+            structure.add_fact("E", (u, v))
+            if symmetric:
+                structure.add_fact("E", (v, u))
+        return structure
+
+    def add_element(self, element: Element) -> None:
+        """Add a universe element (idempotent)."""
+        self._universe.add(element)
+
+    def add_relation(self, symbol: RelationSymbol) -> None:
+        """Declare a relation symbol with an (initially) empty relation."""
+        self._signature.add(symbol)
+        self._relations.setdefault(symbol.name, set())
+
+    def add_fact(self, name: str, fact: Sequence[Element]) -> Fact:
+        """Add a fact (tuple) to the named relation, growing the signature on
+        first use and the universe as needed."""
+        fact = tuple(fact)
+        symbol = self._signature.get(name)
+        if symbol is None:
+            symbol = RelationSymbol(name, len(fact))
+            self._signature.add(symbol)
+            self._relations.setdefault(name, set())
+        if len(fact) != symbol.arity:
+            raise ValueError(
+                f"relation {name!r} has arity {symbol.arity}, got a tuple of "
+                f"length {len(fact)}"
+            )
+        self._relations.setdefault(name, set()).add(fact)
+        self._universe.update(fact)
+        return fact
+
+    # ----------------------------------------------------------------- access
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    @property
+    def universe(self) -> FrozenSet[Element]:
+        return frozenset(self._universe)
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        """The relation ``R^A`` for the named symbol (empty if declared but
+        unpopulated)."""
+        if name not in self._signature:
+            raise KeyError(f"unknown relation symbol {name!r}")
+        return frozenset(self._relations.get(name, set()))
+
+    def relations(self) -> Dict[str, FrozenSet[Fact]]:
+        return {symbol.name: self.relation(symbol.name) for symbol in self._signature}
+
+    def has_fact(self, name: str, fact: Sequence[Element]) -> bool:
+        return tuple(fact) in self._relations.get(name, set())
+
+    def facts(self) -> Iterator[Tuple[str, Fact]]:
+        """Iterate over all (relation name, tuple) facts."""
+        for name in sorted(self._relations):
+            for fact in sorted(self._relations[name], key=repr):
+                yield name, fact
+
+    def num_facts(self) -> int:
+        return sum(len(tuples) for tuples in self._relations.values())
+
+    def arity(self) -> int:
+        """``ar(sig(A))``: the maximum arity in the signature."""
+        return self._signature.arity()
+
+    def size(self) -> int:
+        """``||A|| = |sig(A)| + |U(A)| + sum_R |R^A| * ar(R)``."""
+        relation_mass = sum(
+            len(self._relations.get(symbol.name, set())) * symbol.arity
+            for symbol in self._signature
+        )
+        return len(self._signature) + len(self._universe) + relation_mass
+
+    # -------------------------------------------------------------- structure
+    def hypergraph(self) -> Hypergraph:
+        """The associated hypergraph H(A) (Section 4): vertices are the
+        universe elements, and every fact contributes the hyperedge of the
+        elements it mentions."""
+        edges = []
+        for _, fact in self.facts():
+            members = frozenset(fact)
+            if members:
+                edges.append(members)
+        return Hypergraph(vertices=self._universe, edges=edges)
+
+    def active_domain(self) -> Set[Element]:
+        """Elements that appear in at least one fact."""
+        active: Set[Element] = set()
+        for _, fact in self.facts():
+            active.update(fact)
+        return active
+
+    def restrict_universe(self, subset: Iterable[Element]) -> "Structure":
+        """The induced substructure on ``subset``: keep only facts whose
+        elements all lie in the subset."""
+        subset_set = set(subset)
+        unknown = subset_set - self._universe
+        if unknown:
+            raise KeyError(f"elements not in universe: {sorted(map(repr, unknown))}")
+        restricted = Structure(signature=self._signature, universe=subset_set)
+        for name, fact in self.facts():
+            if all(element in subset_set for element in fact):
+                restricted.add_fact(name, fact)
+        return restricted
+
+    def with_unary_relation(self, name: str, members: Iterable[Element]) -> "Structure":
+        """A copy with an additional unary relation ``name`` holding the given
+        members (the operation used by the coloured structures of Definitions
+        26 and 28 and by the "constants via singleton relations" trick)."""
+        copy = self.copy()
+        copy.add_relation(RelationSymbol(name, 1))
+        for element in members:
+            if element not in self._universe:
+                raise KeyError(f"element {element!r} not in universe")
+            copy.add_fact(name, (element,))
+        return copy
+
+    def complement_relation(self, name: str, arity: int) -> Set[Fact]:
+        """The complement relation ``U(A)^arity \\ R^A`` used by Definition 20
+        to interpret negated predicates.  Beware: its size is ``|U|^arity``."""
+        universe = sorted(self._universe, key=repr)
+        existing = self._relations.get(name, set())
+        complement: Set[Fact] = set()
+
+        def extend(prefix: Tuple[Element, ...]) -> None:
+            if len(prefix) == arity:
+                if prefix not in existing:
+                    complement.add(prefix)
+                return
+            for element in universe:
+                extend(prefix + (element,))
+
+        extend(())
+        return complement
+
+    def copy(self) -> "Structure":
+        duplicate = Structure(signature=self._signature, universe=self._universe)
+        for name, tuples in self._relations.items():
+            for fact in tuples:
+                duplicate.add_fact(name, fact)
+        return duplicate
+
+    # ----------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self._signature == other._signature
+            and self._universe == other._universe
+            and {k: v for k, v in self._relations.items()}
+            == {k: v for k, v in other._relations.items()}
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|U|={len(self._universe)}, "
+            f"symbols={self._signature.names()}, facts={self.num_facts()})"
+        )
+
+
+class Database(Structure):
+    """A relational database: a structure playing the "large" right-hand-side
+    role in the counting problems #CQ / #DCQ / #ECQ."""
+
+    @classmethod
+    def from_graph_edges(
+        cls, edges: Iterable[Sequence[Element]], symmetric: bool = True,
+        universe: Iterable[Element] = ()
+    ) -> "Database":
+        """Database of a graph over a symmetric binary relation ``E``."""
+        database = cls(signature=Signature([RelationSymbol("E", 2)]), universe=universe)
+        for edge in edges:
+            u, v = tuple(edge)
+            database.add_fact("E", (u, v))
+            if symmetric:
+                database.add_fact("E", (v, u))
+        return database

@@ -1,0 +1,10 @@
+"""Counting answers to unions of (extended) conjunctive queries (Section 6).
+
+The paper extends its counting results to unions of queries with the classic
+Karp–Luby technique; :func:`approx_count_union` implements it on top of the
+package's per-query counters and samplers.
+"""
+
+from repro.unions.karp_luby import approx_count_union, exact_count_union
+
+__all__ = ["approx_count_union", "exact_count_union"]

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG handling, (epsilon, delta) estimation helpers and
+validation helpers used across the package."""
+
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.estimation import (
+    ApproximationParameters,
+    median_of_means,
+    median_amplify,
+    relative_error,
+    required_repetitions,
+)
+from repro.util.validation import (
+    check_epsilon_delta,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "ApproximationParameters",
+    "median_of_means",
+    "median_amplify",
+    "relative_error",
+    "required_repetitions",
+    "check_epsilon_delta",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,125 @@
+"""Helpers for building (epsilon, delta)-approximation algorithms.
+
+The paper's algorithms all return *(epsilon, delta)-approximations*: random
+variables X with Pr(|X - V| <= epsilon * V) >= 1 - delta (Section 1.1).  The
+standard toolkit for building such estimators out of unbiased but noisy
+estimates is median-of-means amplification; this module provides it together
+with a small dataclass bundling the approximation parameters that get threaded
+through the algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_epsilon_delta
+
+
+@dataclass(frozen=True)
+class ApproximationParameters:
+    """The (epsilon, delta) contract of an approximation scheme.
+
+    Attributes
+    ----------
+    epsilon:
+        Target relative error, in (0, 1).
+    delta:
+        Target failure probability, in (0, 1).
+    """
+
+    epsilon: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        check_epsilon_delta(self.epsilon, self.delta)
+
+    def split_delta(self, parts: int) -> "ApproximationParameters":
+        """Return parameters with the failure budget split across ``parts``
+        independent sub-steps (union bound)."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        return ApproximationParameters(self.epsilon, self.delta / parts)
+
+    def with_epsilon(self, epsilon: float) -> "ApproximationParameters":
+        return ApproximationParameters(epsilon, self.delta)
+
+    def with_delta(self, delta: float) -> "ApproximationParameters":
+        return ApproximationParameters(self.epsilon, delta)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Relative error |estimate - truth| / truth (0 if both are zero)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def required_repetitions(delta: float, base_failure: float = 1.0 / 3.0) -> int:
+    """Number of independent repetitions needed so that the median of the
+    repetitions fails with probability at most ``delta``, given that a single
+    repetition fails with probability at most ``base_failure`` < 1/2.
+
+    This is the standard Chernoff-bound computation used for median
+    amplification (see e.g. the proof of Lemma 22).
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if not 0 < base_failure < 0.5:
+        raise ValueError("base_failure must be in (0, 1/2)")
+    gap = 0.5 - base_failure
+    repetitions = math.ceil(math.log(1.0 / delta) / (2.0 * gap * gap))
+    # Always use an odd number so the median is unambiguous.
+    if repetitions % 2 == 0:
+        repetitions += 1
+    return max(repetitions, 1)
+
+
+def median_amplify(
+    estimator: Callable[[], float],
+    delta: float,
+    base_failure: float = 1.0 / 3.0,
+) -> float:
+    """Run ``estimator`` independently and return the median of the results.
+
+    If each run of ``estimator`` returns a value outside the desired accuracy
+    window with probability at most ``base_failure`` < 1/2, then the median of
+    ``required_repetitions(delta, base_failure)`` runs is outside the window
+    with probability at most ``delta``.
+    """
+    repetitions = required_repetitions(delta, base_failure)
+    values = [float(estimator()) for _ in range(repetitions)]
+    return float(np.median(values))
+
+
+def median_of_means(
+    samples: Sequence[float],
+    groups: int,
+) -> float:
+    """Median-of-means estimator over ``samples`` split into ``groups`` groups.
+
+    A robust estimator of the mean of the sampled distribution: split the
+    samples into groups, average within each group and take the median of the
+    group averages.
+    """
+    if groups <= 0:
+        raise ValueError("groups must be positive")
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("samples must be non-empty")
+    groups = min(groups, data.size)
+    chunks: List[np.ndarray] = np.array_split(data, groups)
+    means = [float(chunk.mean()) for chunk in chunks if chunk.size > 0]
+    return float(np.median(means))
+
+
+def chernoff_sample_size(epsilon: float, delta: float, scale: float = 3.0) -> int:
+    """Sample size sufficient for a multiplicative (epsilon, delta) estimate of
+    a Bernoulli/Poisson-type mean via the standard Chernoff bound, assuming the
+    per-sample relative variance is at most ``scale``.
+    """
+    check_epsilon_delta(epsilon, delta)
+    return int(math.ceil(scale * math.log(2.0 / delta) / (epsilon * epsilon)))

@@ -1,0 +1,94 @@
+"""Random-number-generator plumbing.
+
+All randomised algorithms in this package accept either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
+module centralises the conversion so that every algorithm is reproducible when
+given a seed and so that independent sub-algorithms can be handed independent
+generators derived from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+RNGLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RNGLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``rng`` may be ``None`` (fresh, non-reproducible entropy), an ``int`` seed,
+    or an existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {rng!r} as a random generator or seed")
+
+
+def spawn_generators(rng: RNGLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``rng``.
+
+    Used when a driver algorithm delegates to several Monte-Carlo
+    sub-routines that must not share random streams (e.g. the repetitions in
+    the median-amplification step of Lemma 22).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    generator = as_generator(rng)
+    seeds = generator.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def random_subset(items: Iterable, probability: float, rng: RNGLike = None) -> list:
+    """Return a random subset of ``items`` keeping each item independently
+    with the given probability."""
+    generator = as_generator(rng)
+    items = list(items)
+    if not items:
+        return []
+    keep = generator.random(len(items)) < probability
+    return [item for item, kept in zip(items, keep) if kept]
+
+
+def random_coin(probability: float, rng: RNGLike = None) -> bool:
+    """Flip a biased coin that lands heads with the given probability."""
+    return bool(as_generator(rng).random() < probability)
+
+
+def shuffled(items: Iterable, rng: RNGLike = None) -> list:
+    """Return a new list containing ``items`` in uniformly random order."""
+    generator = as_generator(rng)
+    items = list(items)
+    generator.shuffle(items)
+    return items
+
+
+def random_choice(items: Iterable, rng: RNGLike = None):
+    """Pick a uniformly random element of ``items`` (which must be non-empty)."""
+    items = list(items)
+    if not items:
+        raise ValueError("cannot choose from an empty collection")
+    generator = as_generator(rng)
+    return items[int(generator.integers(0, len(items)))]
+
+
+def weighted_choice(items: Iterable, weights: Iterable[float], rng: RNGLike = None):
+    """Pick an element of ``items`` with probability proportional to ``weights``."""
+    items = list(items)
+    weights_array = np.asarray(list(weights), dtype=float)
+    if len(items) != len(weights_array):
+        raise ValueError("items and weights must have the same length")
+    if len(items) == 0:
+        raise ValueError("cannot choose from an empty collection")
+    total = weights_array.sum()
+    if total <= 0:
+        raise ValueError("weights must have a positive sum")
+    generator = as_generator(rng)
+    index = generator.choice(len(items), p=weights_array / total)
+    return items[int(index)]

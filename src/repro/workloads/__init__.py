@@ -1,0 +1,43 @@
+"""Synthetic workload generators: random graphs, random databases and random
+query families.
+
+These stand in for the abstract query classes Φ_C and arbitrary databases D
+that the paper's theorems quantify over (DESIGN.md records this as the only
+"data" substitution: the paper has no datasets, so all workloads are
+synthetic by construction)."""
+
+from repro.workloads.graphs import (
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_bipartite_graph,
+    random_regular_ish_graph,
+)
+from repro.workloads.databases import (
+    database_from_graph,
+    random_database,
+    random_high_arity_database,
+)
+from repro.workloads.queries import (
+    random_bounded_treewidth_query,
+    random_path_workload,
+    random_star_workload,
+    random_tree_query,
+)
+
+__all__ = [
+    "erdos_renyi_graph",
+    "path_graph",
+    "grid_graph",
+    "power_law_graph",
+    "random_bipartite_graph",
+    "random_regular_ish_graph",
+    "database_from_graph",
+    "random_database",
+    "random_high_arity_database",
+    "random_tree_query",
+    "random_bounded_treewidth_query",
+    "random_path_workload",
+    "random_star_workload",
+]

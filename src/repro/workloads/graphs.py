@@ -1,0 +1,97 @@
+"""Random graph generators used by benches and tests.
+
+All generators accept an ``rng`` (seed or generator) and return
+:class:`networkx.Graph` instances; databases are derived from them with
+:func:`repro.workloads.databases.database_from_graph`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.util.rng import RNGLike, as_generator
+
+
+def erdos_renyi_graph(num_vertices: int, edge_probability: float, rng: RNGLike = None) -> nx.Graph:
+    """An Erdős–Rényi G(n, p) graph."""
+    generator = as_generator(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_vertices))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if generator.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(num_vertices: int) -> nx.Graph:
+    """The path on ``num_vertices`` vertices."""
+    return nx.path_graph(num_vertices)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """The rows x cols grid graph with integer-tuple vertices."""
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+    return graph
+
+
+def random_bipartite_graph(
+    left: int, right: int, edge_probability: float, rng: RNGLike = None
+) -> nx.Graph:
+    """A random bipartite graph with parts {0..left-1} and {left..left+right-1}."""
+    generator = as_generator(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(left + right))
+    for u in range(left):
+        for v in range(left, left + right):
+            if generator.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def power_law_graph(num_vertices: int, edges_per_vertex: int = 2, rng: RNGLike = None) -> nx.Graph:
+    """A Barabási–Albert style preferential-attachment graph (heavy-tailed
+    degree distribution), built without relying on networkx's global RNG."""
+    generator = as_generator(rng)
+    edges_per_vertex = max(1, min(edges_per_vertex, max(num_vertices - 1, 1)))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_vertices))
+    if num_vertices <= 1:
+        return graph
+    # Seed clique of size edges_per_vertex + 1.
+    seed = min(edges_per_vertex + 1, num_vertices)
+    for u in range(seed):
+        for v in range(u + 1, seed):
+            graph.add_edge(u, v)
+    targets = [v for u in range(seed) for v in [u] * max(graph.degree(u), 1)]
+    for new_vertex in range(seed, num_vertices):
+        chosen = set()
+        while len(chosen) < edges_per_vertex and targets:
+            candidate = targets[int(generator.integers(0, len(targets)))]
+            chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge(new_vertex, target)
+            targets.extend([new_vertex, target])
+    return graph
+
+
+def random_regular_ish_graph(num_vertices: int, degree: int, rng: RNGLike = None) -> nx.Graph:
+    """An approximately ``degree``-regular graph built by a configuration-model
+    style pairing with rejection of loops and multi-edges."""
+    generator = as_generator(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_vertices))
+    stubs = [v for v in range(num_vertices) for _ in range(degree)]
+    generator.shuffle(stubs)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,136 @@
+"""Random query-family generators.
+
+These produce members of the query classes Φ_C the paper's theorems quantify
+over: random bounded-treewidth (tree-shaped) queries with a controllable mix
+of free/existential variables and optional disequalities / negations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.hypergraph.generators import tree_hypergraph
+from repro.queries.atoms import Atom, Disequality, NegatedAtom
+from repro.queries.query import ConjunctiveQuery
+from repro.util.rng import RNGLike, as_generator
+
+
+def random_tree_query(
+    num_variables: int,
+    num_free: Optional[int] = None,
+    num_disequalities: int = 0,
+    num_negations: int = 0,
+    relation: str = "E",
+    negated_relation: str = "F",
+    rng: RNGLike = None,
+) -> ConjunctiveQuery:
+    """A random tree-shaped query (treewidth 1, arity 2).
+
+    The atom structure is a uniformly random labelled tree on the variables;
+    ``num_free`` variables are kept free (default: about half); disequalities
+    and negated atoms are added over random variable pairs.
+    """
+    if num_variables < 2:
+        raise ValueError("need at least two variables")
+    generator = as_generator(rng)
+    tree = tree_hypergraph(num_variables, rng=generator)
+    variables = [f"x{i}" for i in range(num_variables)]
+    atoms: List[Atom] = []
+    for edge in sorted(tree.edges, key=lambda e: sorted(e)):
+        u, v = sorted(edge)
+        atoms.append(Atom(relation, (variables[u], variables[v])))
+
+    if num_free is None:
+        num_free = max(1, num_variables // 2)
+    num_free = max(1, min(num_free, num_variables))
+    free = variables[:num_free]
+
+    pairs = [
+        (variables[i], variables[j])
+        for i in range(num_variables)
+        for j in range(i + 1, num_variables)
+    ]
+    disequalities: List[Disequality] = []
+    if num_disequalities > 0 and pairs:
+        chosen = generator.choice(
+            len(pairs), size=min(num_disequalities, len(pairs)), replace=False
+        )
+        disequalities = [Disequality(*pairs[int(i)]) for i in chosen]
+
+    negated: List[NegatedAtom] = []
+    if num_negations > 0 and pairs:
+        chosen = generator.choice(
+            len(pairs), size=min(num_negations, len(pairs)), replace=False
+        )
+        negated = [NegatedAtom(negated_relation, pairs[int(i)]) for i in chosen]
+
+    return ConjunctiveQuery(
+        free_variables=free,
+        atoms=atoms,
+        negated_atoms=negated,
+        disequalities=disequalities,
+    )
+
+
+def random_bounded_treewidth_query(
+    num_variables: int,
+    treewidth: int,
+    num_free: Optional[int] = None,
+    relation: str = "E",
+    rng: RNGLike = None,
+) -> ConjunctiveQuery:
+    """A random query whose hypergraph is a ``treewidth``-tree (a k-tree
+    subgraph): start from a (treewidth+1)-clique and attach each further
+    variable to a random existing bag of ``treewidth`` variables.  The
+    resulting treewidth is at most the requested bound."""
+    if treewidth < 1:
+        raise ValueError("treewidth must be at least 1")
+    if num_variables < treewidth + 1:
+        raise ValueError("need at least treewidth + 1 variables")
+    generator = as_generator(rng)
+    variables = [f"x{i}" for i in range(num_variables)]
+    atoms: List[Atom] = []
+    cliques: List[List[str]] = [variables[: treewidth + 1]]
+    for i in range(treewidth + 1):
+        for j in range(i + 1, treewidth + 1):
+            atoms.append(Atom(relation, (variables[i], variables[j])))
+    for index in range(treewidth + 1, num_variables):
+        base = cliques[int(generator.integers(0, len(cliques)))]
+        subset_indices = generator.choice(len(base), size=treewidth, replace=False)
+        subset = [base[int(i)] for i in subset_indices]
+        for other in subset:
+            atoms.append(Atom(relation, (variables[index], other)))
+        cliques.append(subset + [variables[index]])
+
+    if num_free is None:
+        num_free = max(1, num_variables // 2)
+    num_free = max(1, min(num_free, num_variables))
+    return ConjunctiveQuery(free_variables=variables[:num_free], atoms=atoms)
+
+
+def random_path_workload(
+    lengths: List[int], num_free: int = 2, rng: RNGLike = None
+) -> List[ConjunctiveQuery]:
+    """A family of path queries of the given lengths with ``num_free`` free
+    variables each (the rest existential)."""
+    queries = []
+    for length in lengths:
+        variables = [f"x{i}" for i in range(length + 1)]
+        atoms = [Atom("E", (variables[i], variables[i + 1])) for i in range(length)]
+        free = variables[: max(1, min(num_free, len(variables)))]
+        queries.append(ConjunctiveQuery(free_variables=free, atoms=atoms))
+    return queries
+
+
+def random_star_workload(
+    leaf_counts: List[int], with_disequalities: bool = False
+) -> List[ConjunctiveQuery]:
+    """The footnote-4 star-query family for the given leaf counts."""
+    from repro.queries.builders import star_query
+
+    return [
+        star_query(k, centre_free=False, with_disequalities=with_disequalities)
+        for k in leaf_counts
+    ]

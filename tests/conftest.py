@@ -1,0 +1,68 @@
+"""Shared pytest fixtures: small graphs, databases and queries reused across
+the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.queries.builders import friends_query, path_query, star_query
+from repro.relational.structure import Database
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+
+@pytest.fixture
+def triangle_database() -> Database:
+    """The (symmetric) triangle graph on {1, 2, 3}."""
+    return Database.from_graph_edges([(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def small_graph() -> nx.Graph:
+    """A fixed 8-vertex Erdős–Rényi graph."""
+    return erdos_renyi_graph(8, 0.35, rng=7)
+
+
+@pytest.fixture
+def small_database(small_graph) -> Database:
+    return database_from_graph(small_graph)
+
+
+@pytest.fixture
+def medium_graph() -> nx.Graph:
+    """A fixed 15-vertex Erdős–Rényi graph."""
+    return erdos_renyi_graph(15, 0.25, rng=11)
+
+
+@pytest.fixture
+def medium_database(medium_graph) -> Database:
+    return database_from_graph(medium_graph)
+
+
+@pytest.fixture
+def friends_db() -> Database:
+    """A friendship database for the introduction's example query."""
+    edges = [("alice", "bob"), ("alice", "carol"), ("bob", "carol"),
+             ("dave", "alice"), ("erin", "dave")]
+    database = Database(universe=["alice", "bob", "carol", "dave", "erin", "frank"])
+    for a, b in edges:
+        database.add_fact("F", (a, b))
+        database.add_fact("F", (b, a))
+    return database
+
+
+@pytest.fixture
+def two_hop_query():
+    """A CQ with an existential middle variable: Ans(x, y) :- E(x,z), E(z,y)."""
+    return path_query(2, free_endpoints_only=True)
+
+
+@pytest.fixture
+def friends_query_fixture():
+    return friends_query()
+
+
+@pytest.fixture
+def star3_dcq():
+    """The footnote-4 star query with 3 pairwise-distinct leaves."""
+    return star_query(3, with_disequalities=True)

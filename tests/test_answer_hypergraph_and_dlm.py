@@ -1,0 +1,224 @@
+"""Tests for the answer hypergraph H(phi, D) (Definition 24, Observation 25),
+the EdgeFree oracles (direct and colour-coding, Lemma 30) and the
+Dell–Lapinskas–Meeks estimation framework (Theorem 17)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ColourCodingEdgeFreeOracle,
+    DirectEdgeFreeOracle,
+    approx_count_via_oracle,
+    build_answer_hypergraph,
+    exact_count_via_oracle,
+    list_edges_via_oracle,
+    vertex_classes,
+)
+from repro.core.colour_coding import required_colouring_repetitions
+from repro.core.dlm import OracleCallCounter
+from repro.hypergraph import PartiteHypergraph
+from repro.queries import parse_query
+from repro.queries.builders import path_query, star_query
+from repro.relational import Database
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+
+class TestAnswerHypergraph:
+    def test_observation_25_bijection(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y)")
+        hypergraph = build_answer_hypergraph(query, triangle_database)
+        answers = query.answers(triangle_database)
+        assert hypergraph.num_edges() == len(answers)
+        for answer in answers:
+            edge = [(value, index) for index, value in enumerate(answer)]
+            assert hypergraph.has_edge(edge)
+
+    def test_vertex_classes(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        classes = vertex_classes(query, triangle_database)
+        assert len(classes) == 2
+        assert classes[0] == {(1, 0), (2, 0), (3, 0)}
+
+    def test_uniformity(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y), x != y")
+        hypergraph = build_answer_hypergraph(query, triangle_database)
+        assert isinstance(hypergraph, PartiteHypergraph)
+        assert hypergraph.is_uniform(2)
+
+
+class TestDirectEdgeFreeOracle:
+    def test_agrees_with_explicit_hypergraph(self, small_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        explicit = build_answer_hypergraph(query, small_database)
+        oracle = DirectEdgeFreeOracle(query, small_database)
+        classes = vertex_classes(query, small_database)
+        # Full classes.
+        assert oracle.edge_free(classes) == explicit.is_edge_free()
+        # Several restrictions.
+        universe = sorted(small_database.universe, key=repr)
+        for i, a in enumerate(universe[:4]):
+            for b in universe[:4]:
+                subsets = [{(a, 0)}, {(b, 1)}]
+                expected = explicit.restrict(subsets).is_edge_free()
+                assert oracle.edge_free(subsets) == expected
+
+    def test_empty_subset_is_edge_free(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        oracle = DirectEdgeFreeOracle(query, triangle_database)
+        assert oracle.edge_free([set(), {(1, 1)}])
+
+    def test_misaligned_subset_rejected(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        oracle = DirectEdgeFreeOracle(query, triangle_database)
+        with pytest.raises(ValueError):
+            oracle.edge_free([{(1, 1)}, {(2, 1)}])
+
+    def test_negated_atoms(self):
+        database = Database.from_relations(
+            {"E": [(1, 2), (2, 1)], "F": [(1, 2)]}, universe=[1, 2]
+        )
+        query = parse_query("Ans(x, y) :- E(x, y), !F(x, y)")
+        oracle = DirectEdgeFreeOracle(query, database)
+        assert oracle.edge_free([{(1, 0)}, {(2, 1)}])  # (1,2) is in F
+        assert not oracle.edge_free([{(2, 0)}, {(1, 1)}])  # (2,1) is not in F
+
+
+class TestColourCodingOracle:
+    def test_repetition_formula(self):
+        assert required_colouring_repetitions(0, 0.1) == 1
+        assert required_colouring_repetitions(1, 0.5) == pytest.approx(3, abs=1)
+        assert required_colouring_repetitions(2, 0.5) > required_colouring_repetitions(1, 0.5)
+
+    def test_matches_direct_oracle_on_small_instance(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        direct = DirectEdgeFreeOracle(query, triangle_database)
+        colour = ColourCodingEdgeFreeOracle(
+            query, triangle_database, failure_probability=0.01, rng=0
+        )
+        for a in triangle_database.universe:
+            for b in triangle_database.universe:
+                subsets = [{(a, 0)}, {(b, 1)}]
+                assert colour.edge_free(subsets) == direct.edge_free(subsets)
+
+    def test_no_disequalities_single_repetition(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        oracle = ColourCodingEdgeFreeOracle(query, triangle_database, rng=0)
+        assert oracle.repetitions == 1
+        assert not oracle.edge_free([{(1, 0)}, {(2, 1)}])
+
+    def test_truncation_flag(self):
+        database = Database.from_graph_edges([(1, 2), (2, 3)])
+        query = parse_query(
+            "Ans(w, x, y, z) :- E(w, x), E(x, y), E(y, z), w != x, w != y, w != z, "
+            "x != y, x != z, y != z"
+        )
+        oracle = ColourCodingEdgeFreeOracle(
+            query, database, failure_probability=0.001, rng=0, max_repetitions=8
+        )
+        assert oracle.truncated
+        assert oracle.repetitions == 8
+
+
+class TestDLMFramework:
+    def _explicit_oracle(self, hypergraph: PartiteHypergraph):
+        def oracle(subsets):
+            return hypergraph.restrict(subsets).is_edge_free()
+
+        return oracle
+
+    def _random_partite(self, num_per_class, num_classes, num_edges, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        classes = [
+            [(f"v{i}", c) for i in range(num_per_class)] for c in range(num_classes)
+        ]
+        hypergraph = PartiteHypergraph(classes)
+        for _ in range(num_edges):
+            edge = [classes[c][int(rng.integers(0, num_per_class))] for c in range(num_classes)]
+            hypergraph.add_edge(edge)
+        return hypergraph
+
+    def test_exact_count_via_oracle(self):
+        hypergraph = self._random_partite(6, 2, 12, seed=0)
+        count, complete = exact_count_via_oracle(
+            hypergraph.classes, self._explicit_oracle(hypergraph)
+        )
+        assert complete
+        assert count == hypergraph.num_edges()
+
+    def test_exact_count_with_cap(self):
+        hypergraph = self._random_partite(8, 2, 30, seed=1)
+        count, complete = exact_count_via_oracle(
+            hypergraph.classes, self._explicit_oracle(hypergraph), cap=5
+        )
+        assert not complete
+        assert count == 5
+
+    def test_list_edges_via_oracle(self):
+        hypergraph = self._random_partite(5, 3, 8, seed=2)
+        edges = list_edges_via_oracle(hypergraph.classes, self._explicit_oracle(hypergraph))
+        assert len(edges) == hypergraph.num_edges()
+        for edge in edges:
+            assert hypergraph.has_edge(edge)
+
+    def test_empty_hypergraph(self):
+        hypergraph = PartiteHypergraph([[(1, 0)], [(2, 1)]])
+        count, complete = exact_count_via_oracle(
+            hypergraph.classes, self._explicit_oracle(hypergraph)
+        )
+        assert complete and count == 0
+        assert approx_count_via_oracle(
+            hypergraph.classes, self._explicit_oracle(hypergraph), 0.3, 0.2, rng=0
+        ) == 0.0
+
+    def test_small_counts_are_exact(self):
+        hypergraph = self._random_partite(6, 2, 10, seed=3)
+        estimate = approx_count_via_oracle(
+            hypergraph.classes, self._explicit_oracle(hypergraph), epsilon=0.3, delta=0.1, rng=0
+        )
+        assert estimate == hypergraph.num_edges()
+
+    def test_large_counts_within_tolerance(self):
+        hypergraph = self._random_partite(14, 2, 170, seed=4)
+        truth = hypergraph.num_edges()
+        estimate = approx_count_via_oracle(
+            hypergraph.classes, self._explicit_oracle(hypergraph), epsilon=0.2, delta=0.1, rng=5
+        )
+        assert abs(estimate - truth) <= 0.45 * truth
+
+    def test_oracle_call_counter(self):
+        hypergraph = self._random_partite(5, 2, 6, seed=6)
+        counter = OracleCallCounter(self._explicit_oracle(hypergraph))
+        exact_count_via_oracle(hypergraph.classes, counter)
+        assert counter.calls > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_per_class=st.integers(min_value=1, max_value=6),
+    num_edges=st.integers(min_value=0, max_value=20),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_exact_oracle_count_matches_truth(num_per_class, num_edges, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    classes = [[(f"a{i}", 0) for i in range(num_per_class)],
+               [(f"b{i}", 1) for i in range(num_per_class)]]
+    hypergraph = PartiteHypergraph(classes)
+    for _ in range(num_edges):
+        hypergraph.add_edge(
+            [classes[0][int(rng.integers(0, num_per_class))],
+             classes[1][int(rng.integers(0, num_per_class))]]
+        )
+
+    def oracle(subsets):
+        return hypergraph.restrict(subsets).is_edge_free()
+
+    count, complete = exact_count_via_oracle(hypergraph.classes, oracle)
+    assert complete
+    assert count == hypergraph.num_edges()

@@ -1,0 +1,163 @@
+"""Tests for the application modules: locally injective homomorphisms
+(Corollary 6), the Hamiltonian-path construction (Observation 10) and the
+footnote-4 star queries."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications import (
+    count_hamiltonian_paths_dp,
+    count_locally_injective_homomorphisms_approx,
+    count_locally_injective_homomorphisms_exact,
+    count_star_answers_centre_free_closed_form,
+    hamiltonian_instance,
+    is_locally_injective_homomorphism,
+    lihom_query_and_database,
+    star_instance,
+)
+from repro.applications.locally_injective import common_neighbour_pairs
+from repro.core import count_answers_exact
+from repro.hypergraph import Hypergraph
+from repro.queries.builders import star_query
+from repro.workloads import erdos_renyi_graph
+
+
+class TestLocallyInjective:
+    def test_common_neighbour_pairs_path(self):
+        graph = nx.path_graph(3)  # 0 - 1 - 2; 0 and 2 share neighbour 1
+        assert common_neighbour_pairs(graph) == [(0, 2)]
+
+    def test_encoding_answers_equal_lihoms(self):
+        """The one-to-one correspondence claimed in the paper: answers of the
+        ECQ encoding = locally injective homomorphisms."""
+        pattern = nx.path_graph(3)
+        host = erdos_renyi_graph(6, 0.5, rng=0)
+        query, database = lihom_query_and_database(pattern, host)
+        assert count_answers_exact(query, database) == (
+            count_locally_injective_homomorphisms_exact(pattern, host)
+        )
+
+    def test_star_pattern_encoding(self):
+        pattern = nx.star_graph(3)  # centre 0, leaves 1..3
+        host = erdos_renyi_graph(7, 0.4, rng=1)
+        query, database = lihom_query_and_database(pattern, host)
+        assert count_answers_exact(query, database) == (
+            count_locally_injective_homomorphisms_exact(pattern, host)
+        )
+
+    def test_definition_check(self):
+        pattern = nx.star_graph(2)
+        host = nx.complete_graph(3)
+        good = {0: 0, 1: 1, 2: 2}
+        bad = {0: 0, 1: 1, 2: 1}  # two leaves map to the same neighbour
+        assert is_locally_injective_homomorphism(good, pattern, host)
+        assert not is_locally_injective_homomorphism(bad, pattern, host)
+
+    def test_corollary_6_fptras(self):
+        pattern = nx.path_graph(3)
+        host = erdos_renyi_graph(8, 0.4, rng=2)
+        truth = count_locally_injective_homomorphisms_exact(pattern, host)
+        estimate = count_locally_injective_homomorphisms_approx(
+            pattern, host, epsilon=0.3, delta=0.2, rng=3
+        )
+        assert abs(estimate - truth) <= max(0.45 * truth, 1.0)
+
+    def test_query_treewidth_matches_pattern(self):
+        from repro.decomposition import exact_treewidth
+
+        pattern = nx.cycle_graph(4)
+        host = nx.complete_graph(4)
+        query, _ = lihom_query_and_database(pattern, host)
+        assert exact_treewidth(query.hypergraph()) == exact_treewidth(
+            Hypergraph.from_graph(pattern)
+        )
+
+    def test_rejects_edgeless_or_isolated_patterns(self):
+        host = nx.complete_graph(3)
+        with pytest.raises(ValueError):
+            lihom_query_and_database(nx.empty_graph(3), host)
+        pattern = nx.path_graph(2)
+        pattern.add_node(99)
+        with pytest.raises(ValueError):
+            lihom_query_and_database(pattern, host)
+
+
+class TestHamiltonian:
+    def test_dp_on_path_graph(self):
+        graph = nx.path_graph(4)
+        # A path graph has exactly one Hamiltonian path, counted in both
+        # directions by the DP.
+        assert count_hamiltonian_paths_dp(graph) == 2
+
+    def test_dp_on_complete_graph(self):
+        graph = nx.complete_graph(4)
+        # K4 has 4! / 1 = 24 directed Hamiltonian paths.
+        assert count_hamiltonian_paths_dp(graph) == 24
+
+    def test_dp_on_disconnected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        assert count_hamiltonian_paths_dp(graph) == 0
+
+    def test_observation_10_encoding(self):
+        """Answers of the Observation-10 DCQ are exactly the directed
+        Hamiltonian paths."""
+        graph = erdos_renyi_graph(5, 0.6, rng=4)
+        query, database = hamiltonian_instance(graph)
+        assert count_answers_exact(query, database) == count_hamiltonian_paths_dp(graph)
+
+    def test_query_treewidth_is_one(self):
+        from repro.decomposition import exact_treewidth
+
+        graph = nx.complete_graph(4)
+        query, _ = hamiltonian_instance(graph)
+        assert exact_treewidth(query.hypergraph()) == 1
+        assert query.arity() == 2
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(ValueError):
+            hamiltonian_instance(nx.path_graph(1))
+
+
+class TestStarQueries:
+    def test_closed_form_matches_exact_count(self):
+        graph = erdos_renyi_graph(6, 0.5, rng=5)
+        k = 2
+        query, database = star_instance(graph, k, centre_free=True)
+        assert count_answers_exact(query, database) == (
+            count_star_answers_centre_free_closed_form(graph, k)
+        )
+
+    def test_quantified_centre_is_at_most_centre_free(self):
+        """Projecting away the centre can only merge answers."""
+        graph = erdos_renyi_graph(6, 0.5, rng=6)
+        k = 2
+        quantified, database = star_instance(graph, k, centre_free=False)
+        free, _ = star_instance(graph, k, centre_free=True)
+        assert count_answers_exact(quantified, database) <= count_answers_exact(
+            free, database
+        )
+
+    def test_disequalities_reduce_count(self):
+        graph = erdos_renyi_graph(6, 0.6, rng=7)
+        plain, database = star_instance(graph, 2, with_disequalities=False)
+        distinct, _ = star_instance(graph, 2, with_disequalities=True)
+        assert count_answers_exact(distinct, database) <= count_answers_exact(
+            plain, database
+        )
+
+    def test_closed_form_validation(self):
+        with pytest.raises(ValueError):
+            count_star_answers_centre_free_closed_form(nx.path_graph(3), 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_hamiltonian_encoding_random_graphs(seed):
+    graph = erdos_renyi_graph(5, 0.5, rng=seed)
+    query, database = hamiltonian_instance(graph)
+    assert count_answers_exact(query, database) == count_hamiltonian_paths_dp(graph)

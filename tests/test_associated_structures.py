@@ -1,0 +1,186 @@
+"""Tests for the associated structures A(phi), B(phi, D), Â(phi), B̂(...)
+(Definitions 18, 20, 26, 28) and their size bounds (Observations 19, 21, 27)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.associated_structures import (
+    BLUE,
+    RED,
+    build_A,
+    build_A_hat,
+    build_B,
+    build_B_hat,
+    colour_relation_names,
+    negated_symbol_name,
+    size_bound_A,
+    size_bound_A_hat,
+    variable_order,
+    variable_relation_name,
+)
+from repro.queries import parse_query
+from repro.relational import Database, count_homomorphisms, exists_homomorphism
+from repro.relational.structure import Structure
+
+
+@pytest.fixture
+def ecq():
+    return parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y, !F(x, y)")
+
+
+@pytest.fixture
+def simple_db():
+    return Database.from_relations(
+        {"E": [(1, 2), (2, 3), (2, 1), (3, 2)], "F": [(1, 3)]}, universe=[1, 2, 3]
+    )
+
+
+class TestVariableOrder:
+    def test_free_variables_first(self, ecq):
+        order = variable_order(ecq)
+        assert order[:2] == ["x", "y"]
+        assert set(order[2:]) == {"z"}
+
+
+class TestAPhi:
+    def test_universe_is_vars(self, ecq):
+        structure = build_A(ecq)
+        assert structure.universe == ecq.variables
+
+    def test_positive_and_negated_relations(self, ecq):
+        structure = build_A(ecq)
+        assert structure.has_fact("E", ("x", "z"))
+        assert structure.has_fact("E", ("z", "y"))
+        assert structure.has_fact(negated_symbol_name("F"), ("x", "y"))
+
+    def test_size_bound_observation_19(self, ecq):
+        structure = build_A(ecq)
+        assert structure.size() <= size_bound_A(ecq)
+
+    def test_hypergraph_matches_query_hypergraph(self, ecq):
+        """Footnote 7: H(phi) and H(A(phi)) coincide."""
+        assert build_A(ecq).hypergraph().edges == ecq.hypergraph().edges
+
+
+class TestBPhiD:
+    def test_positive_relations_copied(self, ecq, simple_db):
+        structure = build_B(ecq, simple_db)
+        assert structure.relation("E") == simple_db.relation("E")
+
+    def test_negated_relation_is_complement(self, ecq, simple_db):
+        structure = build_B(ecq, simple_db)
+        complement = structure.relation(negated_symbol_name("F"))
+        assert (1, 3) not in complement
+        assert (3, 1) in complement
+        assert len(complement) == 9 - 1
+
+    def test_universe_is_database_universe(self, ecq, simple_db):
+        assert build_B(ecq, simple_db).universe == simple_db.universe
+
+    def test_missing_relation_raises(self, ecq):
+        database = Database.from_relations({"E": [(1, 2)]})
+        query = parse_query("Ans(x) :- R(x, y)")
+        with pytest.raises(ValueError):
+            build_B(query, database)
+
+    def test_homomorphisms_count_solutions_without_disequalities(self, simple_db):
+        """For an ECQ without disequalities, |Hom(A(phi) -> B(phi, D))| equals
+        |Sol(phi, D)| (equation (2) with ∆(phi) = ∅)."""
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), !F(x, y)")
+        from repro.core.exact import count_solutions_exact
+
+        a_structure = build_A(query)
+        b_structure = build_B(query, simple_db)
+        assert count_homomorphisms(a_structure, b_structure) == count_solutions_exact(
+            query, simple_db
+        )
+
+
+class TestAHat:
+    def test_unary_variable_relations(self, ecq):
+        structure = build_A_hat(ecq)
+        for variable in ecq.variables:
+            assert structure.has_fact(variable_relation_name(variable), (variable,))
+
+    def test_colour_relations_for_disequalities(self, ecq):
+        structure = build_A_hat(ecq)
+        (pair,) = ecq.delta()
+        red_name, blue_name = colour_relation_names(ecq, pair)
+        assert structure.relation(red_name) != structure.relation(blue_name)
+        assert len(structure.relation(red_name)) == 1
+        assert len(structure.relation(blue_name)) == 1
+
+    def test_size_bound_observation_27(self, ecq):
+        structure = build_A_hat(ecq)
+        assert structure.size() <= size_bound_A_hat(ecq)
+
+    def test_a_hat_extends_a(self, ecq):
+        base = build_A(ecq)
+        hat = build_A_hat(ecq)
+        for symbol in base.signature:
+            assert hat.relation(symbol.name) == base.relation(symbol.name)
+
+
+class TestBHat:
+    def _full_subsets(self, query, database):
+        return [
+            {(value, index) for value in database.universe}
+            for index in range(query.num_free())
+        ]
+
+    def _all_red_blue_colouring(self, query, database, left_value):
+        colouring = {}
+        for pair in query.delta():
+            colouring[pair] = {
+                value: (RED if value == left_value else BLUE) for value in database.universe
+            }
+        return colouring
+
+    def test_universe_tags(self, ecq, simple_db):
+        subsets = self._full_subsets(ecq, simple_db)
+        colouring = self._all_red_blue_colouring(ecq, simple_db, left_value=1)
+        structure = build_B_hat(ecq, simple_db, subsets, colouring)
+        tags = {tag for _, tag in structure.universe}
+        assert tags == {0, 1, 2}
+
+    def test_requires_colouring_for_disequalities(self, ecq, simple_db):
+        subsets = self._full_subsets(ecq, simple_db)
+        with pytest.raises(ValueError):
+            build_B_hat(ecq, simple_db, subsets, colouring=None)
+
+    def test_lemma_30_forward_direction(self, simple_db):
+        """If the restricted answer hypergraph has an edge, some colouring
+        admits a homomorphism Â -> B̂ (checked by trying a witnessing
+        colouring on a query with one disequality)."""
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        # (1, 3) is an answer with witness z = 2, and 1 != 3.
+        subsets = [
+            {(1, 0)},
+            {(3, 1)},
+        ]
+        (pair,) = query.delta()
+        colouring = {pair: {1: RED, 2: BLUE, 3: BLUE}}
+        a_hat = build_A_hat(query)
+        b_hat = build_B_hat(query, simple_db, subsets, colouring)
+        assert exists_homomorphism(a_hat, b_hat)
+
+    def test_lemma_30_no_edge_means_no_homomorphism(self, simple_db):
+        """If the restriction has no answer, no colouring admits a
+        homomorphism (one-sided correctness of the reduction)."""
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        # (1, 1) is excluded by the disequality; (1, y=1) restriction:
+        subsets = [{(1, 0)}, {(1, 1)}]
+        (pair,) = query.delta()
+        a_hat = build_A_hat(query)
+        for left_value in simple_db.universe:
+            colouring = {pair: {v: (RED if v == left_value else BLUE) for v in simple_db.universe}}
+            b_hat = build_B_hat(query, simple_db, subsets, colouring)
+            assert not exists_homomorphism(a_hat, b_hat)
+
+    def test_subset_tag_validation(self, ecq, simple_db):
+        subsets = self._full_subsets(ecq, simple_db)
+        subsets[0] = {(1, 1)}  # wrong tag
+        colouring = self._all_red_blue_colouring(ecq, simple_db, left_value=1)
+        with pytest.raises(ValueError):
+            build_B_hat(ecq, simple_db, subsets, colouring)

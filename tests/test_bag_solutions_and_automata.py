@@ -1,0 +1,295 @@
+"""Tests for bag solutions (Lemma 48), tree automata (Definitions 49/50) and
+the Lemma-52 reduction used by the Theorem-16 FPRAS."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bag_solutions import (
+    are_consistent,
+    assignment_dict,
+    assignment_key,
+    bag_solutions,
+    compose,
+    project,
+    project_solutions,
+    solutions_consistent_with,
+)
+from repro.core.fpras import build_tree_automaton
+from repro.core.tree_automaton import RootedTree, TreeAutomaton, _enumerate_trees
+from repro.core import count_answers_exact
+from repro.queries import parse_query
+from repro.queries.builders import path_query, star_query
+from repro.relational import Database
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+
+class TestAssignmentHelpers:
+    def test_key_round_trip(self):
+        assignment = {"x": 1, "y": 2}
+        assert assignment_dict(assignment_key(assignment)) == assignment
+
+    def test_consistency(self):
+        assert are_consistent({"x": 1}, {"y": 2})
+        assert are_consistent({"x": 1, "y": 2}, {"y": 2})
+        assert not are_consistent({"x": 1}, {"x": 2})
+
+    def test_compose(self):
+        assert compose({"x": 1}, {"y": 2}) == {"x": 1, "y": 2}
+        with pytest.raises(ValueError):
+            compose({"x": 1}, {"x": 2})
+
+    def test_project(self):
+        assert project({"x": 1, "y": 2}, ["y", "z"]) == {"y": 2}
+
+
+class TestBagSolutions:
+    def test_rejects_non_cq(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y), x != y")
+        with pytest.raises(ValueError):
+            bag_solutions(query, triangle_database, {"x"})
+
+    def test_empty_bag(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        solutions = bag_solutions(query, triangle_database, set())
+        assert solutions == {assignment_key({})}
+
+    def test_empty_bag_with_empty_relation(self):
+        from repro.relational import RelationSymbol, Signature
+
+        database = Database(signature=Signature([RelationSymbol("E", 2)]), universe=[1])
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        assert bag_solutions(query, database, set()) == set()
+
+    def test_definition_47_reference(self, small_database):
+        """Sol(phi, D, B) matches a brute-force evaluation of Definition 47."""
+        query = parse_query("Ans(x) :- E(x, y), E(y, z)")
+        bag = {"x", "y"}
+        computed = bag_solutions(query, small_database, bag)
+
+        universe = sorted(small_database.universe, key=repr)
+        expected = set()
+        import itertools
+
+        for values in itertools.product(universe, repeat=len(bag)):
+            alpha = dict(zip(sorted(bag), values))
+            ok = True
+            for atom in query.atoms:
+                exists = False
+                for fact in small_database.relation(atom.relation):
+                    consistent = True
+                    witness = {}
+                    for position, variable in enumerate(atom.args):
+                        value = fact[position]
+                        if variable in alpha and alpha[variable] != value:
+                            consistent = False
+                            break
+                        if variable in witness and witness[variable] != value:
+                            consistent = False
+                            break
+                        witness[variable] = value
+                    if consistent:
+                        exists = True
+                        break
+                if not exists:
+                    ok = False
+                    break
+            if ok:
+                expected.add(assignment_key(alpha))
+        assert computed == expected
+
+    def test_full_bag_equals_solutions(self, triangle_database):
+        from repro.core import count_solutions_exact
+
+        query = parse_query("Ans(x, y) :- E(x, y), E(y, x)")
+        full = bag_solutions(query, triangle_database, query.variables)
+        assert len(full) == count_solutions_exact(query, triangle_database)
+
+    def test_project_solutions(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        solutions = bag_solutions(query, triangle_database, {"x", "y"})
+        projected = project_solutions(solutions, ["x"])
+        assert projected == {assignment_key({"x": v}) for v in triangle_database.universe}
+
+    def test_solutions_consistent_with(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        solutions = bag_solutions(query, triangle_database, {"x", "y"})
+        anchored = solutions_consistent_with(solutions, assignment_key({"x": 1}))
+        assert all(dict(key)["x"] == 1 for key in anchored)
+        assert len(anchored) == 2  # 1-2 and 1-3 in the symmetric triangle
+
+    def test_unknown_bag_variable(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        with pytest.raises(ValueError):
+            bag_solutions(query, triangle_database, {"nope"})
+
+
+class TestTreeAutomaton:
+    def _simple_automaton(self):
+        """Accepts the single-node tree labelled "a" or a root labelled "a"
+        with one child labelled "b"."""
+        return TreeAutomaton(
+            states=["s0", "s1"],
+            alphabet=["a", "b"],
+            transitions={
+                ("s0", "a"): [(), ("s1",)],
+                ("s1", "b"): [()],
+            },
+            initial_state="s0",
+        )
+
+    def test_accepts_single_node(self):
+        automaton = self._simple_automaton()
+        tree = RootedTree(root=0, children={0: ()})
+        assert automaton.accepts(tree, {0: "a"})
+        assert not automaton.accepts(tree, {0: "b"})
+
+    def test_accepts_two_nodes(self):
+        automaton = self._simple_automaton()
+        tree = RootedTree(root=0, children={0: (1,), 1: ()})
+        assert automaton.accepts(tree, {0: "a", 1: "b"})
+        assert not automaton.accepts(tree, {0: "a", 1: "a"})
+
+    def test_count_labelings_bruteforce(self):
+        automaton = self._simple_automaton()
+        tree = RootedTree(root=0, children={0: (1,), 1: ()})
+        assert automaton.count_labelings_bruteforce(tree) == 1
+
+    def test_count_labelings_estimator_matches_bruteforce(self):
+        automaton = self._simple_automaton()
+        tree = RootedTree(root=0, children={0: (1,), 1: ()})
+        estimate = automaton.count_labelings(tree, epsilon=0.1, delta=0.1, rng=0)
+        assert estimate == pytest.approx(1.0)
+
+    def test_nslice_bruteforce(self):
+        automaton = self._simple_automaton()
+        # Size-1 slice: only the single "a" node is accepted.
+        assert automaton.count_nslice_bruteforce(1) == 1
+        # Size-2 slice: only root "a" with child "b".
+        assert automaton.count_nslice_bruteforce(2) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TreeAutomaton(["s"], ["a"], {}, initial_state="missing")
+        with pytest.raises(ValueError):
+            TreeAutomaton(["s"], ["a"], {("s", "b"): [()]}, initial_state="s")
+        with pytest.raises(ValueError):
+            TreeAutomaton(["s"], ["a"], {("s", "a"): [("s", "s", "s")]}, initial_state="s")
+
+    def test_more_than_two_children_rejected(self):
+        with pytest.raises(ValueError):
+            RootedTree(root=0, children={0: (1, 2, 3), 1: (), 2: (), 3: ()})
+
+    def test_enumerate_trees_counts(self):
+        # Number of "at most binary, children ordered" trees on n nodes:
+        # n=1: 1, n=2: 1, n=3: 2 (chain or two children).
+        assert len(list(_enumerate_trees(1))) == 1
+        assert len(list(_enumerate_trees(2))) == 1
+        assert len(list(_enumerate_trees(3))) == 2
+
+    def test_nondeterministic_union_counting(self):
+        """An automaton whose two transitions accept overlapping languages:
+        the estimator must not double-count."""
+        automaton = TreeAutomaton(
+            states=["s0", "a1", "a2"],
+            alphabet=["r", "x", "y"],
+            transitions={
+                ("s0", "r"): [("a1",), ("a2",)],
+                # a1 accepts {x, y}; a2 accepts {y}.  Union has size 2.
+                ("a1", "x"): [()],
+                ("a1", "y"): [()],
+                ("a2", "y"): [()],
+            },
+            initial_state="s0",
+        )
+        tree = RootedTree(root=0, children={0: (1,), 1: ()})
+        assert automaton.count_labelings_bruteforce(tree) == 2
+        estimate = automaton.count_labelings(tree, epsilon=0.1, delta=0.1, rng=1)
+        assert abs(estimate - 2.0) <= 0.5
+
+    def test_sample_labeling(self):
+        automaton = self._simple_automaton()
+        tree = RootedTree(root=0, children={0: (1,), 1: ()})
+        labeling = automaton.sample_labeling(tree, rng=2)
+        assert labeling == {0: "a", 1: "b"}
+
+    def test_sample_labeling_empty_language(self):
+        automaton = self._simple_automaton()
+        tree = RootedTree(root=0, children={0: (1, 2), 1: (), 2: ()})
+        assert automaton.sample_labeling(tree, rng=3) is None
+
+
+class TestLemma52Reduction:
+    def test_bijection_with_answers(self, small_database):
+        """|L(A)| over the fixed decomposition tree equals |Ans(phi, D)| —
+        verified through the estimator on small instances."""
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y)")
+        reduction = build_tree_automaton(query, small_database)
+        truth = count_answers_exact(query, small_database)
+        if truth == 0:
+            assert reduction.empty_language()
+            return
+        estimate = reduction.automaton.count_labelings(
+            reduction.tree,
+            epsilon=0.2,
+            delta=0.1,
+            rng=0,
+            disjoint_union_hints=reduction.disjoint_union_hint,
+        )
+        assert abs(estimate - truth) <= max(0.4 * truth, 1.0)
+
+    def test_empty_language_detected_by_estimator(self):
+        """No (x, y) pair has both edge directions, so there are no answers;
+        Sol(phi, D, ∅) is non-empty (each atom has a tuple in isolation), so
+        the emptiness is detected by the estimator, not the root check."""
+        database = Database.from_relations({"E": [(1, 2)]}, universe=[1, 2])
+        query = parse_query("Ans(x) :- E(x, y), E(y, x)")
+        reduction = build_tree_automaton(query, database)
+        assert not reduction.empty_language()
+        estimate = reduction.automaton.count_labelings(
+            reduction.tree, epsilon=0.3, delta=0.2, rng=0,
+            disjoint_union_hints=reduction.disjoint_union_hint,
+        )
+        assert estimate == 0.0
+
+    def test_empty_language_root_check(self):
+        """An empty relation makes Sol(phi, D, ∅) itself empty."""
+        from repro.relational import RelationSymbol, Signature
+
+        database = Database(signature=Signature([RelationSymbol("E", 2)]), universe=[1, 2])
+        query = parse_query("Ans(x) :- E(x, y)")
+        reduction = build_tree_automaton(query, database)
+        assert reduction.empty_language()
+
+    def test_rejects_non_cq(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y), x != y")
+        with pytest.raises(ValueError):
+            build_tree_automaton(query, triangle_database)
+
+    def test_accepted_labelings_correspond_to_answers(self, triangle_database):
+        """Sample a labelling from the automaton and check that composing its
+        labels yields an actual answer (the forward direction of Lemma 52)."""
+        query = star_query(2)  # 2 leaves, quantified centre
+        reduction = build_tree_automaton(query, triangle_database)
+        assert not reduction.empty_language()
+        labeling = reduction.automaton.sample_labeling(
+            reduction.tree, rng=1, disjoint_union_hints=reduction.disjoint_union_hint
+        )
+        assert labeling is not None
+        # Each label is (node, projected assignment); compose them.
+        assignment = {}
+        for node, label in labeling.items():
+            _, beta = label
+            for variable, value in beta:
+                assert assignment.get(variable, value) == value
+                assignment[variable] = value
+        answer = tuple(assignment[v] for v in query.free_variables)
+        assert query.is_answer(answer, triangle_database)
+
+    def test_states_and_labels_counts(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        reduction = build_tree_automaton(query, triangle_database)
+        assert len(reduction.automaton.states) >= 1
+        assert reduction.tree.size() == reduction.decomposition.num_nodes()

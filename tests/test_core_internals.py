@@ -1,0 +1,133 @@
+"""Additional unit tests for internals of the core package: the oracle
+counting plumbing (permutation handling of Lemma 22), the colour-coding
+bookkeeping, the FPTRAS/FPRAS result records and the dispatcher edge cases."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.answer_hypergraph import DirectEdgeFreeOracle
+from repro.core.oracle_counting import (
+    GeneralEdgeFreeOracle,
+    OracleCountingStatistics,
+    approx_count_answers_via_oracle,
+    exact_count_answers_via_oracle,
+)
+from repro.core import count_answers_exact
+from repro.queries import parse_query
+from repro.queries.builders import path_query
+from repro.relational import Database
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+
+@pytest.fixture
+def two_free_query():
+    return parse_query("Ans(x, y) :- E(x, z), E(z, y)")
+
+
+class TestGeneralEdgeFreeOracle:
+    def test_permutation_step_of_lemma_22(self, triangle_database, two_free_query):
+        """The general oracle must accept subsets that are *not* aligned with
+        the classes U_i(D): it intersects with every class and tries all
+        permutations of the parts (proof of Lemma 22)."""
+        statistics = OracleCountingStatistics()
+        aligned = DirectEdgeFreeOracle(two_free_query, triangle_database)
+        general = GeneralEdgeFreeOracle(aligned, 2, statistics)
+
+        # W_1 holds candidates for the *second* free variable and vice versa;
+        # only the permuted alignment finds the answers.
+        w1 = {(1, 1), (2, 1)}
+        w2 = {(1, 0), (2, 0), (3, 0)}
+        assert general([w1, w2]) is False  # there is an answer
+        assert statistics.edgefree_calls == 1
+        assert statistics.aligned_calls >= 1
+
+    def test_mixed_subsets(self, triangle_database, two_free_query):
+        statistics = OracleCountingStatistics()
+        aligned = DirectEdgeFreeOracle(two_free_query, triangle_database)
+        general = GeneralEdgeFreeOracle(aligned, 2, statistics)
+        # A subset mixing tags contributes only its per-class parts.
+        w1 = {(1, 0), (2, 1)}
+        w2 = {(3, 0), (3, 1)}
+        result = general([w1, w2])
+        assert isinstance(result, bool)
+
+    def test_wrong_number_of_subsets(self, triangle_database, two_free_query):
+        statistics = OracleCountingStatistics()
+        aligned = DirectEdgeFreeOracle(two_free_query, triangle_database)
+        general = GeneralEdgeFreeOracle(aligned, 2, statistics)
+        with pytest.raises(ValueError):
+            general([{(1, 0)}])
+
+    def test_empty_intersection_means_edge_free(self, triangle_database, two_free_query):
+        statistics = OracleCountingStatistics()
+        aligned = DirectEdgeFreeOracle(two_free_query, triangle_database)
+        general = GeneralEdgeFreeOracle(aligned, 2, statistics)
+        # Both subsets tagged for class 0: no permutation gives a non-empty
+        # class-1 part, so the restriction is edge-free.
+        assert general([{(1, 0)}, {(2, 0)}]) is True
+
+
+class TestOracleCountingEndToEnd:
+    def test_statistics_mode_selection(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y), E(x, z), y != z")
+        _, statistics = approx_count_answers_via_oracle(
+            query, triangle_database, 0.3, 0.2, rng=0, oracle_mode="direct",
+            return_statistics=True,
+        )
+        assert statistics.oracle_mode == "direct"
+        assert statistics.edgefree_calls > 0
+
+    def test_auto_mode_falls_back_for_many_disequalities(self):
+        database = database_from_graph(erdos_renyi_graph(5, 0.6, rng=0))
+        query = parse_query(
+            "Ans(w, x, y, z) :- E(w, x), E(x, y), E(y, z), w != x, w != y, w != z, "
+            "x != y, x != z, y != z"
+        )
+        _, statistics = approx_count_answers_via_oracle(
+            query, database, 0.4, 0.2, rng=1, oracle_mode="auto",
+            max_colouring_repetitions=16, return_statistics=True,
+        )
+        assert statistics.oracle_mode == "direct"
+
+    def test_invalid_oracle_mode(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError):
+            approx_count_answers_via_oracle(query, triangle_database, 0.3, 0.2, oracle_mode="bogus")
+        with pytest.raises(ValueError):
+            exact_count_answers_via_oracle(query, triangle_database, oracle_mode="bogus")
+
+    def test_invalid_epsilon_delta(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError):
+            approx_count_answers_via_oracle(query, triangle_database, 0.0, 0.2)
+        with pytest.raises(ValueError):
+            approx_count_answers_via_oracle(query, triangle_database, 0.3, 1.0)
+
+    def test_exact_via_oracle_matches_baseline_with_disequalities(self, small_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        assert exact_count_answers_via_oracle(query, small_database) == (
+            count_answers_exact(query, small_database)
+        )
+
+    def test_boolean_query_via_oracle(self, triangle_database):
+        query = parse_query("Ans() :- E(x, y)")
+        assert exact_count_answers_via_oracle(query, triangle_database) == 1
+
+    def test_reproducibility_with_seed(self, small_database):
+        query = path_query(2, free_endpoints_only=True)
+        first = approx_count_answers_via_oracle(query, small_database, 0.3, 0.2, rng=7)
+        second = approx_count_answers_via_oracle(query, small_database, 0.3, 0.2, rng=7)
+        assert first == second
+
+
+class TestDirectOracleCallCounting:
+    def test_call_counter_increments(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        oracle = DirectEdgeFreeOracle(query, triangle_database)
+        assert oracle.calls == 0
+        oracle.edge_free([{(1, 0)}, {(2, 1)}])
+        oracle.edge_free([{(1, 0)}, {(1, 1)}])
+        assert oracle.calls == 2

@@ -1,0 +1,262 @@
+"""Integration tests for the paper's approximation schemes:
+
+* Theorem 5  — FPTRAS for bounded-treewidth, bounded-arity ECQs,
+* Theorem 13 — FPTRAS for bounded-adaptive-width DCQs,
+* Theorem 16 — FPRAS for bounded-fhw CQs,
+* the exact baselines they are compared against.
+
+All tests compare against exact counts on seeded instances with tolerance
+bands wider than the requested epsilon (the schemes are randomised)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    approx_count_answers,
+    count_answers_exact,
+    count_solutions_exact,
+    exact_count_answers_via_oracle,
+    fpras_count_cq,
+    fptras_count_dcq,
+    fptras_count_ecq,
+)
+from repro.queries import parse_query
+from repro.queries.builders import (
+    friends_query,
+    high_arity_acyclic_query,
+    path_query,
+    star_query,
+)
+from repro.relational import Database, RelationSymbol, Signature
+from repro.workloads import (
+    database_from_graph,
+    erdos_renyi_graph,
+    random_high_arity_database,
+)
+
+EPS = 0.3
+DELTA = 0.2
+
+
+def assert_close(estimate: float, truth: int, slack: float = 0.45) -> None:
+    """Tolerance band for randomised estimates: wider than epsilon to keep the
+    test suite deterministic-failure-free, but tight enough to catch real
+    bugs (an off-by-factor answer fails immediately)."""
+    if truth == 0:
+        assert estimate <= 0.5
+    else:
+        assert abs(estimate - truth) <= max(slack * truth, 1.0)
+
+
+class TestExactBaselines:
+    def test_backtracking_matches_bruteforce(self, small_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        assert count_answers_exact(query, small_database) == count_answers_exact(
+            query, small_database, method="bruteforce"
+        )
+
+    def test_solutions_at_least_answers(self, small_database):
+        query = parse_query("Ans(x) :- E(x, y), E(y, z)")
+        assert count_solutions_exact(query, small_database) >= count_answers_exact(
+            query, small_database
+        )
+
+    def test_empty_database(self):
+        database = Database(signature=Signature([RelationSymbol("E", 2)]), universe=[])
+        query = parse_query("Ans(x) :- E(x, y)")
+        assert count_answers_exact(query, database) == 0
+
+    def test_unknown_method(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError):
+            count_answers_exact(query, triangle_database, method="nope")
+
+
+class TestTheorem5FPTRAS:
+    def test_friends_query(self, friends_db):
+        query = friends_query()
+        truth = count_answers_exact(query, friends_db)
+        estimate = fptras_count_ecq(query, friends_db, EPS, DELTA, rng=0)
+        assert_close(estimate, truth)
+
+    def test_ecq_with_negation(self, small_database):
+        database = small_database.copy()
+        # Add a sparse second relation to negate.
+        universe = sorted(database.universe)
+        for i in range(0, len(universe) - 1, 3):
+            database.add_fact("F", (universe[i], universe[i + 1]))
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y, !F(x, y)")
+        truth = count_answers_exact(query, database)
+        estimate = fptras_count_ecq(query, database, EPS, DELTA, rng=1)
+        assert_close(estimate, truth)
+
+    def test_colour_coding_mode_small_instance(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y), E(x, z), y != z")
+        truth = count_answers_exact(query, triangle_database)
+        estimate = fptras_count_ecq(
+            query, triangle_database, EPS, DELTA, rng=2, oracle_mode="colour_coding"
+        )
+        assert_close(estimate, truth)
+
+    def test_direct_mode_matches(self, small_database):
+        query = star_query(2, with_disequalities=True)
+        truth = count_answers_exact(query, small_database)
+        estimate = fptras_count_ecq(
+            query, small_database, EPS, DELTA, rng=3, oracle_mode="direct"
+        )
+        assert_close(estimate, truth)
+
+    def test_zero_answers(self):
+        database = Database.from_relations({"E": [(1, 1)]}, universe=[1])
+        query = parse_query("Ans(x, y) :- E(x, y), x != y")
+        assert fptras_count_ecq(query, database, EPS, DELTA, rng=4) == 0.0
+
+    def test_boolean_query(self, triangle_database):
+        query = parse_query("Ans() :- E(x, y), x != y")
+        estimate = fptras_count_ecq(query, triangle_database, EPS, DELTA, rng=5)
+        assert estimate == 1.0
+
+    def test_treewidth_bound_enforced(self, triangle_database):
+        from repro.queries.builders import clique_query
+
+        query = clique_query(4)
+        with pytest.raises(ValueError):
+            fptras_count_ecq(query, triangle_database, EPS, DELTA, rng=0, treewidth_bound=1)
+
+    def test_result_record(self, friends_db):
+        result = fptras_count_ecq(
+            friends_query(), friends_db, EPS, DELTA, rng=6, return_result=True
+        )
+        assert result.treewidth == 1
+        assert result.arity == 2
+        assert result.statistics.edgefree_calls > 0
+        assert isinstance(result.rounded(), int)
+
+    def test_oracle_based_exact_counter(self, friends_db):
+        query = friends_query()
+        assert exact_count_answers_via_oracle(query, friends_db) == count_answers_exact(
+            query, friends_db
+        )
+
+
+class TestTheorem13FPTRAS:
+    def test_rejects_negations(self, small_database):
+        query = parse_query("Ans(x) :- E(x, y), !E(y, x)")
+        with pytest.raises(ValueError):
+            fptras_count_dcq(query, small_database, EPS, DELTA)
+
+    def test_dcq_star(self, small_database):
+        query = star_query(2, with_disequalities=True)
+        truth = count_answers_exact(query, small_database)
+        estimate = fptras_count_dcq(query, small_database, EPS, DELTA, rng=7)
+        assert_close(estimate, truth)
+
+    def test_high_arity_acyclic_dcq(self):
+        query = high_arity_acyclic_query(
+            num_blocks=2, block_arity=3, shared=1, num_free=2, with_disequalities=True
+        )
+        database = random_high_arity_database(
+            universe_size=6, relation_names=["R0", "R1"], arity=3,
+            facts_per_relation=30, rng=8,
+        )
+        truth = count_answers_exact(query, database)
+        estimate = fptras_count_dcq(query, database, EPS, DELTA, rng=9)
+        assert_close(estimate, truth)
+
+    def test_result_record_reports_adaptive_width_bound(self, small_database):
+        query = star_query(2, with_disequalities=True)
+        result = fptras_count_dcq(
+            query, small_database, EPS, DELTA, rng=10, return_result=True
+        )
+        assert result.adaptive_width_upper_bound == pytest.approx(1.0)
+
+
+class TestTheorem16FPRAS:
+    def test_rejects_dcq(self, small_database):
+        query = parse_query("Ans(x, y) :- E(x, y), x != y")
+        with pytest.raises(ValueError):
+            fpras_count_cq(query, small_database, EPS, DELTA)
+
+    def test_two_hop_query(self, small_database, two_hop_query):
+        truth = count_answers_exact(two_hop_query, small_database)
+        estimate = fpras_count_cq(two_hop_query, small_database, EPS, DELTA, rng=11)
+        assert_close(estimate, truth)
+
+    def test_star_query_with_quantified_centre(self, small_database):
+        query = star_query(3)
+        truth = count_answers_exact(query, small_database)
+        estimate = fpras_count_cq(query, small_database, EPS, DELTA, rng=12)
+        assert_close(estimate, truth)
+
+    def test_quantifier_free_query_is_exact_shaped(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        truth = count_answers_exact(query, triangle_database)
+        estimate = fpras_count_cq(query, triangle_database, EPS, DELTA, rng=13)
+        assert_close(estimate, truth, slack=0.2)
+
+    def test_zero_answers(self):
+        database = Database.from_relations({"E": [(1, 2)]}, universe=[1, 2, 3])
+        query = parse_query("Ans(x) :- E(x, y), E(y, x)")
+        assert fpras_count_cq(query, database, EPS, DELTA, rng=14) == 0.0
+
+    def test_high_arity_acyclic_cq(self):
+        query = high_arity_acyclic_query(num_blocks=2, block_arity=3, shared=1, num_free=2)
+        database = random_high_arity_database(
+            universe_size=6, relation_names=["R0", "R1"], arity=3,
+            facts_per_relation=25, rng=15,
+        )
+        truth = count_answers_exact(query, database)
+        estimate = fpras_count_cq(query, database, EPS, DELTA, rng=16)
+        assert_close(estimate, truth)
+
+    def test_result_record(self, small_database, two_hop_query):
+        result = fpras_count_cq(
+            two_hop_query, small_database, EPS, DELTA, rng=17, return_result=True
+        )
+        assert result.fractional_hypertreewidth == pytest.approx(1.0)
+        assert result.num_states > 0
+        assert result.tree_size > 0
+
+
+class TestDispatcher:
+    def test_auto_routes_cq_to_fpras(self, triangle_database, two_hop_query):
+        value = approx_count_answers(two_hop_query, triangle_database, 0.2, 0.1, seed=18)
+        assert value == count_answers_exact(two_hop_query, triangle_database)
+
+    def test_auto_routes_ecq_to_fptras(self, friends_db):
+        query = friends_query()
+        value = approx_count_answers(query, friends_db, 0.3, 0.2, seed=19)
+        assert value == count_answers_exact(query, friends_db)
+
+    def test_exact_method(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        assert approx_count_answers(query, triangle_database, method="exact") == 3
+
+    def test_unknown_method(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError):
+            approx_count_answers(query, triangle_database, method="nope")
+
+
+class TestAccuracySweep:
+    """A light-weight version of the accuracy bench: the estimate tracks the
+    exact count across several seeded instances."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fpras_accuracy_across_graphs(self, seed):
+        graph = erdos_renyi_graph(10, 0.3, rng=seed)
+        database = database_from_graph(graph)
+        query = path_query(2, free_endpoints_only=True)
+        truth = count_answers_exact(query, database)
+        estimate = fpras_count_cq(query, database, 0.25, 0.1, rng=seed + 100)
+        assert_close(estimate, truth)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fptras_accuracy_across_graphs(self, seed):
+        graph = erdos_renyi_graph(9, 0.3, rng=seed)
+        database = database_from_graph(graph)
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        truth = count_answers_exact(query, database)
+        estimate = fptras_count_ecq(query, database, 0.3, 0.15, rng=seed + 50)
+        assert_close(estimate, truth)

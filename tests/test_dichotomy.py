@@ -1,0 +1,153 @@
+"""Tests for the Figure-1 dichotomy classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClassVerdict, Verdict, classify_class, classify_query
+from repro.queries import QueryClass, parse_query
+from repro.queries.builders import (
+    clique_query,
+    hamiltonian_path_query,
+    high_arity_acyclic_query,
+    star_query,
+)
+
+
+class TestClassifyClassBoundedArity:
+    """The left half of Figure 1 (bounded arity)."""
+
+    @pytest.mark.parametrize("query_class", list(QueryClass))
+    def test_bounded_treewidth_has_fptras(self, query_class):
+        verdict = classify_class(query_class, bounded_arity=True, bounded_treewidth=True)
+        assert verdict.fptras is Verdict.YES
+        assert "Theorem 5" in verdict.fptras_reference
+
+    @pytest.mark.parametrize("query_class", list(QueryClass))
+    def test_unbounded_treewidth_has_no_fptras(self, query_class):
+        verdict = classify_class(query_class, bounded_arity=True, bounded_treewidth=False)
+        assert verdict.fptras is Verdict.NO
+        assert "Observation 9" in verdict.fptras_reference
+
+    def test_cq_bounded_treewidth_has_fpras(self):
+        verdict = classify_class(QueryClass.CQ, bounded_arity=True, bounded_treewidth=True)
+        assert verdict.fpras is Verdict.YES
+
+    @pytest.mark.parametrize("query_class", [QueryClass.DCQ, QueryClass.ECQ])
+    def test_disequalities_rule_out_fpras(self, query_class):
+        """Observation 10: no FPRAS even at treewidth 1."""
+        verdict = classify_class(query_class, bounded_arity=True, bounded_treewidth=True)
+        assert verdict.fpras is Verdict.NO
+        assert "Observation 10" in verdict.fpras_reference
+
+
+class TestClassifyClassUnboundedArity:
+    """The right half of Figure 1 (unbounded arity)."""
+
+    def test_bounded_fhw_cq_has_fpras_theorem_16(self):
+        verdict = classify_class(
+            QueryClass.CQ,
+            bounded_arity=False,
+            bounded_treewidth=False,
+            bounded_hypertreewidth=False,
+            bounded_fractional_hypertreewidth=True,
+        )
+        assert verdict.fpras is Verdict.YES
+        assert "Theorem 16" in verdict.fpras_reference
+
+    def test_bounded_hw_cq_credits_arenas(self):
+        verdict = classify_class(
+            QueryClass.CQ,
+            bounded_arity=False,
+            bounded_treewidth=False,
+            bounded_hypertreewidth=True,
+        )
+        assert verdict.fpras is Verdict.YES
+        assert "Arenas" in verdict.fpras_reference
+
+    @pytest.mark.parametrize("query_class", [QueryClass.CQ, QueryClass.DCQ])
+    def test_bounded_adaptive_width_fptras_theorem_13(self, query_class):
+        verdict = classify_class(
+            query_class,
+            bounded_arity=False,
+            bounded_treewidth=False,
+            bounded_hypertreewidth=False,
+            bounded_fractional_hypertreewidth=False,
+            bounded_adaptive_width=True,
+        )
+        assert verdict.fptras is Verdict.YES
+        assert "Theorem 13" in verdict.fptras_reference
+
+    def test_ecq_bounded_adaptive_width_open(self):
+        verdict = classify_class(
+            QueryClass.ECQ,
+            bounded_arity=False,
+            bounded_treewidth=False,
+            bounded_adaptive_width=True,
+        )
+        assert verdict.fptras is Verdict.OPEN
+
+    @pytest.mark.parametrize("query_class", list(QueryClass))
+    def test_unbounded_adaptive_width_no_fptras(self, query_class):
+        verdict = classify_class(
+            query_class,
+            bounded_arity=False,
+            bounded_treewidth=False,
+            bounded_adaptive_width=False,
+        )
+        assert verdict.fptras is Verdict.NO
+        assert "Observation 15" in verdict.fptras_reference
+
+    def test_cq_bounded_aw_unbounded_fhw_fpras_open(self):
+        verdict = classify_class(
+            QueryClass.CQ,
+            bounded_arity=False,
+            bounded_treewidth=False,
+            bounded_hypertreewidth=False,
+            bounded_fractional_hypertreewidth=False,
+            bounded_adaptive_width=True,
+        )
+        assert verdict.fpras is Verdict.OPEN
+
+    def test_domination_chain_defaults(self):
+        """Unspecified measures default along the Lemma-12 domination chain."""
+        verdict = classify_class(
+            QueryClass.CQ, bounded_arity=False, bounded_treewidth=True
+        )
+        assert verdict.bounded_hypertreewidth
+        assert verdict.bounded_fractional_hypertreewidth
+        assert verdict.bounded_adaptive_width
+
+
+class TestClassifyQuery:
+    def test_cq_recommends_fpras(self):
+        report = classify_query(parse_query("Ans(x) :- E(x, y)"))
+        assert report.query_class is QueryClass.CQ
+        assert report.recommended_algorithm == "fpras_count_cq"
+
+    def test_dcq_recommends_theorem_13(self):
+        report = classify_query(star_query(3, with_disequalities=True))
+        assert report.query_class is QueryClass.DCQ
+        assert report.recommended_algorithm == "fptras_count_dcq"
+
+    def test_ecq_recommends_theorem_5(self):
+        report = classify_query(parse_query("Ans(x) :- E(x, y), !F(x, y), x != y"))
+        assert report.query_class is QueryClass.ECQ
+        assert report.recommended_algorithm == "fptras_count_ecq"
+
+    def test_hamiltonian_query_report(self):
+        report = classify_query(hamiltonian_path_query(5))
+        assert report.widths.treewidth == 1
+        assert report.query_class is QueryClass.DCQ
+        # Figure 1: its class has an FPTRAS but no FPRAS.
+        assert report.class_verdict_if_widths_bounded.fptras is Verdict.YES
+        assert report.class_verdict_if_widths_bounded.fpras is Verdict.NO
+
+    def test_clique_query_widths(self):
+        report = classify_query(clique_query(4))
+        assert report.widths.treewidth == 3
+
+    def test_high_arity_query_widths(self):
+        report = classify_query(high_arity_acyclic_query(3, 4, shared=1))
+        assert report.widths.fractional_hypertreewidth == pytest.approx(1.0)
+        assert report.widths.treewidth >= 3

@@ -1,0 +1,99 @@
+"""Property-based end-to-end tests: on randomly generated small instances the
+approximation schemes must stay consistent with the exact semantics.
+
+These tests keep the instances tiny (so the exact baseline is trustworthy and
+the randomised schemes' failure probability is negligible at the chosen
+tolerances) but randomise the *structure*: query shape, free/existential
+split, database contents.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    count_answers_exact,
+    count_solutions_exact,
+    exact_count_answers_via_oracle,
+    fpras_count_cq,
+)
+from repro.core.exact import enumerate_answers_exact
+from repro.queries import ConjunctiveQuery
+from repro.queries.builders import path_query
+from repro.workloads import database_from_graph, erdos_renyi_graph, random_tree_query
+
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(
+    num_variables=st.integers(min_value=2, max_value=4),
+    num_free=st.integers(min_value=1, max_value=3),
+    graph_seed=st.integers(min_value=0, max_value=50),
+    query_seed=st.integers(min_value=0, max_value=50),
+)
+def test_answers_are_projections_of_solutions(num_variables, num_free, graph_seed, query_seed):
+    """|Ans| <= |Sol| and every answer extends to a solution (Definitions 1/2)."""
+    query = random_tree_query(num_variables, num_free=min(num_free, num_variables), rng=query_seed)
+    database = database_from_graph(erdos_renyi_graph(5, 0.5, rng=graph_seed))
+    answers = enumerate_answers_exact(query, database)
+    solutions = count_solutions_exact(query, database)
+    assert len(answers) <= max(solutions, 0) or solutions == 0 and not answers
+    for answer in answers:
+        assert query.is_answer(answer, database)
+
+
+@SETTINGS
+@given(
+    num_variables=st.integers(min_value=2, max_value=4),
+    graph_seed=st.integers(min_value=0, max_value=50),
+    query_seed=st.integers(min_value=0, max_value=50),
+)
+def test_oracle_exact_counter_matches_semantics(num_variables, graph_seed, query_seed):
+    """The EdgeFree-oracle-based exact counter (splitting over the answer
+    hypergraph) agrees with the reference semantics on random DCQs."""
+    query = random_tree_query(
+        num_variables, num_free=max(1, num_variables - 1), num_disequalities=1, rng=query_seed
+    )
+    database = database_from_graph(erdos_renyi_graph(4, 0.6, rng=graph_seed))
+    assert exact_count_answers_via_oracle(query, database) == count_answers_exact(
+        query, database
+    )
+
+
+@SETTINGS
+@given(graph_seed=st.integers(min_value=0, max_value=40))
+def test_fpras_never_hallucinate_answers_on_empty_instances(graph_seed):
+    """If the exact count is zero the FPRAS must return (essentially) zero —
+    the schemes have no additive error."""
+    database = database_from_graph(erdos_renyi_graph(4, 0.15, rng=graph_seed))
+    query = path_query(3, free_endpoints_only=True)
+    truth = count_answers_exact(query, database)
+    if truth != 0:
+        return
+    assert fpras_count_cq(query, database, 0.4, 0.2, rng=graph_seed) <= 0.5
+
+
+@SETTINGS
+@given(
+    graph_seed=st.integers(min_value=0, max_value=40),
+    query_seed=st.integers(min_value=0, max_value=40),
+)
+def test_fpras_tracks_exact_on_random_tree_cqs(graph_seed, query_seed):
+    """FPRAS estimate within a generous band of the exact count on random
+    tree-shaped CQs with a random free/existential split."""
+    query = random_tree_query(4, num_free=2, rng=query_seed)
+    database = database_from_graph(erdos_renyi_graph(6, 0.45, rng=graph_seed))
+    truth = count_answers_exact(query, database)
+    estimate = fpras_count_cq(query, database, 0.3, 0.1, rng=graph_seed + 1000 + query_seed)
+    if truth == 0:
+        assert estimate <= 0.5
+    else:
+        assert abs(estimate - truth) <= max(0.5 * truth, 1.5)

@@ -1,0 +1,59 @@
+"""Smoke tests for the example scripts.
+
+The fast examples are executed end to end (their ``main`` functions); the
+slower, purely illustrative ones are only checked for importability so the
+test suite stays quick.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_exists():
+    assert EXAMPLES_DIR.is_dir()
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "exact count:" in output
+    assert "approximate:" in output
+
+
+def test_dichotomy_explorer_runs(capsys):
+    module = _load("dichotomy_explorer")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Hamiltonian-path DCQ" in output
+    assert "FPTRAS" in output and "FPRAS" in output
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["social_network_analytics", "locally_injective_homomorphisms", "sampling_answers"],
+)
+def test_slow_examples_are_importable(name):
+    """The heavier scenario scripts must at least import cleanly and expose a
+    ``main`` entry point (they are exercised manually / by the benches)."""
+    module = _load(name)
+    assert callable(getattr(module, "main", None))

@@ -1,0 +1,247 @@
+"""Unit and property tests for the hypergraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    PartiteHypergraph,
+    complete_graph_hypergraph,
+    cycle_hypergraph,
+    grid_hypergraph,
+    is_partite_subset,
+    path_hypergraph,
+    random_hypergraph,
+    restrict_to_partite_subset,
+    star_hypergraph,
+    tree_hypergraph,
+)
+
+
+class TestHypergraphBasics:
+    def test_empty_hypergraph(self):
+        hypergraph = Hypergraph()
+        assert hypergraph.num_vertices() == 0
+        assert hypergraph.num_edges() == 0
+        assert hypergraph.arity() == 0
+        assert hypergraph.is_connected()
+
+    def test_add_edge_adds_vertices(self):
+        hypergraph = Hypergraph()
+        hypergraph.add_edge([1, 2, 3])
+        assert hypergraph.num_vertices() == 3
+        assert hypergraph.arity() == 3
+
+    def test_duplicate_edges_collapse(self):
+        hypergraph = Hypergraph(edges=[(1, 2), (2, 1)])
+        assert hypergraph.num_edges() == 1
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(edges=[()])
+
+    def test_degree_and_neighbours(self):
+        hypergraph = Hypergraph(edges=[(1, 2), (2, 3), (1, 2, 4)])
+        assert hypergraph.degree(2) == 3
+        assert hypergraph.neighbours(2) == {1, 3, 4}
+        with pytest.raises(KeyError):
+            hypergraph.degree(99)
+
+    def test_isolated_vertices(self):
+        hypergraph = Hypergraph(vertices=[1, 2, 3], edges=[(1, 2)])
+        assert hypergraph.isolated_vertices() == {3}
+
+    def test_uniformity(self):
+        assert Hypergraph(edges=[(1, 2), (3, 4)]).is_uniform(2)
+        assert not Hypergraph(edges=[(1, 2), (3, 4, 5)]).is_uniform()
+
+    def test_primal_graph(self):
+        hypergraph = Hypergraph(edges=[(1, 2, 3)])
+        primal = hypergraph.primal_graph()
+        assert primal.number_of_edges() == 3
+
+    def test_connected_components(self):
+        hypergraph = Hypergraph(vertices=[5], edges=[(1, 2), (3, 4)])
+        components = hypergraph.connected_components()
+        assert len(components) == 3
+
+    def test_equality_and_hash(self):
+        first = Hypergraph(edges=[(1, 2)])
+        second = Hypergraph(edges=[(2, 1)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_contains_iter_len(self):
+        hypergraph = Hypergraph(edges=[(1, 2)])
+        assert 1 in hypergraph
+        assert sorted(hypergraph) == [1, 2]
+        assert len(hypergraph) == 2
+
+
+class TestInducedHypergraph:
+    def test_induced_definition_39(self):
+        hypergraph = Hypergraph(edges=[(1, 2, 3), (3, 4)])
+        induced = hypergraph.induced([2, 3, 4])
+        assert induced.vertices == frozenset({2, 3, 4})
+        assert frozenset({2, 3}) in induced.edges
+        assert frozenset({3, 4}) in induced.edges
+
+    def test_induced_drops_disjoint_edges(self):
+        hypergraph = Hypergraph(edges=[(1, 2), (3, 4)])
+        induced = hypergraph.induced([1, 2])
+        assert induced.num_edges() == 1
+
+    def test_induced_unknown_vertex(self):
+        with pytest.raises(KeyError):
+            Hypergraph(edges=[(1, 2)]).induced([1, 5])
+
+    def test_remove_vertex(self):
+        hypergraph = Hypergraph(edges=[(1, 2), (2, 3)])
+        removed = hypergraph.remove_vertex(2)
+        assert removed.vertices == frozenset({1, 3})
+        assert removed.num_edges() == 0 or all(2 not in e for e in removed.edges)
+
+    def test_with_singleton_edges(self):
+        hypergraph = Hypergraph(edges=[(1, 2)])
+        extended = hypergraph.with_singleton_edges([1, 2])
+        assert frozenset({1}) in extended.edges
+        assert extended.arity() == 2
+
+
+class TestGenerators:
+    def test_path(self):
+        hypergraph = path_hypergraph(5)
+        assert hypergraph.num_vertices() == 5
+        assert hypergraph.num_edges() == 4
+        assert hypergraph.arity() == 2
+
+    def test_cycle(self):
+        hypergraph = cycle_hypergraph(5)
+        assert hypergraph.num_edges() == 5
+
+    def test_star(self):
+        hypergraph = star_hypergraph(4)
+        assert hypergraph.degree(0) == 4
+
+    def test_tree_is_connected_and_acyclic(self):
+        hypergraph = tree_hypergraph(9, rng=3)
+        assert hypergraph.num_edges() == 8
+        assert hypergraph.is_connected()
+
+    def test_grid(self):
+        hypergraph = grid_hypergraph(2, 3)
+        assert hypergraph.num_vertices() == 6
+        assert hypergraph.num_edges() == 7
+
+    def test_complete(self):
+        hypergraph = complete_graph_hypergraph(5)
+        assert hypergraph.num_edges() == 10
+
+    def test_random_hypergraph_arity(self):
+        hypergraph = random_hypergraph(10, 15, arity=3, rng=0, uniform=True)
+        assert hypergraph.is_uniform(3)
+
+    def test_invalid_generators(self):
+        with pytest.raises(ValueError):
+            path_hypergraph(0)
+        with pytest.raises(ValueError):
+            cycle_hypergraph(2)
+        with pytest.raises(ValueError):
+            random_hypergraph(3, 2, arity=5)
+
+
+class TestPartiteHypergraph:
+    def test_basic_construction(self):
+        hypergraph = PartiteHypergraph([[("a", 0)], [("b", 1), ("c", 1)]])
+        hypergraph.add_edge([("a", 0), ("b", 1)])
+        assert hypergraph.num_classes == 2
+        assert hypergraph.num_edges() == 1
+
+    def test_overlapping_classes_rejected(self):
+        with pytest.raises(ValueError):
+            PartiteHypergraph([[1, 2], [2, 3]])
+
+    def test_edge_must_hit_every_class(self):
+        hypergraph = PartiteHypergraph([[1], [2], [3]])
+        with pytest.raises(ValueError):
+            hypergraph.add_edge([1, 2])
+        with pytest.raises(ValueError):
+            hypergraph.add_edge([1, 2, 2])
+
+    def test_class_of(self):
+        hypergraph = PartiteHypergraph([[1], [2]])
+        assert hypergraph.class_of(2) == 1
+        with pytest.raises(KeyError):
+            hypergraph.class_of(99)
+
+    def test_restrict_keeps_matching_edges(self):
+        hypergraph = PartiteHypergraph([[1, 2], [3, 4]])
+        hypergraph.add_edge([1, 3])
+        hypergraph.add_edge([2, 4])
+        restricted = hypergraph.restrict([[1], [3, 4]])
+        assert restricted.num_edges() == 1
+        assert restricted.has_edge([1, 3])
+
+    def test_edge_free_predicate(self):
+        hypergraph = PartiteHypergraph([[1], [2]])
+        assert hypergraph.is_edge_free()
+        hypergraph.add_edge([1, 2])
+        assert not hypergraph.is_edge_free()
+
+    def test_restrict_matches_reference(self):
+        hypergraph = PartiteHypergraph([[1, 2], [3, 4], [5, 6]])
+        hypergraph.add_edge([1, 3, 5])
+        hypergraph.add_edge([2, 4, 6])
+        hypergraph.add_edge([1, 4, 6])
+        subsets = [[1, 2], [4], [6]]
+        restricted = hypergraph.restrict(subsets)
+        reference = restrict_to_partite_subset(hypergraph, subsets)
+        assert restricted.edges == reference.edges
+
+    def test_is_partite_subset(self):
+        hypergraph = Hypergraph(edges=[(1, 2), (3, 4)])
+        assert is_partite_subset(hypergraph, [[1], [3]])
+        assert not is_partite_subset(hypergraph, [[1, 3], [3]])
+        assert not is_partite_subset(hypergraph, [[99], [3]])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=1, max_value=10),
+    num_edges=st.integers(min_value=0, max_value=15),
+    arity=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_induced_hypergraph_properties(num_vertices, num_edges, arity, seed):
+    """H[X] is always a hypergraph on X whose edges are subsets of X, and
+    inducing on V(H) is the identity up to edge trimming (Definition 39)."""
+    arity = min(arity, num_vertices)
+    hypergraph = random_hypergraph(num_vertices, num_edges, arity, rng=seed)
+    subset = [v for v in hypergraph.vertices if v % 2 == 0]
+    if subset:
+        induced = hypergraph.induced(subset)
+        assert induced.vertices == frozenset(subset)
+        for edge in induced.edges:
+            assert edge <= frozenset(subset)
+    full = hypergraph.induced(hypergraph.vertices)
+    assert full.edges == hypergraph.edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_primal_graph_covers_cooccurring_pairs(num_vertices, seed):
+    hypergraph = random_hypergraph(
+        num_vertices, num_vertices, arity=min(3, num_vertices), rng=seed
+    )
+    primal = hypergraph.primal_graph()
+    for edge in hypergraph.edges:
+        members = sorted(edge, key=repr)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert primal.has_edge(u, v)

@@ -1,0 +1,167 @@
+"""Tests for database I/O and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational import Database
+from repro.relational.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database_json,
+    load_edge_list,
+    load_relation_csv,
+    save_database_json,
+)
+
+
+@pytest.fixture
+def sample_database():
+    return Database.from_relations(
+        {"E": [(1, 2), (2, 3), (2, 1), (3, 2)], "P": [(1,)]}, universe=[1, 2, 3, 4]
+    )
+
+
+class TestDatabaseIO:
+    def test_dict_round_trip(self, sample_database):
+        data = database_to_dict(sample_database)
+        restored = database_from_dict(data)
+        assert restored.relations() == sample_database.relations()
+        assert restored.universe == sample_database.universe
+
+    def test_json_round_trip(self, sample_database, tmp_path):
+        path = tmp_path / "db.json"
+        save_database_json(sample_database, path)
+        restored = load_database_json(path)
+        assert restored.relation("E") == sample_database.relation("E")
+        assert restored.relation("P") == sample_database.relation("P")
+
+    def test_empty_relation_needs_arity(self):
+        with pytest.raises(ValueError):
+            database_from_dict({"relations": {"E": []}})
+        database = database_from_dict({"relations": {"E": []}, "arities": {"E": 2}})
+        assert database.relation("E") == frozenset()
+
+    def test_load_edge_list(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n1 2\n2 3\n\n")
+        database = load_edge_list(path)
+        assert database.has_fact("E", ("1", "2"))
+        assert database.has_fact("E", ("2", "1"))  # symmetric by default
+        assert len(database.relation("E")) == 4
+
+    def test_load_edge_list_bad_line(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_load_relation_csv(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b,c\nd,e,f\n")
+        database = load_relation_csv(path)
+        assert database.has_fact("R", ("a", "b", "c"))
+        assert database.signature["R"].arity == 3
+
+
+class TestCLI:
+    def _write_db(self, tmp_path):
+        database = Database.from_relations(
+            {"E": [(1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2)]}
+        )
+        path = tmp_path / "db.json"
+        save_database_json(database, path)
+        return path
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["classify", "--query", "Ans(x) :- E(x, y)"])
+        assert args.command == "classify"
+
+    def test_count_command(self, tmp_path, capsys):
+        path = self._write_db(tmp_path)
+        code = main(
+            [
+                "count",
+                "--query",
+                "Ans(x) :- E(x, y), E(x, z), y != z",
+                "--database",
+                str(path),
+                "--seed",
+                "0",
+                "--exact",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "estimate:" in output and "exact:" in output
+        # The triangle has 3 vertices with two distinct neighbours each.
+        assert "3" in output
+
+    def test_count_exact_method(self, tmp_path, capsys):
+        path = self._write_db(tmp_path)
+        code = main(
+            ["count", "--query", "Ans(x, y) :- E(x, y)", "--database", str(path),
+             "--method", "exact"]
+        )
+        assert code == 0
+        assert "estimate:    6" in capsys.readouterr().out
+
+    def test_classify_command_json(self, capsys):
+        code = main(["classify", "--query", "Ans(x, y) :- E(x, y), x != y", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query_class"] == "DCQ"
+        assert payload["fpras"] == "no"
+        assert payload["fptras"] == "yes"
+
+    def test_classify_command_text(self, capsys):
+        code = main(["classify", "--query", "Ans(x) :- E(x, y), !F(x, y)"])
+        assert code == 0
+        assert "ECQ" in capsys.readouterr().out
+
+    def test_sample_command(self, tmp_path, capsys):
+        path = self._write_db(tmp_path)
+        code = main(
+            ["sample", "--query", "Ans(x, y) :- E(x, y)", "--database", str(path),
+             "-n", "3", "--exact", "--seed", "1"]
+        )
+        assert code == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 3
+
+    def test_sample_no_answers(self, tmp_path, capsys):
+        database = Database.from_relations({"E": [(1, 1)]}, universe=[1])
+        path = tmp_path / "db.json"
+        save_database_json(database, path)
+        code = main(
+            ["sample", "--query", "Ans(x, y) :- E(x, y), x != y", "--database",
+             str(path), "--exact"]
+        )
+        assert code == 0
+        assert "(no answers)" in capsys.readouterr().out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 3\n1 3\n")
+        code = main(
+            ["count", "--query", "Ans(x) :- E(x, y), E(x, z), y != z",
+             "--edge-list", str(path), "--seed", "0", "--exact"]
+        )
+        assert code == 0
+        assert "exact:       3" in capsys.readouterr().out
+
+    def test_both_database_sources_rejected(self, tmp_path):
+        path = self._write_db(tmp_path)
+        with pytest.raises(SystemExit):
+            main(
+                ["count", "--query", "Ans(x) :- E(x, y)", "--database", str(path),
+                 "--edge-list", str(path)]
+            )
+
+    def test_missing_database_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["count", "--query", "Ans(x) :- E(x, y)"])

@@ -1,0 +1,140 @@
+"""Further property-based and edge-case tests.
+
+These complement :mod:`tests.test_end_to_end_properties` with the DCQ/ECQ
+side of the pipeline (Theorems 5/13), monotonicity sanity properties of the
+query semantics, and determinism guarantees of the seeded algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import count_answers_exact, fptras_count_dcq, fptras_count_ecq
+from repro.queries import ConjunctiveQuery, parse_query
+from repro.queries.atoms import Atom, Disequality, NegatedAtom
+from repro.queries.builders import star_query
+from repro.workloads import database_from_graph, erdos_renyi_graph, random_tree_query
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(
+    graph_seed=st.integers(min_value=0, max_value=40),
+    query_seed=st.integers(min_value=0, max_value=40),
+)
+def test_fptras_tracks_exact_on_random_tree_dcqs(graph_seed, query_seed):
+    """Theorem 13 pipeline on random tree-shaped DCQs with one disequality."""
+    query = random_tree_query(3, num_free=2, num_disequalities=1, rng=query_seed)
+    database = database_from_graph(erdos_renyi_graph(5, 0.5, rng=graph_seed))
+    truth = count_answers_exact(query, database)
+    estimate = fptras_count_dcq(query, database, 0.4, 0.2, rng=graph_seed * 100 + query_seed)
+    if truth == 0:
+        assert estimate <= 0.5
+    else:
+        assert abs(estimate - truth) <= max(0.5 * truth, 1.5)
+
+
+@SETTINGS
+@given(graph_seed=st.integers(min_value=0, max_value=30))
+def test_adding_disequalities_never_increases_count(graph_seed):
+    """Monotonicity: the all-distinct variant of a query has at most as many
+    answers as the unconstrained one (and the FPTRAS respects that shape)."""
+    database = database_from_graph(erdos_renyi_graph(6, 0.5, rng=graph_seed))
+    plain = star_query(2)
+    distinct = star_query(2, with_disequalities=True)
+    assert count_answers_exact(distinct, database) <= count_answers_exact(plain, database)
+
+
+@SETTINGS
+@given(graph_seed=st.integers(min_value=0, max_value=30))
+def test_adding_negated_atom_never_increases_count(graph_seed):
+    """Adding a negated predicate can only remove answers."""
+    database = database_from_graph(erdos_renyi_graph(6, 0.5, rng=graph_seed))
+    # A sparse second relation to negate against.
+    universe = sorted(database.universe)
+    for index in range(0, len(universe) - 1, 2):
+        database.add_fact("F", (universe[index], universe[index + 1]))
+    base = parse_query("Ans(x, y) :- E(x, z), E(z, y)")
+    restricted = parse_query("Ans(x, y) :- E(x, z), E(z, y), !F(x, y)")
+    assert count_answers_exact(restricted, database) <= count_answers_exact(base, database)
+
+
+@SETTINGS
+@given(graph_seed=st.integers(min_value=0, max_value=25))
+def test_freeing_a_variable_never_decreases_count(graph_seed):
+    """Projection merges answers: making an existential variable free can only
+    increase (or preserve) the number of answers (footnote 4's observation)."""
+    database = database_from_graph(erdos_renyi_graph(6, 0.5, rng=graph_seed))
+    quantified = star_query(2, centre_free=False)
+    free = star_query(2, centre_free=True)
+    assert count_answers_exact(quantified, database) <= count_answers_exact(free, database)
+
+
+class TestDeterminism:
+    def test_fptras_ecq_deterministic_for_fixed_seed(self, small_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        first = fptras_count_ecq(query, small_database, 0.3, 0.2, rng=123)
+        second = fptras_count_ecq(query, small_database, 0.3, 0.2, rng=123)
+        assert first == second
+
+    def test_different_seeds_allowed_to_differ(self, small_database):
+        query = parse_query("Ans(x, y) :- E(x, z), E(z, y), x != y")
+        values = {
+            fptras_count_ecq(query, small_database, 0.3, 0.2, rng=seed) for seed in range(3)
+        }
+        # Not a strict requirement (they may coincide), but they must all be
+        # close to the same truth.
+        truth = count_answers_exact(query, small_database)
+        for value in values:
+            assert abs(value - truth) <= max(0.5 * truth, 1.5)
+
+
+class TestQueryEdgeCases:
+    def test_repeated_variable_in_atom(self, triangle_database):
+        """Self-loop pattern E(x, x): the triangle has none."""
+        query = parse_query("Ans(x) :- E(x, x)")
+        assert count_answers_exact(query, triangle_database) == 0
+
+    def test_query_with_only_negated_atom(self):
+        from repro.relational import Database
+
+        database = Database.from_relations({"F": [(1, 2)]}, universe=[1, 2, 3])
+        query = ConjunctiveQuery(
+            free_variables=["x", "y"],
+            atoms=[],
+            negated_atoms=[NegatedAtom("F", ("x", "y"))],
+        )
+        # All pairs except (1, 2).
+        assert count_answers_exact(query, database) == 9 - 1
+
+    def test_same_pair_positive_and_negative(self):
+        """phi(x,y) = E(x,y) ∧ ¬E(x,y) is unsatisfiable."""
+        from repro.relational import Database
+
+        database = Database.from_relations({"E": [(1, 2), (2, 1)]}, universe=[1, 2])
+        query = parse_query("Ans(x, y) :- E(x, y), !E(x, y)")
+        assert count_answers_exact(query, database) == 0
+        assert fptras_count_ecq(query, database, 0.3, 0.2, rng=0) == 0.0
+
+    def test_duplicate_atoms_are_harmless(self, triangle_database):
+        query = ConjunctiveQuery(
+            free_variables=["x", "y"],
+            atoms=[Atom("E", ("x", "y")), Atom("E", ("x", "y"))],
+        )
+        assert count_answers_exact(query, triangle_database) == 6
+
+    def test_disequality_between_free_and_existential(self, triangle_database):
+        query = ConjunctiveQuery(
+            free_variables=["x"],
+            atoms=[Atom("E", ("x", "y"))],
+            disequalities=[Disequality("x", "y")],
+        )
+        # Every vertex of the triangle has a neighbour different from itself.
+        assert count_answers_exact(query, triangle_database) == 3

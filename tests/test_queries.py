@@ -1,0 +1,296 @@
+"""Tests for the query model, the parser, the rewritings and the builders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import (
+    Atom,
+    ConjunctiveQuery,
+    Disequality,
+    NegatedAtom,
+    QueryClass,
+    add_constant_constraint,
+    clique_query,
+    grid_query,
+    hamiltonian_path_query,
+    parse_query,
+    path_query,
+    star_query,
+)
+from repro.queries.builders import (
+    common_neighbour_query,
+    cycle_query,
+    friends_query,
+    high_arity_acyclic_query,
+)
+from repro.queries.parser import QueryParseError, format_query
+from repro.relational.structure import Database
+
+
+class TestAtoms:
+    def test_atom_basics(self):
+        atom = Atom("E", ("x", "y"))
+        assert atom.arity == 2
+        assert atom.variables == {"x", "y"}
+        assert str(atom) == "E(x, y)"
+
+    def test_atom_rename(self):
+        atom = Atom("E", ("x", "y"))
+        assert atom.rename({"x": "z"}).args == ("z", "y")
+
+    def test_negated_atom(self):
+        atom = NegatedAtom("F", ("x",))
+        assert str(atom) == "!F(x)"
+        assert atom.positive() == Atom("F", ("x",))
+
+    def test_disequality_same_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Disequality("x", "x")
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("E", ())
+
+
+class TestConjunctiveQuery:
+    def test_free_and_existential_variables(self):
+        query = parse_query("Ans(x) :- E(x, y), E(y, z)")
+        assert query.free_variables == ("x",)
+        assert query.existential_variables == {"y", "z"}
+        assert query.variables == {"x", "y", "z"}
+
+    def test_query_class(self):
+        assert parse_query("Ans(x) :- E(x, y)").query_class() is QueryClass.CQ
+        assert parse_query("Ans(x) :- E(x, y), x != y").query_class() is QueryClass.DCQ
+        assert parse_query("Ans(x) :- E(x, y), !F(x, y)").query_class() is QueryClass.ECQ
+
+    def test_size_parameter(self):
+        """||phi|| = |vars| + sum of atom arities (atoms incl. disequalities)."""
+        query = parse_query("Ans(x) :- E(x, y), E(x, z), y != z")
+        assert query.size() == 3 + (2 + 2 + 2)
+
+    def test_hypergraph_excludes_disequalities(self):
+        query = parse_query("Ans(x, y) :- E(x, z), x != y, E(y, z)")
+        hypergraph = query.hypergraph()
+        assert frozenset({"x", "z"}) in hypergraph.edges
+        assert frozenset({"x", "y"}) not in hypergraph.edges
+
+    def test_hypergraph_includes_negated_atoms(self):
+        query = parse_query("Ans(x, y) :- E(x, y), !F(x, y)")
+        assert frozenset({"x", "y"}) in query.hypergraph().edges
+
+    def test_delta(self):
+        query = parse_query("Ans(x, y, z) :- E(x, y), E(y, z), x != y, x != z")
+        assert query.delta() == {frozenset({"x", "y"}), frozenset({"x", "z"})}
+
+    def test_unused_variable_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(free_variables=["x", "w"], atoms=[Atom("E", ("x", "y"))])
+
+    def test_duplicate_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(free_variables=["x", "x"], atoms=[Atom("E", ("x", "x"))])
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(
+                free_variables=["x", "y"],
+                atoms=[Atom("E", ("x", "y")), Atom("E", ("x", "x", "y"))],
+            )
+
+    def test_signature_and_arity(self):
+        query = parse_query("Ans(x) :- R(x, y, z), !S(x)")
+        assert query.arity() == 3
+        assert set(query.signature().names()) == {"R", "S"}
+
+
+class TestSemantics:
+    def test_friends_example_from_introduction(self):
+        """Example (1): people with at least two distinct friends."""
+        database = Database(universe=["a", "b", "c", "d"])
+        for pair in [("a", "b"), ("a", "c"), ("b", "c")]:
+            database.add_fact("F", pair)
+            database.add_fact("F", (pair[1], pair[0]))
+        query = friends_query()
+        answers = query.answers(database)
+        assert answers == {("a",), ("b",), ("c",)}
+
+    def test_answers_vs_solutions(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        solutions = list(query.solutions(triangle_database))
+        answers = query.answers(triangle_database)
+        assert len(solutions) == 6
+        assert len(answers) == 3
+
+    def test_negation_semantics(self):
+        database = Database.from_relations({"E": [(1, 2)], "F": [(1, 2)]},
+                                           universe=[1, 2])
+        query = parse_query("Ans(x, y) :- E(x, y), !F(x, y)")
+        assert query.answers(database) == set()
+        query2 = parse_query("Ans(x, y) :- E(x, y), !F(y, x)")
+        assert query2.answers(database) == {(1, 2)}
+
+    def test_disequality_semantics(self, triangle_database):
+        query = parse_query("Ans(x, y) :- E(x, y), x != y")
+        assert len(query.answers(triangle_database)) == 6
+
+    def test_is_answer(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y), E(x, z), y != z")
+        assert query.is_answer((1,), triangle_database)
+        assert not query.is_answer((99,), triangle_database)
+
+    def test_missing_relation_raises(self):
+        database = Database.from_relations({"E": [(1, 2)]})
+        query = parse_query("Ans(x) :- R(x, y)")
+        with pytest.raises(ValueError):
+            query.answers(database)
+
+
+class TestParser:
+    def test_round_trip(self):
+        text = "Ans(x, y) :- E(x, z), E(z, y), x != y, !F(x, y)"
+        query = parse_query(text)
+        again = parse_query(format_query(query))
+        assert query == again
+
+    def test_not_keyword(self):
+        query = parse_query("Ans(x) :- E(x, y), not F(x, y)")
+        assert len(query.negated_atoms) == 1
+
+    def test_equality_elimination(self):
+        query = parse_query("Ans(x) :- E(x, y), y = z, E(z, w)")
+        assert "z" not in query.variables or "y" not in query.variables
+        assert len(query.atoms) == 2
+
+    def test_equality_keeping_free_variable(self):
+        query = parse_query("Ans(x) :- E(x, y), x = z, E(z, w)")
+        assert query.free_variables == ("x",)
+        assert all("z" not in atom.args for atom in query.atoms)
+
+    def test_equality_merging_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("Ans(x, y) :- E(x, y), x = y")
+
+    def test_contradicting_equality_and_disequality_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("Ans(x) :- E(x, y), x = y, x != y")
+
+    def test_boolean_query(self):
+        query = parse_query("Ans() :- E(x, y)")
+        assert query.num_free() == 0
+        assert query.num_existential() == 2
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_query("E(x, y)")
+        with pytest.raises(QueryParseError):
+            parse_query("Ans(x) :- E(x, ")
+        with pytest.raises(QueryParseError):
+            parse_query("Ans(x) :- 1E(x)")
+        with pytest.raises(QueryParseError):
+            parse_query("Ans(x, x) :- E(x, x)")
+
+
+class TestRewriting:
+    def test_add_constant_constraint(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        pinned_query, pinned_database = add_constant_constraint(
+            query, triangle_database, "x", 1
+        )
+        assert pinned_query.count_answers_bruteforce(pinned_database) == 1
+
+    def test_add_constant_unknown_variable(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError):
+            add_constant_constraint(query, triangle_database, "w", 1)
+
+    def test_add_constant_unknown_value(self, triangle_database):
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError):
+            add_constant_constraint(query, triangle_database, "x", 99)
+
+
+class TestBuilders:
+    def test_path_query(self):
+        query = path_query(3, free_endpoints_only=True)
+        assert query.num_free() == 2
+        assert query.num_existential() == 2
+        assert query.hypergraph().num_edges() == 3
+
+    def test_star_query_footnote_4(self):
+        query = star_query(3)
+        assert query.free_variables == ("x1", "x2", "x3")
+        assert query.existential_variables == {"y"}
+        assert query.query_class() is QueryClass.CQ
+
+    def test_star_query_with_disequalities(self):
+        query = star_query(3, with_disequalities=True)
+        assert len(query.disequalities) == 3
+        assert query.query_class() is QueryClass.DCQ
+
+    def test_common_neighbour_alias(self):
+        assert common_neighbour_query(3).query_class() is QueryClass.DCQ
+
+    def test_clique_query_treewidth(self):
+        from repro.decomposition import exact_treewidth
+
+        query = clique_query(4)
+        assert exact_treewidth(query.hypergraph()) == 3
+
+    def test_cycle_query(self):
+        query = cycle_query(5)
+        assert query.hypergraph().num_edges() == 5
+
+    def test_grid_query(self):
+        query = grid_query(2, 3, num_free=2)
+        assert query.num_free() == 2
+        assert len(query.atoms) == 7
+
+    def test_hamiltonian_path_query(self):
+        query = hamiltonian_path_query(4)
+        assert query.num_free() == 4
+        assert len(query.disequalities) == 6
+        from repro.decomposition import exact_treewidth
+
+        assert exact_treewidth(query.hypergraph()) == 1
+
+    def test_high_arity_acyclic_query(self):
+        query = high_arity_acyclic_query(num_blocks=3, block_arity=4, shared=2)
+        assert query.arity() == 4
+        from repro.decomposition import fractional_hypertreewidth
+
+        fhw, _ = fractional_hypertreewidth(query.hypergraph())
+        assert fhw == pytest.approx(1.0)
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            path_query(0)
+        with pytest.raises(ValueError):
+            star_query(0)
+        with pytest.raises(ValueError):
+            clique_query(1)
+        with pytest.raises(ValueError):
+            hamiltonian_path_query(1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(length=st.integers(min_value=1, max_value=5), seed=st.integers(min_value=0, max_value=100))
+def test_path_query_answer_count_on_random_graphs(length, seed):
+    """The quantifier-free path query counts walks; verify against a direct
+    walk count on small random graphs."""
+    from repro.workloads import database_from_graph, erdos_renyi_graph
+    import networkx as nx
+    import numpy as np
+
+    graph = erdos_renyi_graph(6, 0.4, rng=seed)
+    database = database_from_graph(graph)
+    query = path_query(length)  # all variables free
+    expected_walks = 0
+    adjacency = nx.to_numpy_array(graph, nodelist=sorted(graph.nodes()))
+    # number of walks of given length = sum of A^length entries
+    power = np.linalg.matrix_power(adjacency, length)
+    expected_walks = int(power.sum())
+    assert query.count_answers_bruteforce(database) == expected_walks

@@ -1,0 +1,241 @@
+"""Tests for signatures, structures/databases, the CSP engine and the
+homomorphism oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    CSPInstance,
+    Constraint,
+    Database,
+    NotEqualConstraint,
+    NotInRelationConstraint,
+    RelationSymbol,
+    Signature,
+    Structure,
+    count_homomorphisms,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+    find_homomorphism,
+    is_homomorphism,
+)
+from repro.workloads import database_from_graph, erdos_renyi_graph
+
+
+class TestSignature:
+    def test_basic(self):
+        signature = Signature.from_arities({"E": 2, "R": 3})
+        assert signature["E"].arity == 2
+        assert "R" in signature
+        assert signature.arity() == 3
+        assert len(signature) == 2
+
+    def test_conflicting_arity_rejected(self):
+        signature = Signature([RelationSymbol("E", 2)])
+        with pytest.raises(ValueError):
+            signature.add(RelationSymbol("E", 3))
+
+    def test_subsignature(self):
+        small = Signature.from_arities({"E": 2})
+        big = Signature.from_arities({"E": 2, "F": 1})
+        assert small <= big
+        assert not big <= small
+
+    def test_union(self):
+        first = Signature.from_arities({"E": 2})
+        second = Signature.from_arities({"F": 1})
+        union = first.union(second)
+        assert "E" in union and "F" in union
+
+    def test_invalid_symbols(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("", 1)
+        with pytest.raises(ValueError):
+            RelationSymbol("E", 0)
+
+
+class TestStructure:
+    def test_from_relations(self):
+        structure = Structure.from_relations({"E": [(1, 2), (2, 3)]})
+        assert structure.has_fact("E", (1, 2))
+        assert not structure.has_fact("E", (2, 1))
+        assert structure.universe == frozenset({1, 2, 3})
+
+    def test_size_formula(self):
+        """||A|| = |sig| + |U| + sum |R| * ar(R)."""
+        structure = Structure.from_relations({"E": [(1, 2), (2, 3)], "P": [(1,)]})
+        assert structure.size() == 2 + 3 + (2 * 2 + 1 * 1)
+
+    def test_arity_mismatch_rejected(self):
+        structure = Structure.from_relations({"E": [(1, 2)]})
+        with pytest.raises(ValueError):
+            structure.add_fact("E", (1, 2, 3))
+
+    def test_empty_relation_needs_signature(self):
+        with pytest.raises(ValueError):
+            Structure.from_relations({"E": []})
+        structure = Structure(signature=Signature.from_arities({"E": 2}))
+        assert structure.relation("E") == frozenset()
+
+    def test_hypergraph_of_structure(self):
+        structure = Structure.from_relations({"R": [(1, 2, 3)], "E": [(3, 4)]})
+        hypergraph = structure.hypergraph()
+        assert frozenset({1, 2, 3}) in hypergraph.edges
+        assert frozenset({3, 4}) in hypergraph.edges
+
+    def test_restrict_universe(self):
+        structure = Structure.from_relations({"E": [(1, 2), (2, 3)]})
+        restricted = structure.restrict_universe([1, 2])
+        assert restricted.has_fact("E", (1, 2))
+        assert not restricted.has_fact("E", (2, 3))
+
+    def test_with_unary_relation(self):
+        structure = Structure.from_relations({"E": [(1, 2)]})
+        extended = structure.with_unary_relation("P", [1])
+        assert extended.has_fact("P", (1,))
+        assert not structure.signature.get("P")
+
+    def test_complement_relation(self):
+        structure = Structure.from_relations({"E": [(1, 2)]}, universe=[1, 2])
+        complement = structure.complement_relation("E", 2)
+        assert (1, 2) not in complement
+        assert (2, 1) in complement
+        assert len(complement) == 3
+
+    def test_from_graph_symmetric(self):
+        database = Database.from_graph_edges([(1, 2)], symmetric=True)
+        assert database.has_fact("E", (1, 2)) and database.has_fact("E", (2, 1))
+
+    def test_equality(self):
+        first = Structure.from_relations({"E": [(1, 2)]})
+        second = Structure.from_relations({"E": [(1, 2)]})
+        assert first == second
+
+
+class TestCSP:
+    def test_table_constraint_solutions(self):
+        csp = CSPInstance(
+            {"x": {1, 2}, "y": {1, 2}},
+            [Constraint(scope=("x", "y"), allowed=frozenset({(1, 2), (2, 1)}))],
+        )
+        solutions = list(csp.iter_solutions())
+        assert len(solutions) == 2
+
+    def test_not_equal_constraint(self):
+        csp = CSPInstance(
+            {"x": {1, 2}, "y": {1, 2}},
+            [NotEqualConstraint("x", "y")],
+        )
+        assert csp.count_solutions() == 2
+
+    def test_not_in_relation_constraint(self):
+        csp = CSPInstance(
+            {"x": {1, 2}, "y": {1, 2}},
+            [NotInRelationConstraint(scope=("x", "y"), forbidden=frozenset({(1, 1)}))],
+        )
+        assert csp.count_solutions() == 3
+
+    def test_propagation_detects_unsatisfiable(self):
+        csp = CSPInstance(
+            {"x": {1}, "y": {2}},
+            [Constraint(scope=("x", "y"), allowed=frozenset({(1, 1)}))],
+        )
+        assert not csp.is_satisfiable()
+
+    def test_mixed_constraints(self):
+        csp = CSPInstance(
+            {"x": {1, 2, 3}, "y": {1, 2, 3}},
+            [
+                Constraint(scope=("x", "y"), allowed=frozenset({(1, 2), (2, 2), (3, 1)})),
+                NotEqualConstraint("x", "y"),
+            ],
+        )
+        assert csp.count_solutions() == 2  # (1,2) and (3,1)
+
+    def test_limit(self):
+        csp = CSPInstance({"x": set(range(10))}, [])
+        assert len(list(csp.iter_solutions(limit=3))) == 3
+
+    def test_unknown_scope_variable_rejected(self):
+        with pytest.raises(KeyError):
+            CSPInstance({"x": {1}}, [NotEqualConstraint("x", "z")])
+
+    def test_bad_table_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint(scope=("x", "y"), allowed=frozenset({(1,)}))
+
+
+class TestHomomorphism:
+    def test_triangle_to_triangle(self):
+        triangle = Structure.from_graph([(0, 1), (1, 2), (0, 2)])
+        assert exists_homomorphism(triangle, triangle)
+        # Hom(K3 -> K3) = 3! proper colourings-like maps = 6 automorphisms ...
+        # actually every injective map works and non-injective maps hit a
+        # non-edge, so the count is 6.
+        assert count_homomorphisms(triangle, triangle) == 6
+
+    def test_edge_to_triangle(self):
+        edge = Structure.from_graph([(0, 1)])
+        triangle = Structure.from_graph([(0, 1), (1, 2), (0, 2)])
+        assert count_homomorphisms(edge, triangle) == 6
+
+    def test_triangle_to_bipartite_has_none(self):
+        triangle = Structure.from_graph([(0, 1), (1, 2), (0, 2)])
+        edge = Structure.from_graph([("a", "b")])
+        assert not exists_homomorphism(triangle, edge)
+        assert find_homomorphism(triangle, edge) is None
+
+    def test_path_to_edge(self):
+        path = Structure.from_graph([(0, 1), (1, 2)])
+        edge = Structure.from_graph([("a", "b")])
+        count = count_homomorphisms(path, edge)
+        assert count == 2  # alternate a,b,a or b,a,b
+
+    def test_found_mapping_is_homomorphism(self):
+        source = Structure.from_graph([(0, 1), (1, 2)])
+        target = Structure.from_graph([(0, 1), (1, 2), (2, 3)])
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert is_homomorphism(mapping, source, target)
+
+    def test_empty_source(self):
+        empty = Structure()
+        target = Structure.from_graph([(0, 1)])
+        assert exists_homomorphism(empty, target)
+        assert count_homomorphisms(empty, target) == 1
+
+    def test_signature_mismatch(self):
+        source = Structure.from_relations({"R": [(1, 2)]})
+        target = Structure.from_graph([(0, 1)])
+        with pytest.raises(ValueError):
+            exists_homomorphism(source, target)
+
+    def test_unary_relations_respected(self):
+        source = Structure.from_relations({"E": [("x", "y")], "P": [("x",)]})
+        target = Structure.from_relations({"E": [(1, 2), (2, 1)], "P": [(1,)]})
+        homomorphisms = list(enumerate_homomorphisms(source, target))
+        assert all(mapping["x"] == 1 for mapping in homomorphisms)
+        assert len(homomorphisms) == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200), n=st.integers(min_value=3, max_value=6))
+def test_homomorphism_count_matches_bruteforce(seed, n):
+    """The CSP-based count agrees with a direct brute-force count of maps."""
+    import itertools
+
+    source = Structure.from_graph([(0, 1), (1, 2)])
+    host_graph = erdos_renyi_graph(n, 0.5, rng=seed)
+    target = database_from_graph(host_graph)
+    if not target.universe:
+        return
+    source_vertices = sorted(source.universe)
+    brute = 0
+    for images in itertools.product(sorted(target.universe), repeat=len(source_vertices)):
+        mapping = dict(zip(source_vertices, images))
+        if is_homomorphism(mapping, source, target):
+            brute += 1
+    assert count_homomorphisms(source, target) == brute
