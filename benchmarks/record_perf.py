@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Standalone engine-speedup recorder: writes ``BENCH_engine.json``.
+
+Runs the indexed CSP/join engine and the retained naive scan path on the
+medium configurations of ``bench_scaling_database`` (the fixed two-hop query
+over growing Erdős–Rényi databases) and ``bench_star_queries`` (the
+footnote-4 star family), verifies that both engines — and, on the smallest
+configuration, the independent brute-force counter — produce identical
+counts, and appends a timestamped speedup record to ``BENCH_engine.json`` at
+the repository root.
+
+Usage::
+
+    python benchmarks/record_perf.py            # full configurations
+    python benchmarks/record_perf.py --smoke    # ~30-second budgeted subset
+    python benchmarks/record_perf.py --out PATH # custom output file
+
+Exits non-zero if any count mismatches.  Installed environments get the
+pytest-benchmark harness via the ``bench`` extra (``pip install .[bench]``);
+this script intentionally has no dependency beyond the package itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.applications import star_instance  # noqa: E402
+from repro.core import count_answers_exact  # noqa: E402
+from repro.queries.builders import path_query  # noqa: E402
+from repro.workloads import database_from_graph, erdos_renyi_graph  # noqa: E402
+
+TWO_HOP = path_query(2, free_endpoints_only=True)
+STAR_GRAPH = erdos_renyi_graph(12, 0.3, rng=17)
+
+
+def _scaling_config(size: int):
+    database = database_from_graph(erdos_renyi_graph(size, 0.3, rng=size))
+    return f"bench_scaling_database|two-hop|U={size}", TWO_HOP, database
+
+
+def _star_config(k: int):
+    query, database = star_instance(STAR_GRAPH, k)
+    return f"bench_star_queries|star k={k}|U={STAR_GRAPH.number_of_nodes()}", query, database
+
+
+def _configs(smoke: bool):
+    if smoke:
+        return [_scaling_config(14), _star_config(3)]
+    return [_scaling_config(14), _scaling_config(20), _star_config(3), _star_config(4)]
+
+
+def _best_of(call, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> int:
+    started = time.perf_counter()
+    results = []
+    failures = 0
+    for name, query, database in _configs(smoke):
+        if smoke and time.perf_counter() - started > budget_seconds:
+            print(f"[record_perf] smoke budget of {budget_seconds:.0f}s reached; stopping")
+            break
+        naive_count = count_answers_exact(query, database, engine="naive")
+        indexed_count = count_answers_exact(query, database, engine="indexed")
+        bruteforce_count = None
+        if len(query.variables) <= 3 and len(database.universe) <= 14:
+            bruteforce_count = count_answers_exact(query, database, method="bruteforce")
+        counts_match = naive_count == indexed_count and (
+            bruteforce_count is None or bruteforce_count == indexed_count
+        )
+        if not counts_match:
+            failures += 1
+        naive_time = _best_of(
+            lambda: count_answers_exact(query, database, engine="naive"), repeats
+        )
+        indexed_time = _best_of(
+            lambda: count_answers_exact(query, database, engine="indexed"), repeats
+        )
+        speedup = naive_time / indexed_time if indexed_time > 0 else float("inf")
+        results.append(
+            {
+                "config": name,
+                "count": naive_count,
+                "bruteforce_count": bruteforce_count,
+                "counts_match": counts_match,
+                "naive_seconds": round(naive_time, 6),
+                "indexed_seconds": round(indexed_time, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+        print(
+            f"[record_perf] {name}: count={naive_count} "
+            f"naive={naive_time * 1000:.1f}ms indexed={indexed_time * 1000:.1f}ms "
+            f"speedup={speedup:.1f}x counts_match={counts_match}"
+        )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "engine": "indexed",
+        "baseline": "naive",
+        "configs": results,
+        "min_speedup": round(min((r["speedup"] for r in results), default=0.0), 2),
+        "all_counts_match": failures == 0,
+    }
+
+    existing = []
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+            if not isinstance(existing, list):
+                existing = [existing]
+        except json.JSONDecodeError:
+            existing = []
+    existing.append(record)
+    out_path.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"[record_perf] appended record to {out_path} (min speedup {record['min_speedup']}x)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="~30s budgeted subset")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output JSON file"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    parser.add_argument(
+        "--budget-seconds", type=float, default=30.0, help="smoke-mode time budget"
+    )
+    args = parser.parse_args()
+    return run(args.smoke, args.out, max(1, args.repeats), args.budget_seconds)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

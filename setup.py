@@ -4,8 +4,17 @@ The project is fully described by ``pyproject.toml``; this file exists so the
 package can be installed in environments without the ``wheel`` package
 (``pip install -e . --no-build-isolation`` falls back to the legacy
 ``setup.py develop`` path in that case).
+
+The ``bench`` extra pulls in the pytest-benchmark harness used by the
+modules under ``benchmarks/``; the engine speedup recorder
+(``python benchmarks/record_perf.py [--smoke]``, which appends to
+``BENCH_engine.json``) needs no extras.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "bench": ["pytest-benchmark"],
+    },
+)

@@ -23,12 +23,13 @@ This module provides
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.associated_structures import variable_order
 from repro.hypergraph import PartiteHypergraph
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import (
+    DEFAULT_ENGINE,
     Constraint,
     CSPInstance,
     NotEqualConstraint,
@@ -78,20 +79,25 @@ class DirectEdgeFreeOracle:
     reproduces the paper's reduction exactly and is used to cross-validate.
     """
 
-    def __init__(self, query: ConjunctiveQuery, database: Structure) -> None:
+    def __init__(
+        self, query: ConjunctiveQuery, database: Structure, engine: str = DEFAULT_ENGINE
+    ) -> None:
         query._check_signature_compatibility(database)
         self._query = query
         self._database = database
         self._order = variable_order(query)
         self._num_free = query.num_free()
-        self._universe = sorted(database.universe, key=repr)
+        self._universe = database.canonical_universe()
+        self._engine = engine
+        self._search_order_cache: Optional[List[str]] = None
         self.calls = 0
         # The constraint set does not depend on the queried subsets, only the
-        # free-variable domains do — build it once.
+        # free-variable domains do — build it once, sharing the database's
+        # per-relation tuple indexes across all calls.
         self._constraints: List[object] = []
         for atom in query.atoms:
             self._constraints.append(
-                Constraint(scope=atom.args, allowed=frozenset(database.relation(atom.relation)))
+                Constraint.trusted(atom.args, index=database.relation_index(atom.relation))
             )
         for atom in query.negated_atoms:
             forbidden = (
@@ -122,7 +128,17 @@ class DirectEdgeFreeOracle:
                 domains[variable] = set(free_domains[index])
             else:
                 domains[variable] = set(self._universe)
-        return CSPInstance(domains, self._constraints)
+        csp = CSPInstance(
+            domains,
+            self._constraints,
+            engine=self._engine,
+            search_order=self._search_order_cache,
+        )
+        if self._search_order_cache is None:
+            # The scopes (and hence the min-fill order) are the same for every
+            # call; compute the order once and reuse it for all later CSPs.
+            self._search_order_cache = csp.search_order()
+        return csp
 
     def edge_free(self, subsets: Sequence[Iterable[TaggedValue]]) -> bool:
         """True iff the restricted answer hypergraph has no hyperedge."""

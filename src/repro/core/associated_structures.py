@@ -119,7 +119,7 @@ def build_B(query: ConjunctiveQuery, database: Structure) -> Structure:
                 existing = database.relation(original)
                 arity = symbol.arity
             structure.add_relation(RelationSymbol(symbol.name, arity))
-            universe = sorted(database.universe, key=repr)
+            universe = database.canonical_universe()
             for candidate in itertools.product(universe, repeat=arity):
                 if candidate not in existing:
                     structure.add_fact(symbol.name, candidate)
@@ -186,22 +186,30 @@ def build_B_hat(
         Optionally a precomputed ``B(phi, D)`` to avoid rebuilding the
         (potentially large) complement relations on every oracle call.
     """
+    scaffold = build_B_hat_scaffold(query, database, free_subsets, b_structure=b_structure)
+    return add_colour_relations(query, scaffold, colouring)
+
+
+def build_B_hat_scaffold(
+    query: ConjunctiveQuery,
+    database: Structure,
+    free_subsets: Sequence[Iterable[Tuple[Element, int]]],
+    b_structure: Optional[Structure] = None,
+) -> Structure:
+    """The colouring-independent part of ``B̂``: the tagged copies of the base
+    relations and the unary class relations ``P_i``, but no colour relations.
+
+    The colour-coding oracle repeats ``build_B_hat`` many times with the same
+    free subsets and a fresh colouring each round; computing this scaffold
+    once per EdgeFree call and stamping the (small, unary) colour relations on
+    a fast copy per round avoids re-tagging the base relations every time.
+    """
     order = variable_order(query)
     num_free = query.num_free()
     if len(free_subsets) != num_free:
         raise ValueError(
             f"expected {num_free} free-variable subsets, got {len(free_subsets)}"
         )
-    if colouring is None:
-        colouring = {}
-    delta = query.delta()
-    missing_colourings = [pair for pair in delta if pair not in colouring]
-    if missing_colourings:
-        raise ValueError(
-            "colouring functions are required for every disequality pair; missing "
-            f"{sorted(tuple(sorted(p)) for p in missing_colourings)}"
-        )
-
     base = b_structure if b_structure is not None else build_B(query, database)
     universe_values = set(database.universe)
 
@@ -250,7 +258,26 @@ def build_B_hat(
         structure.add_relation(RelationSymbol(name, 1))
         for member in class_members[index]:
             structure.add_fact(name, (member,))
+    return structure
 
+
+def add_colour_relations(
+    query: ConjunctiveQuery, scaffold: Structure, colouring: Optional[Colouring] = None
+) -> Structure:
+    """Stamp the colour relations ``R_η`` / ``B_η`` of a colouring collection
+    ``f = {f_η}`` onto (a fast copy of) a ``build_B_hat_scaffold`` result,
+    completing the ``B̂`` structure of Definition 28."""
+    if colouring is None:
+        colouring = {}
+    delta = query.delta()
+    missing_colourings = [pair for pair in delta if pair not in colouring]
+    if missing_colourings:
+        raise ValueError(
+            "colouring functions are required for every disequality pair; missing "
+            f"{sorted(tuple(sorted(p)) for p in missing_colourings)}"
+        )
+    structure = scaffold.copy()
+    universe = structure.universe
     # Colour relations R_η / B_η from the colouring functions.
     for pair in delta:
         red_name, blue_name = colour_relation_names(query, pair)

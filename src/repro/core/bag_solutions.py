@@ -14,6 +14,12 @@ bounded.  This module implements the enumeration by per-atom projection and
 hash joins; it is the workhorse of the Theorem-16 FPRAS (it computes the bag
 relations ``Sol_t`` of Lemma 52).
 
+The joins are index-driven: each atom's internally-consistent rows are
+computed once per database (memoised on the structure's version-keyed
+scratch cache, see :meth:`Structure.derived_cache`) and every pairwise join
+hashes on the shared-variable projection of the canonical assignment keys —
+no per-entry dict materialisation in the hot path.
+
 Assignments are represented as immutable, canonically ordered tuples of
 ``(variable, value)`` pairs so they can serve as automaton states.
 """
@@ -65,6 +71,37 @@ def project(assignment: Dict[Variable, Element], variables: Iterable[Variable]) 
     return {v: value for v, value in assignment.items() if v in wanted}
 
 
+def _atom_base(atom: Atom, database: Structure) -> Tuple[Tuple[Variable, ...], List[Tuple[Element, ...]]]:
+    """The atom's internally-consistent value rows, deduplicated per distinct
+    variable (repeated variables must receive equal values), memoised on the
+    database's version-keyed scratch cache so every bag projection of the
+    same atom reuses one relation scan."""
+    cache = database.derived_cache()
+    key = ("atom_base", atom.relation, atom.args)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    distinct: List[Variable] = []
+    positions: List[int] = []
+    seen: Dict[Variable, int] = {}
+    checks: List[Tuple[int, int]] = []  # (position, position of first occurrence)
+    for position, variable in enumerate(atom.args):
+        first = seen.get(variable)
+        if first is None:
+            seen[variable] = position
+            distinct.append(variable)
+            positions.append(position)
+        else:
+            checks.append((position, first))
+    rows: List[Tuple[Element, ...]] = []
+    for fact in database.relation(atom.relation):
+        if all(fact[position] == fact[first] for position, first in checks):
+            rows.append(tuple(fact[position] for position in positions))
+    result = (tuple(distinct), rows)
+    cache[key] = result
+    return result
+
+
 def _atom_projection(
     atom: Atom, database: Structure, bag: FrozenSet[Variable]
 ) -> Optional[Set[AssignmentKey]]:
@@ -74,59 +111,83 @@ def _atom_projection(
     consistent tuple at all — in that case ``Sol(phi, D, B)`` is empty no
     matter what ``B`` is.
     """
-    relation = database.relation(atom.relation)
-    bag_positions = [
-        (position, variable)
-        for position, variable in enumerate(atom.args)
-        if variable in bag
-    ]
-    projections: Set[AssignmentKey] = set()
-    any_consistent = False
-    for fact in relation:
-        # Repeated variables inside the atom must receive equal values.
-        assignment: Dict[Variable, Element] = {}
-        consistent = True
-        for position, variable in enumerate(atom.args):
-            value = fact[position]
-            if variable in assignment and assignment[variable] != value:
-                consistent = False
-                break
-            assignment[variable] = value
-        if not consistent:
-            continue
-        any_consistent = True
-        projections.add(
-            assignment_key({variable: assignment[variable] for _, variable in bag_positions})
-        )
-    if not any_consistent:
+    variables, rows = _atom_base(atom, database)
+    if not rows:
         return None
-    return projections
+    # Canonically ordered (variable-sorted) projection columns.
+    columns = sorted(
+        (column for column, variable in enumerate(variables) if variable in bag),
+        key=lambda column: variables[column],
+    )
+    ordered = tuple(variables[column] for column in columns)
+    return {
+        tuple(zip(ordered, (row[column] for column in columns))) for row in rows
+    }
+
+
+def _merge_sorted_keys(left: AssignmentKey, right: AssignmentKey) -> AssignmentKey:
+    """Union of two consistent assignment keys, both sorted by variable."""
+    if not left:
+        return right
+    if not right:
+        return left
+    merged: List[Tuple[Variable, Element]] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        lv, rv = left[i][0], right[j][0]
+        if lv == rv:
+            merged.append(left[i])
+            i += 1
+            j += 1
+        elif lv < rv:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return tuple(merged)
 
 
 def _hash_join(
     left: Set[AssignmentKey], right: Set[AssignmentKey]
 ) -> Set[AssignmentKey]:
-    """Natural join of two sets of partial assignments."""
+    """Natural join of two sets of partial assignments: a true hash join
+    keyed on the shared-variable projection (no per-entry dict probing)."""
     if not left or not right:
         return set()
-    left_dicts = [dict(key) for key in left]
-    right_dicts = [dict(key) for key in right]
-    left_vars = set().union(*(set(d) for d in left_dicts)) if left_dicts else set()
-    right_vars = set().union(*(set(d) for d in right_dicts)) if right_dicts else set()
-    shared = sorted(left_vars & right_vars)
-
-    index: Dict[Tuple, List[Dict[Variable, Element]]] = {}
-    for entry in right_dicts:
-        signature = tuple(entry.get(v) for v in shared)
-        index.setdefault(signature, []).append(entry)
+    # Keys built by this module always share one variable set per side.  For
+    # ragged inputs, grouping by variable tuple gives standard natural-join
+    # semantics per group pair (each pair joins on its own shared variables).
+    left_groups: Dict[Tuple[Variable, ...], List[AssignmentKey]] = {}
+    for key in left:
+        left_groups.setdefault(tuple(v for v, _ in key), []).append(key)
+    right_groups: Dict[Tuple[Variable, ...], List[AssignmentKey]] = {}
+    for key in right:
+        right_groups.setdefault(tuple(v for v, _ in key), []).append(key)
 
     joined: Set[AssignmentKey] = set()
-    for entry in left_dicts:
-        signature = tuple(entry.get(v) for v in shared)
-        for partner in index.get(signature, []):
-            combined = dict(entry)
-            combined.update(partner)
-            joined.add(assignment_key(combined))
+    for left_vars, left_keys in left_groups.items():
+        left_var_set = set(left_vars)
+        left_positions_by_var = {v: i for i, v in enumerate(left_vars)}
+        for right_vars, right_keys in right_groups.items():
+            shared = sorted(left_var_set & set(right_vars))
+            left_shared = tuple(left_positions_by_var[v] for v in shared)
+            right_positions_by_var = {v: i for i, v in enumerate(right_vars)}
+            right_shared = tuple(right_positions_by_var[v] for v in shared)
+            # Build the hash table on the smaller side.
+            table: Dict[Tuple[Element, ...], List[AssignmentKey]] = {}
+            for key in right_keys:
+                signature = tuple(key[i][1] for i in right_shared)
+                table.setdefault(signature, []).append(key)
+            for key in left_keys:
+                signature = tuple(key[i][1] for i in left_shared)
+                partners = table.get(signature)
+                if not partners:
+                    continue
+                for partner in partners:
+                    joined.add(_merge_sorted_keys(key, partner))
     return joined
 
 

@@ -31,12 +31,14 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional
 from repro.core.associated_structures import (
     BLUE,
     RED,
+    add_colour_relations,
     build_A_hat,
     build_B,
-    build_B_hat,
+    build_B_hat_scaffold,
     variable_order,
 )
 from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.homomorphism import exists_homomorphism
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike, as_generator
@@ -54,7 +56,7 @@ def random_colouring(
     for every disequality pair and every database value, colour the value red
     or blue with probability 1/2 each."""
     generator = as_generator(rng)
-    universe = sorted(database.universe, key=repr)
+    universe = database.canonical_universe()
     colouring: Dict[FrozenSet[str], Dict[Element, str]] = {}
     for pair in query.delta():
         flips = generator.random(len(universe)) < 0.5
@@ -106,12 +108,16 @@ class ColourCodingEdgeFreeOracle:
         hom_oracle: Optional[HomOracle] = None,
         rng: RNGLike = None,
         max_repetitions: Optional[int] = 512,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         query._check_signature_compatibility(database)
         self._query = query
         self._database = database
         self._failure = failure_probability
-        self._hom = hom_oracle if hom_oracle is not None else exists_homomorphism
+        if hom_oracle is not None:
+            self._hom = hom_oracle
+        else:
+            self._hom = lambda a, b: exists_homomorphism(a, b, engine=engine)
         self._rng = as_generator(rng)
         self._a_hat = build_A_hat(query)
         self._b_base = build_B(query, database)
@@ -142,15 +148,15 @@ class ColourCodingEdgeFreeOracle:
             raise ValueError(f"expected {self._num_free} subsets, got {len(subsets)}")
         if any(not block for block in subsets):
             return True
+        # The scaffold (tagged base relations + class relations) depends only
+        # on the subsets; only the small unary colour relations change per
+        # repetition, so build it once and stamp each colouring on a copy.
+        scaffold = build_B_hat_scaffold(
+            self._query, self._database, subsets, b_structure=self._b_base
+        )
         for _ in range(self.repetitions):
             colouring = random_colouring(self._query, self._database, rng=self._rng)
-            b_hat = build_B_hat(
-                self._query,
-                self._database,
-                subsets,
-                colouring=colouring,
-                b_structure=self._b_base,
-            )
+            b_hat = add_colour_relations(self._query, scaffold, colouring)
             self.hom_queries += 1
             if self._hom(self._a_hat, b_hat):
                 return False

@@ -24,6 +24,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import (
+    DEFAULT_ENGINE,
     Constraint,
     CSPInstance,
     NotEqualConstraint,
@@ -34,14 +35,21 @@ from repro.relational.structure import Structure
 Element = Hashable
 
 
-def _solution_csp(query: ConjunctiveQuery, database: Structure) -> CSPInstance:
-    """A CSP whose solutions are exactly Sol(phi, D) (Definition 1)."""
-    universe = sorted(database.universe, key=repr)
-    domains: Dict[str, Set[Element]] = {v: set(universe) for v in query.variables}
+def _solution_csp(
+    query: ConjunctiveQuery, database: Structure, engine: str = DEFAULT_ENGINE
+) -> CSPInstance:
+    """A CSP whose solutions are exactly Sol(phi, D) (Definition 1).
+
+    Table constraints are built through the trusted fast path and share the
+    database's cached per-relation tuple indexes; the domains reuse the
+    cached canonical universe instead of re-sorting it per call.
+    """
+    universe = database.canonical_universe()
+    domains: Dict[str, Set[Element]] = {v: universe for v in query.variables}
     constraints: List[object] = []
     for atom in query.atoms:
         constraints.append(
-            Constraint(scope=atom.args, allowed=frozenset(database.relation(atom.relation)))
+            Constraint.trusted(atom.args, index=database.relation_index(atom.relation))
         )
     for atom in query.negated_atoms:
         forbidden = (
@@ -54,19 +62,21 @@ def _solution_csp(query: ConjunctiveQuery, database: Structure) -> CSPInstance:
         )
     for disequality in query.disequalities:
         constraints.append(NotEqualConstraint(disequality.left, disequality.right))
-    return CSPInstance(domains, constraints)
+    return CSPInstance(domains, constraints, engine=engine)
 
 
-def count_solutions_exact(query: ConjunctiveQuery, database: Structure) -> int:
+def count_solutions_exact(
+    query: ConjunctiveQuery, database: Structure, engine: str = DEFAULT_ENGINE
+) -> int:
     """Exact ``|Sol(phi, D)|`` (Definition 1) via backtracking."""
     query._check_signature_compatibility(database)
     if not database.universe:
         return 0
-    return _solution_csp(query, database).count_solutions()
+    return _solution_csp(query, database, engine=engine).count_solutions()
 
 
 def enumerate_answers_exact(
-    query: ConjunctiveQuery, database: Structure
+    query: ConjunctiveQuery, database: Structure, engine: str = DEFAULT_ENGINE
 ) -> Set[Tuple[Element, ...]]:
     """Exact ``Ans(phi, D)`` (Definition 2) as a set of tuples ordered like
     ``query.free_variables`` — computed by enumerating solutions with the CSP
@@ -75,13 +85,17 @@ def enumerate_answers_exact(
     if not database.universe:
         return set()
     answers: Set[Tuple[Element, ...]] = set()
-    for solution in _solution_csp(query, database).iter_solutions():
-        answers.add(tuple(solution[v] for v in query.free_variables))
+    free = query.free_variables
+    for solution in _solution_csp(query, database, engine=engine)._iter_assignments(None):
+        answers.add(tuple(solution[v] for v in free))
     return answers
 
 
 def count_answers_exact(
-    query: ConjunctiveQuery, database: Structure, method: str = "backtracking"
+    query: ConjunctiveQuery,
+    database: Structure,
+    method: str = "backtracking",
+    engine: str = DEFAULT_ENGINE,
 ) -> int:
     """Exact ``|Ans(phi, D)|``.
 
@@ -89,9 +103,11 @@ def count_answers_exact(
     engine and counts distinct projections; ``method="bruteforce"`` is the
     plain ``|U(D)|^{|vars(phi)|}`` enumeration from the introduction (kept as
     an independent reference implementation for differential testing).
+    ``engine`` selects the CSP engine (``"indexed"``/``"naive"``) for the
+    backtracking method.
     """
     if method == "bruteforce":
         return query.count_answers_bruteforce(database)
     if method == "backtracking":
-        return len(enumerate_answers_exact(query, database))
+        return len(enumerate_answers_exact(query, database, engine=engine))
     raise ValueError(f"unknown method {method!r}")

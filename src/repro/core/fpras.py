@@ -8,7 +8,11 @@ Pipeline (Section 5.2):
     Marx's cubic approximation; see :mod:`repro.decomposition.fractional`.)
 2.  Lemma 48 — for every bag ``B_t`` compute the bag solutions
     ``Sol_t = Sol(phi, D, B_t)`` and their projections
-    ``Sol'_t = proj(Sol_t, free(phi))``.
+    ``Sol'_t = proj(Sol_t, free(phi))``.  The enumeration runs on the indexed
+    join engine of :mod:`repro.core.bag_solutions`: per-atom consistent rows
+    are scanned once per database (version-keyed cache) and bags are joined
+    with hash joins keyed on the shared-variable projection, so the per-bag
+    cost is dominated by the output size as Lemma 48 requires.
 3.  Lemma 52 — build the tree automaton whose accepted labelled trees are in
     bijection with ``Ans(phi, D)``:
       * states ``(t, alpha)`` with ``alpha ∈ Sol_t``; initial state

@@ -33,6 +33,7 @@ from repro.decomposition.f_width import EXACT_F_WIDTH_LIMIT
 from repro.decomposition.treewidth import exact_treewidth, treewidth_upper_bound
 from repro.decomposition.adaptive import adaptive_width_upper_bound
 from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike
 
@@ -77,6 +78,7 @@ def fptras_count_ecq(
     treewidth_bound: Optional[int] = None,
     arity_bound: Optional[int] = None,
     return_result: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ):
     """Theorem 5: FPTRAS for #ECQ on queries with bounded treewidth and arity.
 
@@ -118,6 +120,7 @@ def fptras_count_ecq(
         rng=rng,
         oracle_mode=oracle_mode,
         return_statistics=True,
+        engine=engine,
     )
     result = FPTRASResult(
         estimate=float(estimate),
@@ -141,6 +144,7 @@ def fptras_count_dcq(
     oracle_mode: str = "auto",
     adaptive_width_bound: Optional[float] = None,
     return_result: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ):
     """Theorem 13: FPTRAS for #DCQ on queries with bounded adaptive width
     (unbounded arity allowed).
@@ -181,6 +185,7 @@ def fptras_count_dcq(
         rng=rng,
         oracle_mode=oracle_mode,
         return_statistics=True,
+        engine=engine,
     )
     result = FPTRASResult(
         estimate=float(estimate),

@@ -31,6 +31,7 @@ from repro.core.answer_hypergraph import DirectEdgeFreeOracle, vertex_classes
 from repro.core.colour_coding import ColourCodingEdgeFreeOracle, HomOracle
 from repro.core.dlm import approx_count_via_oracle, exact_count_via_oracle
 from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike, as_generator
 from repro.util.validation import check_epsilon_delta
@@ -136,6 +137,7 @@ def approx_count_answers_via_oracle(
     hom_oracle: Optional[HomOracle] = None,
     max_colouring_repetitions: Optional[int] = 512,
     return_statistics: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ):
     """The Lemma-22 algorithm: an (epsilon, delta)-approximation of
     ``|Ans(phi, D)|`` via EdgeFree/Hom oracles.
@@ -152,6 +154,10 @@ def approx_count_answers_via_oracle(
         direct.
     return_statistics:
         Also return an :class:`OracleCountingStatistics` record.
+    engine:
+        The CSP engine (``"indexed"``/``"naive"``) backing both the direct
+        EdgeFree oracle and the default Hom oracle of the colour-coding
+        simulation.
     """
     check_epsilon_delta(epsilon, delta)
     generator = as_generator(rng)
@@ -191,9 +197,10 @@ def approx_count_answers_via_oracle(
             hom_oracle=hom_oracle,
             rng=generator,
             max_repetitions=max_colouring_repetitions,
+            engine=engine,
         )
     else:
-        aligned = DirectEdgeFreeOracle(query, database)
+        aligned = DirectEdgeFreeOracle(query, database, engine=engine)
 
     general = GeneralEdgeFreeOracle(aligned, num_free, statistics)
 
@@ -220,6 +227,7 @@ def exact_count_answers_via_oracle(
     oracle_mode: str = "direct",
     hom_oracle: Optional[HomOracle] = None,
     rng: RNGLike = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> int:
     """Exact ``|Ans(phi, D)|`` using only EdgeFree oracle calls (recursive
     splitting).  Useful to validate the oracle plumbing independently of the
@@ -229,10 +237,15 @@ def exact_count_answers_via_oracle(
     classes = vertex_classes(query, database)
     if oracle_mode == "colour_coding":
         aligned = ColourCodingEdgeFreeOracle(
-            query, database, failure_probability=0.01, hom_oracle=hom_oracle, rng=rng
+            query,
+            database,
+            failure_probability=0.01,
+            hom_oracle=hom_oracle,
+            rng=rng,
+            engine=engine,
         )
     elif oracle_mode == "direct":
-        aligned = DirectEdgeFreeOracle(query, database)
+        aligned = DirectEdgeFreeOracle(query, database, engine=engine)
     else:
         raise ValueError(f"unknown oracle_mode {oracle_mode!r}")
     general = GeneralEdgeFreeOracle(aligned, num_free, statistics)

@@ -239,7 +239,7 @@ class ConjunctiveQuery:
         """
         self._check_signature_compatibility(database)
         variables = sorted(self._variables)
-        universe = sorted(database.universe, key=repr)
+        universe = database.canonical_universe()
         for values in itertools.product(universe, repeat=len(variables)):
             assignment = dict(zip(variables, values))
             if self.satisfies(assignment, database):
@@ -273,7 +273,7 @@ class ConjunctiveQuery:
             return False
         partial = dict(zip(self._free, candidate))
         existential = sorted(self._existential)
-        universe = sorted(database.universe, key=repr)
+        universe = database.canonical_universe()
         for values in itertools.product(universe, repeat=len(existential)):
             assignment = dict(partial)
             assignment.update(zip(existential, values))

@@ -19,12 +19,15 @@ from repro.relational.homomorphism import (
     is_homomorphism,
 )
 from repro.relational.csp import (
+    DEFAULT_ENGINE,
+    ENGINES,
     CSPInstance,
     Constraint,
     NotEqualConstraint,
     NotInRelationConstraint,
     solve_csp,
 )
+from repro.relational.index import TupleIndex
 from repro.relational.io import (
     database_from_dict,
     database_to_dict,
@@ -48,6 +51,9 @@ __all__ = [
     "Constraint",
     "NotEqualConstraint",
     "NotInRelationConstraint",
+    "TupleIndex",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "solve_csp",
     "database_to_dict",
     "database_from_dict",

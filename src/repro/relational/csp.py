@@ -19,18 +19,73 @@ The engine combines
 
 It supports deciding satisfiability, finding one solution, enumerating, and
 counting all solutions.
+
+Engine architecture
+-------------------
+Two interchangeable engines implement the same semantics (identical solution
+sets *and* identical enumeration order); select one with
+``CSPInstance(..., engine=...)``:
+
+``engine="indexed"`` (default)
+    The propagation-based engine.  Every table :class:`Constraint` carries a
+    positional :class:`~repro.relational.index.TupleIndex` over its allowed
+    tuples — ``(position, value) -> frozenset of tuple ids`` — which is
+    shared across constraints over the same relation when built via
+    :meth:`Structure.relation_index` and :meth:`Constraint.trusted`.
+    On top of the indexes:
+
+    * ``consistent_with_partial`` intersects the id-sets of the assigned
+      scope positions (smallest bucket first) instead of scanning the table;
+    * :meth:`CSPInstance.propagate` runs a support-counting GAC (GAC4-style):
+      it materialises the live tuple ids and per-position value counts once,
+      then drains a worklist of ``(variable, removed value)`` events, killing
+      exactly the tuples indexed under the removed value and decrementing
+      supports — no full fixpoint re-scans;
+    * search computes the min-fill variable order and a canonical
+      (repr-sorted) per-variable value order **once**, and forward-checks
+      each assignment: the surviving tuple ids of every touched constraint
+      prune the unassigned neighbours' domains (with an undo trail), so dead
+      branches are cut before recursing.
+
+``engine="naive"``
+    The original scan-based engine, retained verbatim for differential
+    testing and benchmarking: ``consistent_with_partial`` scans ``allowed``,
+    ``propagate`` re-filters every table to its live tuples until a full
+    fixpoint round changes nothing, and the search re-sorts the domain of the
+    current variable at every node.
+
+Both engines treat :class:`NotEqualConstraint` and
+:class:`NotInRelationConstraint` the same way during propagation (they do not
+participate in GAC); the indexed engine additionally forward-checks
+disequalities by deleting the just-assigned value from the partner's domain.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.hypergraph import Hypergraph
+from repro.relational.index import TupleIndex
 
 Variable = Hashable
 Value = Hashable
 AssignmentTuple = Tuple[Value, ...]
+
+#: The engines understood by :class:`CSPInstance`.
+ENGINES = ("indexed", "naive")
+DEFAULT_ENGINE = "indexed"
 
 
 @dataclass(frozen=True)
@@ -48,13 +103,77 @@ class Constraint:
                     f"allowed tuple {tup!r} does not match scope of length {len(self.scope)}"
                 )
 
+    @classmethod
+    def trusted(
+        cls,
+        scope: Sequence[Variable],
+        allowed: Optional[Iterable[AssignmentTuple]] = None,
+        index: Optional[TupleIndex] = None,
+    ) -> "Constraint":
+        """Fast-path constructor for internally-built constraints.
+
+        Skips the O(|allowed|) tuple-length validation of ``__post_init__``
+        (the caller vouches that the arities match) and optionally attaches a
+        pre-built, shared :class:`TupleIndex` — typically
+        ``structure.relation_index(name)`` — so sibling constraints over the
+        same relation share one index.  ``allowed`` defaults to
+        ``index.allowed`` when an index is given.
+        """
+        if allowed is None:
+            if index is None:
+                raise ValueError("trusted() needs either allowed tuples or an index")
+            allowed_set = index.allowed
+        else:
+            allowed_set = allowed if isinstance(allowed, frozenset) else frozenset(allowed)
+        self = object.__new__(cls)
+        object.__setattr__(self, "scope", tuple(scope))
+        object.__setattr__(self, "allowed", allowed_set)
+        if index is not None:
+            object.__setattr__(self, "_index", index)
+        return self
+
+    @property
+    def index(self) -> TupleIndex:
+        """The positional index over ``allowed`` (built lazily and cached; a
+        shared index may have been attached by :meth:`trusted`)."""
+        existing = self.__dict__.get("_index")
+        if existing is None:
+            existing = TupleIndex.from_tuples(self.allowed, arity=len(self.scope))
+            object.__setattr__(self, "_index", existing)
+        return existing
+
     def is_satisfied_by(self, assignment: Dict[Variable, Value]) -> bool:
         """Whether a *total* assignment of the scope satisfies the constraint."""
         return tuple(assignment[v] for v in self.scope) in self.allowed
 
     def consistent_with_partial(self, assignment: Dict[Variable, Value]) -> bool:
         """Whether some allowed tuple agrees with the given partial assignment
-        on the assigned scope variables."""
+        on the assigned scope variables (index-intersection, not a scan)."""
+        index = self.index
+        buckets: List[FrozenSet[int]] = []
+        for position, variable in enumerate(self.scope):
+            if variable in assignment:
+                bucket = index.by_position[position].get(assignment[variable]) if index.tuples else None
+                if not bucket:
+                    # No allowed tuple holds this value at this position —
+                    # unless nothing is assigned at all, the partial fails.
+                    return False
+                buckets.append(bucket)
+        if not buckets:
+            return True
+        if len(buckets) == 1:
+            return True
+        buckets.sort(key=len)
+        ids = buckets[0]
+        for bucket in buckets[1:]:
+            ids = ids & bucket
+            if not ids:
+                return False
+        return True
+
+    def scan_consistent_with_partial(self, assignment: Dict[Variable, Value]) -> bool:
+        """The original O(|allowed| * |scope|) scan, kept for the naive
+        engine."""
         positions = [
             (index, assignment[variable])
             for index, variable in enumerate(self.scope)
@@ -68,10 +187,11 @@ class Constraint:
 
     def project_to(self, variable: Variable) -> Set[Value]:
         """Values of ``variable`` appearing in at least one allowed tuple."""
+        index = self.index
         values: Set[Value] = set()
-        for index, scope_variable in enumerate(self.scope):
-            if scope_variable == variable:
-                values.update(tup[index] for tup in self.allowed)
+        for position, scope_variable in enumerate(self.scope):
+            if scope_variable == variable and position < len(index.by_position):
+                values.update(index.by_position[position].keys())
         return values
 
 
@@ -122,24 +242,76 @@ class NotInRelationConstraint:
         return True
 
 
+class _TableState:
+    """Mutable GAC bookkeeping for one table constraint: the live tuple ids
+    and, per scope position, the support count of every surviving value."""
+
+    __slots__ = ("constraint", "index", "live", "counts")
+
+    def __init__(self, constraint: Constraint, live: Set[int]) -> None:
+        self.constraint = constraint
+        self.index = constraint.index
+        self.live = live
+        tuples = self.index.tuples
+        counts: List[Dict[Value, int]] = [dict() for _ in constraint.scope]
+        for tid in live:
+            for position, value in enumerate(tuples[tid]):
+                bucket = counts[position]
+                bucket[value] = bucket.get(value, 0) + 1
+        self.counts = counts
+
+
 class CSPInstance:
-    """A CSP over explicit finite domains with table constraints."""
+    """A CSP over explicit finite domains with table constraints.
+
+    Parameters
+    ----------
+    domains:
+        Mapping from variable to an iterable of candidate values.
+    constraints:
+        Table, disequality, or negated-table constraints.
+    engine:
+        ``"indexed"`` (default) for the propagation-based engine or
+        ``"naive"`` for the original scan-based one; see the module
+        docstring's "Engine architecture" section.
+    search_order:
+        Optional pre-computed variable order (skips the min-fill computation;
+        used by callers that solve many instances over the same scopes, e.g.
+        the EdgeFree oracle).
+    """
 
     def __init__(
         self,
         domains: Dict[Variable, Iterable[Value]],
         constraints: Sequence[Constraint] = (),
+        engine: str = DEFAULT_ENGINE,
+        search_order: Optional[Sequence[Variable]] = None,
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self._engine = engine
         self._domains: Dict[Variable, Set[Value]] = {
             variable: set(values) for variable, values in domains.items()
         }
+        self._variables_cache: Optional[List[Variable]] = None
+        self._order_hint: Optional[List[Variable]] = (
+            list(search_order) if search_order is not None else None
+        )
+        self._order_cache: Optional[List[Variable]] = None
+        self._by_variable_cache: Optional[Dict[Variable, List[Constraint]]] = None
         self._constraints: List[Constraint] = []
         for constraint in constraints:
             self.add_constraint(constraint)
 
     @property
+    def engine(self) -> str:
+        return self._engine
+
+    @property
     def variables(self) -> List[Variable]:
-        return sorted(self._domains, key=repr)
+        if self._variables_cache is None:
+            self._variables_cache = sorted(self._domains, key=repr)
+        return list(self._variables_cache)
 
     @property
     def constraints(self) -> List[Constraint]:
@@ -154,6 +326,8 @@ class CSPInstance:
         if unknown:
             raise KeyError(f"constraint over unknown variables {unknown!r}")
         self._constraints.append(constraint)
+        self._order_cache = None
+        self._by_variable_cache = None
 
     # ---------------------------------------------------------------- solving
     def constraint_hypergraph(self) -> Hypergraph:
@@ -165,28 +339,50 @@ class CSPInstance:
             or [],
         )
 
-    def _search_order(self) -> List[Variable]:
+    def search_order(self) -> List[Variable]:
         """Variable order from a min-fill elimination ordering, reversed so
         that "last eliminated" variables (roughly, the most connected) are
-        assigned first."""
-        from repro.decomposition.treewidth import _greedy_ordering  # local import
+        assigned first.  Computed once per instance and cached."""
+        if self._order_cache is None:
+            if self._order_hint is not None:
+                known = set(self._order_hint)
+                self._order_cache = list(self._order_hint) + [
+                    v for v in self.variables if v not in known
+                ]
+            else:
+                from repro.decomposition.treewidth import _greedy_ordering  # local import
 
-        hypergraph = self.constraint_hypergraph()
-        if hypergraph.num_edges() == 0:
-            return self.variables
-        ordering = _greedy_ordering(hypergraph.primal_graph(), "min_fill")
-        ordered = list(reversed(ordering))
-        remaining = [v for v in self.variables if v not in set(ordered)]
-        return ordered + remaining
+                hypergraph = self.constraint_hypergraph()
+                if hypergraph.num_edges() == 0:
+                    self._order_cache = self.variables
+                else:
+                    ordering = _greedy_ordering(hypergraph.primal_graph(), "min_fill")
+                    ordered = list(reversed(ordering))
+                    remaining = [v for v in self.variables if v not in set(ordered)]
+                    self._order_cache = ordered + remaining
+        return list(self._order_cache)
+
+    # Backwards-compatible private alias.
+    _search_order = search_order
 
     def propagate(
         self, domains: Optional[Dict[Variable, Set[Value]]] = None
     ) -> Optional[Dict[Variable, Set[Value]]]:
-        """Generalized arc consistency: repeatedly remove domain values not
-        supported by every constraint.  Returns the reduced domains, or
-        ``None`` if some domain becomes empty (no solution)."""
+        """Generalized arc consistency: remove domain values not supported by
+        every table constraint.  Returns the reduced domains, or ``None`` if
+        some domain becomes empty (no solution).  Both engines compute the
+        same fixpoint; they differ only in how they reach it."""
         if domains is None:
             domains = {v: set(values) for v, values in self._domains.items()}
+        if self._engine == "naive":
+            return self._propagate_naive(domains)
+        return self._propagate_indexed(domains)
+
+    def _propagate_naive(
+        self, domains: Dict[Variable, Set[Value]]
+    ) -> Optional[Dict[Variable, Set[Value]]]:
+        """Full-fixpoint GAC by re-filtering every table until stable (the
+        original implementation, kept for the naive engine)."""
         changed = True
         while changed:
             changed = False
@@ -213,21 +409,134 @@ class CSPInstance:
                             return None
         return domains
 
-    def _constraints_by_variable(self) -> Dict[Variable, List[Constraint]]:
-        index: Dict[Variable, List[Constraint]] = {v: [] for v in self._domains}
-        for constraint in self._constraints:
-            for variable in set(constraint.scope):
-                index[variable].append(constraint)
-        return index
+    def _propagate_indexed(
+        self, domains: Dict[Variable, Set[Value]]
+    ) -> Optional[Dict[Variable, Set[Value]]]:
+        """Support-counting GAC with a worklist of removed values (GAC4-style):
+        only constraints whose variables actually shrank are revisited, and
+        each revisit touches only the tuples indexed under the removed value."""
+        states: List[_TableState] = []
+        occurrences: Dict[Variable, List[Tuple[_TableState, Tuple[int, ...]]]] = {}
+        worklist: List[Tuple[Variable, Value]] = []
 
+        # Build each table's live set under the initial domains, its support
+        # counts, and the initial domain restrictions.
+        for constraint in self._constraints:
+            if not isinstance(constraint, Constraint):
+                continue
+            index = constraint.index
+            scope = constraint.scope
+            live = set(index.all_ids)
+            for position, variable in enumerate(scope):
+                if not live:
+                    break
+                domain = domains[variable]
+                bucket = index.by_position[position]
+                missing = [value for value in bucket if value not in domain]
+                if not missing:
+                    continue
+                if len(missing) == len(bucket):
+                    live.clear()
+                    break
+                for value in missing:
+                    live.difference_update(bucket[value])
+            if not live:
+                return None
+            state = _TableState(constraint, live)
+            states.append(state)
+            positions_by_variable: Dict[Variable, List[int]] = {}
+            for position, variable in enumerate(scope):
+                positions_by_variable.setdefault(variable, []).append(position)
+            for variable, positions in positions_by_variable.items():
+                occurrences.setdefault(variable, []).append((state, tuple(positions)))
+            for position, variable in enumerate(scope):
+                supported = state.counts[position]
+                domain = domains[variable]
+                if not domain <= supported.keys():
+                    removed = domain - supported.keys()
+                    domain -= removed
+                    if not domain:
+                        return None
+                    worklist.extend((variable, value) for value in removed)
+
+        # Drain the worklist: each removed (variable, value) kills exactly the
+        # live tuples indexed under it, decrementing supports and possibly
+        # removing further values.
+        while worklist:
+            variable, value = worklist.pop()
+            for state, positions in occurrences.get(variable, ()):
+                live = state.live
+                if not live:
+                    continue
+                index = state.index
+                tuples = index.tuples
+                counts = state.counts
+                scope = state.constraint.scope
+                for position in positions:
+                    bucket = index.by_position[position].get(value)
+                    if not bucket:
+                        continue
+                    dead = live & bucket
+                    if not dead:
+                        continue
+                    live -= dead
+                    if not live:
+                        return None
+                    for tid in dead:
+                        for position2, value2 in enumerate(tuples[tid]):
+                            count_bucket = counts[position2]
+                            remaining = count_bucket[value2] - 1
+                            if remaining:
+                                count_bucket[value2] = remaining
+                            else:
+                                del count_bucket[value2]
+                                variable2 = scope[position2]
+                                domain2 = domains[variable2]
+                                if value2 in domain2:
+                                    domain2.discard(value2)
+                                    if not domain2:
+                                        return None
+                                    worklist.append((variable2, value2))
+        return domains
+
+    def _constraints_by_variable(self) -> Dict[Variable, List[Constraint]]:
+        if self._by_variable_cache is None:
+            index: Dict[Variable, List[Constraint]] = {v: [] for v in self._domains}
+            for constraint in self._constraints:
+                for variable in set(constraint.scope):
+                    index[variable].append(constraint)
+            self._by_variable_cache = index
+        return self._by_variable_cache
+
+    # ---------------------------------------------------------------- search
     def iter_solutions(self, limit: Optional[int] = None) -> Iterator[Dict[Variable, Value]]:
-        """Enumerate solutions by propagation + backtracking search."""
+        """Enumerate solutions by propagation + backtracking search.  Both
+        engines yield the same solutions in the same order."""
+        for assignment in self._iter_assignments(limit):
+            yield dict(assignment)
+
+    def _iter_assignments(self, limit: Optional[int]) -> Iterator[Dict[Variable, Value]]:
+        """Yield the internal (shared, mutable) assignment dict at every
+        solution; callers must copy if they keep it."""
+        if self._engine == "naive":
+            yield from self._iter_naive(limit)
+        else:
+            yield from self._iter_indexed(limit)
+
+    def _iter_naive(self, limit: Optional[int]) -> Iterator[Dict[Variable, Value]]:
+        """The original search: re-sorts the current variable's domain at
+        every node and checks consistency by scanning the tables."""
         domains = self.propagate()
         if domains is None:
             return
-        order = self._search_order()
+        order = self.search_order()
         by_variable = self._constraints_by_variable()
         produced = 0
+
+        def consistent_check(constraint, assignment) -> bool:
+            if isinstance(constraint, Constraint):
+                return constraint.scan_consistent_with_partial(assignment)
+            return constraint.consistent_with_partial(assignment)
 
         def backtrack(position: int, assignment: Dict[Variable, Value]) -> Iterator[Dict[Variable, Value]]:
             nonlocal produced
@@ -235,13 +544,13 @@ class CSPInstance:
                 return
             if position == len(order):
                 produced += 1
-                yield dict(assignment)
+                yield assignment
                 return
             variable = order[position]
             for value in sorted(domains[variable], key=repr):
                 assignment[variable] = value
                 consistent = all(
-                    constraint.consistent_with_partial(assignment)
+                    consistent_check(constraint, assignment)
                     for constraint in by_variable[variable]
                 )
                 if consistent:
@@ -253,6 +562,135 @@ class CSPInstance:
 
         yield from backtrack(0, {})
 
+    def _iter_indexed(self, limit: Optional[int]) -> Iterator[Dict[Variable, Value]]:
+        """Index-driven search: canonical value orders computed once, and
+        forward checking prunes neighbour domains through the tuple indexes
+        (with an undo trail) before recursing."""
+        domains = self.propagate()
+        if domains is None:
+            return
+        order = self.search_order()
+        by_variable = self._constraints_by_variable()
+        # Canonical per-variable value order, computed once (not per node).
+        value_order: Dict[Variable, List[Value]] = {
+            variable: sorted(values, key=repr) for variable, values in domains.items()
+        }
+        current: Dict[Variable, Set[Value]] = {
+            variable: set(values) for variable, values in domains.items()
+        }
+        assignment: Dict[Variable, Value] = {}
+        produced = 0
+        Trail = List[Tuple[Variable, Set[Value]]]
+
+        def undo(trail: Trail) -> None:
+            for variable, removed in trail:
+                current[variable] |= removed
+
+        def forward_check(variable: Variable, value: Value) -> Optional[Trail]:
+            """Check the constraints touching ``variable`` and prune the
+            domains of their unassigned variables; returns the undo trail, or
+            ``None`` on a dead end (already undone)."""
+            trail: Trail = []
+            for constraint in by_variable[variable]:
+                if isinstance(constraint, Constraint):
+                    index = constraint.index
+                    if not index.tuples:
+                        undo(trail)
+                        return None
+                    scope = constraint.scope
+                    ids: Optional[FrozenSet[int]] = None
+                    unassigned: List[Tuple[int, Variable]] = []
+                    failed = False
+                    for position, scope_variable in enumerate(scope):
+                        if scope_variable in assignment:
+                            bucket = index.by_position[position].get(
+                                assignment[scope_variable]
+                            )
+                            if not bucket:
+                                failed = True
+                                break
+                            if ids is None:
+                                ids = bucket
+                            else:
+                                ids = ids & bucket
+                                if not ids:
+                                    failed = True
+                                    break
+                        else:
+                            unassigned.append((position, scope_variable))
+                    if failed:
+                        undo(trail)
+                        return None
+                    if ids is None:
+                        continue
+                    tuples = index.tuples
+                    for position, scope_variable in unassigned:
+                        domain = current[scope_variable]
+                        if len(ids) <= 4 * len(domain):
+                            supported = {tuples[tid][position] for tid in ids}
+                            removed = domain - supported
+                        else:
+                            bucket = index.by_position[position]
+                            removed = {
+                                candidate
+                                for candidate in domain
+                                if ids.isdisjoint(bucket.get(candidate, _EMPTY))
+                            }
+                        if removed:
+                            domain -= removed
+                            trail.append((scope_variable, removed))
+                            if not domain:
+                                undo(trail)
+                                return None
+                elif isinstance(constraint, NotEqualConstraint):
+                    other = (
+                        constraint.right
+                        if variable == constraint.left
+                        else constraint.left
+                    )
+                    if other in assignment:
+                        if assignment[other] == value:
+                            undo(trail)
+                            return None
+                    else:
+                        domain = current[other]
+                        if value in domain:
+                            domain.discard(value)
+                            trail.append((other, {value}))
+                            if not domain:
+                                undo(trail)
+                                return None
+                else:
+                    if not constraint.consistent_with_partial(assignment):
+                        undo(trail)
+                        return None
+            return trail
+
+        def backtrack(position: int) -> Iterator[Dict[Variable, Value]]:
+            nonlocal produced
+            if limit is not None and produced >= limit:
+                return
+            if position == len(order):
+                produced += 1
+                yield assignment
+                return
+            variable = order[position]
+            live = current[variable]
+            for value in value_order[variable]:
+                if value not in live:
+                    continue
+                assignment[variable] = value
+                trail = forward_check(variable, value)
+                if trail is not None:
+                    yield from backtrack(position + 1)
+                    undo(trail)
+                    if limit is not None and produced >= limit:
+                        del assignment[variable]
+                        return
+                del assignment[variable]
+
+        yield from backtrack(0)
+
     def solve(self) -> Optional[Dict[Variable, Value]]:
         """Return one solution, or ``None`` if the instance is unsatisfiable."""
         for solution in self.iter_solutions(limit=1):
@@ -260,17 +698,25 @@ class CSPInstance:
         return None
 
     def is_satisfiable(self) -> bool:
-        return self.solve() is not None
+        for _ in self._iter_assignments(limit=1):
+            return True
+        return False
 
     def count_solutions(self) -> int:
         """Exact number of solutions (exponential in the worst case; intended
-        for the small instances used as test baselines)."""
-        return sum(1 for _ in self.iter_solutions())
+        for the small instances used as test baselines).  Avoids copying each
+        solution dict."""
+        return sum(1 for _ in self._iter_assignments(None))
+
+
+_EMPTY: FrozenSet[int] = frozenset()
 
 
 def solve_csp(
-    domains: Dict[Variable, Iterable[Value]], constraints: Sequence[Constraint]
+    domains: Dict[Variable, Iterable[Value]],
+    constraints: Sequence[Constraint],
+    engine: str = DEFAULT_ENGINE,
 ) -> Optional[Dict[Variable, Value]]:
     """Convenience wrapper: build a :class:`CSPInstance` and return one
     solution (or ``None``)."""
-    return CSPInstance(domains, constraints).solve()
+    return CSPInstance(domains, constraints, engine=engine).solve()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterator, List, Optional
 
-from repro.relational.csp import Constraint, CSPInstance
+from repro.relational.csp import DEFAULT_ENGINE, Constraint, CSPInstance
 from repro.relational.structure import Structure
 
 Element = Hashable
@@ -47,21 +47,31 @@ def is_homomorphism(
     return True
 
 
-def _build_csp(source: Structure, target: Structure) -> CSPInstance:
-    """The CSP whose solutions are exactly Hom(source -> target)."""
+def _build_csp(
+    source: Structure, target: Structure, engine: str = DEFAULT_ENGINE
+) -> CSPInstance:
+    """The CSP whose solutions are exactly Hom(source -> target).
+
+    Constraints are built through the trusted fast path and share the
+    target's per-relation tuple indexes, so repeated Hom queries against the
+    same database pay the index build once.
+    """
     if not source.signature <= target.signature:
         raise ValueError(
             "sig(A) must be a sub-signature of sig(B) for Hom(A, B) to be defined"
         )
-    domains = {element: set(target.universe) for element in source.universe}
+    target_universe = target.canonical_universe()
+    domains = {element: target_universe for element in source.universe}
     constraints: List[Constraint] = []
     for name, fact in source.facts():
-        allowed = frozenset(target.relation(name))
-        constraints.append(Constraint(scope=tuple(fact), allowed=allowed))
-    return CSPInstance(domains, constraints)
+        index = target.relation_index(name)
+        constraints.append(Constraint.trusted(tuple(fact), index=index))
+    return CSPInstance(domains, constraints, engine=engine)
 
 
-def exists_homomorphism(source: Structure, target: Structure) -> bool:
+def exists_homomorphism(
+    source: Structure, target: Structure, engine: str = DEFAULT_ENGINE
+) -> bool:
     """The Hom decision problem: is there a homomorphism from ``source`` to
     ``target``?
 
@@ -72,20 +82,25 @@ def exists_homomorphism(source: Structure, target: Structure) -> bool:
         return True
     if not target.universe:
         return False
-    return _build_csp(source, target).is_satisfiable()
+    return _build_csp(source, target, engine=engine).is_satisfiable()
 
 
-def find_homomorphism(source: Structure, target: Structure) -> Optional[Homomorphism]:
+def find_homomorphism(
+    source: Structure, target: Structure, engine: str = DEFAULT_ENGINE
+) -> Optional[Homomorphism]:
     """Return one homomorphism from ``source`` to ``target`` or ``None``."""
     if not source.universe:
         return {}
     if not target.universe:
         return None
-    return _build_csp(source, target).solve()
+    return _build_csp(source, target, engine=engine).solve()
 
 
 def enumerate_homomorphisms(
-    source: Structure, target: Structure, limit: Optional[int] = None
+    source: Structure,
+    target: Structure,
+    limit: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Iterator[Homomorphism]:
     """Enumerate homomorphisms from ``source`` to ``target`` (optionally at
     most ``limit`` of them)."""
@@ -94,14 +109,16 @@ def enumerate_homomorphisms(
         return
     if not target.universe:
         return
-    yield from _build_csp(source, target).iter_solutions(limit=limit)
+    yield from _build_csp(source, target, engine=engine).iter_solutions(limit=limit)
 
 
-def count_homomorphisms(source: Structure, target: Structure) -> int:
+def count_homomorphisms(
+    source: Structure, target: Structure, engine: str = DEFAULT_ENGINE
+) -> int:
     """Exact |Hom(source -> target)| by enumeration (baseline / test helper;
     exponential in the worst case)."""
     if not source.universe:
         return 1
     if not target.universe:
         return 0
-    return _build_csp(source, target).count_solutions()
+    return _build_csp(source, target, engine=engine).count_solutions()

@@ -27,7 +27,7 @@ PathLike = Union[str, Path]
 def database_to_dict(database: Database) -> Dict:
     """A JSON-serialisable dictionary representation of a database."""
     return {
-        "universe": sorted(database.universe, key=repr),
+        "universe": list(database.canonical_universe()),
         "relations": {
             name: sorted([list(fact) for fact in facts], key=repr)
             for name, facts in database.relations().items()

@@ -28,6 +28,7 @@ from typing import (
 )
 
 from repro.hypergraph import Hypergraph
+from repro.relational.index import TupleIndex
 from repro.relational.signature import RelationSymbol, Signature
 
 Element = Hashable
@@ -60,6 +61,16 @@ class Structure:
         self._relations: Dict[str, Set[Fact]] = {
             symbol.name: set() for symbol in self._signature
         }
+        # Fine-grained mutation counters: derived caches are keyed to the
+        # counter of what they depend on, so e.g. adding facts to one relation
+        # does not invalidate another relation's tuple index, and copies can
+        # share still-valid caches.
+        self._universe_version: int = 0
+        self._relations_version: int = 0
+        self._relation_versions: Dict[str, int] = {}
+        self._canonical_universe_cache: Optional[Tuple[int, Tuple[Element, ...]]] = None
+        self._relation_index_cache: Dict[str, Tuple[int, TupleIndex]] = {}
+        self._derived_cache_state: Optional[Tuple[Tuple[int, int], Dict[object, object]]] = None
         if relations:
             for name, tuples in relations.items():
                 tuples = [tuple(t) for t in tuples]
@@ -104,12 +115,15 @@ class Structure:
 
     def add_element(self, element: Element) -> None:
         """Add a universe element (idempotent)."""
-        self._universe.add(element)
+        if element not in self._universe:
+            self._universe.add(element)
+            self._universe_version += 1
 
     def add_relation(self, symbol: RelationSymbol) -> None:
         """Declare a relation symbol with an (initially) empty relation."""
         self._signature.add(symbol)
         self._relations.setdefault(symbol.name, set())
+        self._relations_version += 1
 
     def add_fact(self, name: str, fact: Sequence[Element]) -> Fact:
         """Add a fact (tuple) to the named relation, growing the signature on
@@ -125,8 +139,15 @@ class Structure:
                 f"relation {name!r} has arity {symbol.arity}, got a tuple of "
                 f"length {len(fact)}"
             )
-        self._relations.setdefault(name, set()).add(fact)
+        relation = self._relations.setdefault(name, set())
+        if fact not in relation:
+            relation.add(fact)
+            self._relations_version += 1
+            self._relation_versions[name] = self._relation_versions.get(name, 0) + 1
+        before = len(self._universe)
         self._universe.update(fact)
+        if len(self._universe) != before:
+            self._universe_version += 1
         return fact
 
     # ----------------------------------------------------------------- access
@@ -150,6 +171,53 @@ class Structure:
 
     def has_fact(self, name: str, fact: Sequence[Element]) -> bool:
         return tuple(fact) in self._relations.get(name, set())
+
+    # ------------------------------------------------------- derived caches
+    def canonical_universe(self) -> Tuple[Element, ...]:
+        """The universe in canonical (repr-sorted) order, cached until the
+        universe changes.
+
+        Every code path that needs a deterministic universe order should use
+        this instead of re-sorting ``structure.universe``.
+        """
+        cached = self._canonical_universe_cache
+        if cached is not None and cached[0] == self._universe_version:
+            return cached[1]
+        ordered = tuple(sorted(self._universe, key=repr))
+        self._canonical_universe_cache = (self._universe_version, ordered)
+        return ordered
+
+    def relation_index(self, name: str) -> TupleIndex:
+        """The positional :class:`TupleIndex` of the named relation, cached
+        until *that* relation changes and shared by every constraint built
+        from this structure (and by fast copies of it).
+
+        Raises ``KeyError`` for unknown relation symbols, like
+        :meth:`relation`.
+        """
+        symbol = self._signature.get(name)
+        if symbol is None:
+            raise KeyError(f"unknown relation symbol {name!r}")
+        version = self._relation_versions.get(name, 0)
+        cached = self._relation_index_cache.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        index = TupleIndex.from_tuples(
+            self._relations.get(name, set()), arity=symbol.arity
+        )
+        self._relation_index_cache[name] = (version, index)
+        return index
+
+    def derived_cache(self) -> Dict[object, object]:
+        """A scratch cache tied to the structure's current contents, for
+        callers that memoise derived data (e.g. per-atom projection bases in
+        :mod:`repro.core.bag_solutions`).  Invalidated on any mutation."""
+        key = (self._universe_version, self._relations_version)
+        state = self._derived_cache_state
+        if state is None or state[0] != key:
+            state = (key, {})
+            self._derived_cache_state = state
+        return state[1]
 
     def facts(self) -> Iterator[Tuple[str, Fact]]:
         """Iterate over all (relation name, tuple) facts."""
@@ -219,7 +287,7 @@ class Structure:
     def complement_relation(self, name: str, arity: int) -> Set[Fact]:
         """The complement relation ``U(A)^arity \\ R^A`` used by Definition 20
         to interpret negated predicates.  Beware: its size is ``|U|^arity``."""
-        universe = sorted(self._universe, key=repr)
+        universe = self.canonical_universe()
         existing = self._relations.get(name, set())
         complement: Set[Fact] = set()
 
@@ -235,10 +303,21 @@ class Structure:
         return complement
 
     def copy(self) -> "Structure":
-        duplicate = Structure(signature=self._signature, universe=self._universe)
-        for name, tuples in self._relations.items():
-            for fact in tuples:
-                duplicate.add_fact(name, fact)
+        """A fast independent copy: relation sets are bulk-copied (the facts
+        were validated when first added) and still-valid derived caches —
+        canonical universe, per-relation tuple indexes — are carried over, so
+        copies mutated in only a few relations (the colour-coding hot path)
+        keep the shared indexes of the untouched ones."""
+        duplicate = Structure.__new__(Structure)
+        duplicate._signature = self._signature.copy()
+        duplicate._universe = set(self._universe)
+        duplicate._relations = {name: set(facts) for name, facts in self._relations.items()}
+        duplicate._universe_version = self._universe_version
+        duplicate._relations_version = self._relations_version
+        duplicate._relation_versions = dict(self._relation_versions)
+        duplicate._canonical_universe_cache = self._canonical_universe_cache
+        duplicate._relation_index_cache = dict(self._relation_index_cache)
+        duplicate._derived_cache_state = None
         return duplicate
 
     # ----------------------------------------------------------------- dunder

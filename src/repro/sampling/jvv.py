@@ -100,7 +100,7 @@ def sample_answers(
     if total <= 0.5:
         return []
 
-    universe = sorted(database.universe, key=repr)
+    universe = database.canonical_universe()
     samples: List[AnswerTuple] = []
     for _ in range(num_samples):
         current_query, current_database = query, database
