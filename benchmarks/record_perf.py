@@ -1,21 +1,32 @@
 #!/usr/bin/env python
-"""Standalone engine-speedup recorder: writes ``BENCH_engine.json``.
+"""Standalone performance recorder: writes ``BENCH_engine.json`` and
+``BENCH_service.json``.
 
-Runs the indexed CSP/join engine and the retained naive scan path on the
-medium configurations of ``bench_scaling_database`` (the fixed two-hop query
-over growing Erdős–Rényi databases) and ``bench_star_queries`` (the
-footnote-4 star family), verifies that both engines — and, on the smallest
-configuration, the independent brute-force counter — produce identical
-counts, and appends a timestamped speedup record to ``BENCH_engine.json`` at
-the repository root.
+Two suites, selected with ``--suite`` (default: both):
+
+* ``engine`` — runs the indexed CSP/join engine and the retained naive scan
+  path on the medium configurations of ``bench_scaling_database`` (the fixed
+  two-hop query over growing Erdős–Rényi databases) and
+  ``bench_star_queries`` (the footnote-4 star family), verifies that both
+  engines — and, on the smallest configuration, the independent brute-force
+  counter — produce identical counts, and appends a timestamped speedup
+  record to ``BENCH_engine.json``.
+* ``service`` — drives a ≥50-query mixed CQ/DCQ/ECQ workload through
+  :class:`repro.service.CountingService` serially and with the process-pool
+  executor, verifies that every service estimate equals the direct library
+  call with the same derived seed (and that serial and parallel execution
+  agree), resubmits the batch to demonstrate result-cache hits, and appends
+  the throughput record to ``BENCH_service.json`` (including ``cpu_count`` —
+  on single-core machines the parallel/serial ratio is bounded by 1 and the
+  record says so).
 
 Usage::
 
-    python benchmarks/record_perf.py            # full configurations
-    python benchmarks/record_perf.py --smoke    # ~30-second budgeted subset
-    python benchmarks/record_perf.py --out PATH # custom output file
+    python benchmarks/record_perf.py                    # both suites, full
+    python benchmarks/record_perf.py --smoke            # budgeted subset
+    python benchmarks/record_perf.py --suite service    # one suite
 
-Exits non-zero if any count mismatches.  Installed environments get the
+Exits non-zero if any verification fails.  Installed environments get the
 pytest-benchmark harness via the ``bench`` extra (``pip install .[bench]``);
 this script intentionally has no dependency beyond the package itself.
 """
@@ -24,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from datetime import datetime, timezone
@@ -68,7 +80,20 @@ def _best_of(call, repeats: int) -> float:
     return best
 
 
-def run(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> int:
+def _append_record(out_path: Path, record: dict) -> None:
+    existing = []
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+            if not isinstance(existing, list):
+                existing = [existing]
+        except json.JSONDecodeError:
+            existing = []
+    existing.append(record)
+    out_path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def run_engine(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> int:
     started = time.perf_counter()
     results = []
     failures = 0
@@ -119,33 +144,189 @@ def run(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> int
         "min_speedup": round(min((r["speedup"] for r in results), default=0.0), 2),
         "all_counts_match": failures == 0,
     }
-
-    existing = []
-    if out_path.exists():
-        try:
-            existing = json.loads(out_path.read_text())
-            if not isinstance(existing, list):
-                existing = [existing]
-        except json.JSONDecodeError:
-            existing = []
-    existing.append(record)
-    out_path.write_text(json.dumps(existing, indent=2) + "\n")
+    _append_record(out_path, record)
     print(f"[record_perf] appended record to {out_path} (min speedup {record['min_speedup']}x)")
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------- service suite
+def _service_workload(smoke: bool):
+    """A ≥50-query mixed workload.  The planner sends most queries to the
+    (fast, error-free) exact scheme — the right call on databases this small —
+    and a fixed subset is forced onto each approximation scheme so the bench
+    also exercises and verifies the FPRAS/FPTRAS paths end-to-end."""
+    from repro.service import CountRequest, mixed_query_workload, workload_database
+
+    num_queries = 50 if smoke else 60
+    database = workload_database(
+        num_vertices=10 if smoke else 12, edge_probability=0.3, rng=29
+    )
+    queries = mixed_query_workload(
+        num_queries, num_variables=(3, 4) if smoke else (3, 5), rng=41
+    )
+    # The workload cycles CQ, DCQ, DCQ, ECQ — force one of each class onto its
+    # approximation scheme (indices chosen by class = index mod 4).
+    forced = {8: "fpras_cq", 9: "fptras_dcq", 11: "fptras_ecq"}
+    if not smoke:
+        forced.update({32: "fpras_cq", 33: "fptras_dcq", 35: "fptras_ecq"})
+    requests = [
+        CountRequest(query=query, method=forced.get(index))
+        for index, query in enumerate(queries)
+    ]
+    return requests, database
+
+
+def run_service(smoke: bool, out_path: Path) -> int:
+    from repro.service import CountingService, ServiceConfig, execute_scheme
+    from repro.util.rng import derive_seed
+
+    epsilon, delta = (0.6, 0.3) if smoke else (0.5, 0.25)
+    master_seed = 2022
+    requests, database = _service_workload(smoke)
+
+    def fresh_service(executor: str) -> CountingService:
+        return CountingService(
+            database,
+            ServiceConfig(epsilon=epsilon, delta=delta, executor=executor,
+                          max_workers=max(2, os.cpu_count() or 1)),
+        )
+
+    serial_service = fresh_service("serial")
+    serial = serial_service.count_batch(requests, seed=master_seed)
+    print(
+        f"[record_perf] service serial: {len(serial.results)} queries in "
+        f"{serial.wall_seconds:.2f}s ({serial.throughput_qps:.1f} q/s)"
+    )
+
+    parallel_service = fresh_service("process")
+    parallel = parallel_service.count_batch(requests, seed=master_seed)
+    print(
+        f"[record_perf] service parallel ({parallel.executed_executor}, "
+        f"{parallel.max_workers} workers): {len(parallel.results)} queries in "
+        f"{parallel.wall_seconds:.2f}s ({parallel.throughput_qps:.1f} q/s)"
+    )
+
+    failures = 0
+
+    # Determinism across executors: serial and parallel must agree exactly.
+    executor_match = serial.estimates() == parallel.estimates()
+    if not executor_match:
+        failures += 1
+        print("[record_perf] FAIL: serial and parallel estimates differ")
+
+    # Service vs direct library calls with the same derived seeds.
+    direct_match = True
+    for index, result in enumerate(parallel.results):
+        direct = execute_scheme(
+            result.scheme,
+            requests[index].query,
+            database,
+            epsilon=result.epsilon,
+            delta=result.delta,
+            seed=derive_seed(master_seed, index),
+            engine=result.plan.engine,
+        )
+        if direct != result.estimate:
+            direct_match = False
+            print(
+                f"[record_perf] FAIL: query {index} ({result.scheme}): "
+                f"service={result.estimate} direct={direct}"
+            )
+    if not direct_match:
+        failures += 1
+    print(f"[record_perf] service estimates match direct calls: {direct_match}")
+
+    # Resubmission: every query must be served from the result cache.
+    resubmit = parallel_service.count_batch(requests, seed=master_seed)
+    all_cached = resubmit.cache_hits == len(requests)
+    if not all_cached:
+        failures += 1
+    print(
+        f"[record_perf] resubmission cache hits: {resubmit.cache_hits}/"
+        f"{len(requests)} in {resubmit.wall_seconds:.3f}s "
+        f"({resubmit.throughput_qps:.0f} q/s)"
+    )
+
+    scheme_counts: dict = {}
+    class_counts: dict = {}
+    for result in parallel.results:
+        scheme_counts[result.scheme] = scheme_counts.get(result.scheme, 0) + 1
+        class_counts[result.query_class] = class_counts.get(result.query_class, 0) + 1
+
+    speedup = (
+        parallel.throughput_qps / serial.throughput_qps
+        if serial.throughput_qps > 0
+        else 0.0
+    )
+    cached_speedup = (
+        resubmit.throughput_qps / serial.throughput_qps
+        if serial.throughput_qps > 0
+        else 0.0
+    )
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "num_queries": len(requests),
+        "class_counts": class_counts,
+        "scheme_counts": scheme_counts,
+        "epsilon": epsilon,
+        "delta": delta,
+        "master_seed": master_seed,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial.wall_seconds, 4),
+        "serial_qps": round(serial.throughput_qps, 2),
+        "parallel_executor": parallel.executed_executor,
+        "parallel_workers": parallel.max_workers,
+        "parallel_seconds": round(parallel.wall_seconds, 4),
+        "parallel_qps": round(parallel.throughput_qps, 2),
+        "parallel_vs_serial_speedup": round(speedup, 2),
+        "cached_resubmission_qps": round(resubmit.throughput_qps, 2),
+        "cached_resubmission_speedup": round(cached_speedup, 2),
+        "resubmission_cache_hits": resubmit.cache_hits,
+        "estimates_match_direct_calls": direct_match,
+        "serial_parallel_estimates_match": executor_match,
+        "note": (
+            "parallel_vs_serial_speedup is bounded by cpu_count; "
+            "cached_resubmission_speedup shows the cache-layer gain"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(parallel {speedup:.2f}x, cached resubmission {cached_speedup:.0f}x "
+        f"vs serial on {os.cpu_count()} cpu(s))"
+    )
     return 1 if failures else 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", action="store_true", help="~30s budgeted subset")
+    parser.add_argument("--smoke", action="store_true", help="budgeted subset")
     parser.add_argument(
-        "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output JSON file"
+        "--suite",
+        choices=["engine", "service", "all"],
+        default="all",
+        help="which suite(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json",
+        help="engine-suite output JSON file",
+    )
+    parser.add_argument(
+        "--service-out", type=Path, default=REPO_ROOT / "BENCH_service.json",
+        help="service-suite output JSON file",
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     parser.add_argument(
         "--budget-seconds", type=float, default=30.0, help="smoke-mode time budget"
     )
     args = parser.parse_args()
-    return run(args.smoke, args.out, max(1, args.repeats), args.budget_seconds)
+    status = 0
+    if args.suite in ("engine", "all"):
+        status |= run_engine(args.smoke, args.out, max(1, args.repeats), args.budget_seconds)
+    if args.suite in ("service", "all"):
+        status |= run_service(args.smoke, args.service_out)
+    return status
 
 
 if __name__ == "__main__":

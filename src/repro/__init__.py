@@ -15,7 +15,11 @@ The package implements, from scratch:
   the tree-automaton reduction they rely on,
 * exact counting baselines, approximate uniform sampling, unions of queries,
   the locally-injective-homomorphism application, and the Figure-1 dichotomy
-  classifier.
+  classifier,
+* a serving layer (:mod:`repro.service`): an explainable query planner over
+  all of the above schemes, plan/result caches keyed on canonical query forms
+  and database version counters, and a :class:`CountingService` that executes
+  batches of queries in parallel with deterministic per-task seeding.
 
 Quickstart
 ----------
@@ -43,6 +47,7 @@ from repro.core import (
     fptras_count_ecq,
 )
 from repro.sampling import sample_answers
+from repro.service import CountingService, ServiceConfig
 from repro.unions import approx_count_union
 
 __all__ = [
@@ -62,6 +67,8 @@ __all__ = [
     "fpras_count_cq",
     "sample_answers",
     "approx_count_union",
+    "CountingService",
+    "ServiceConfig",
 ]
 
 __version__ = "1.0.0"

@@ -13,10 +13,12 @@ from repro.applications.locally_injective import (
 )
 from repro.applications.hamiltonian import (
     count_hamiltonian_paths_dp,
+    count_hamiltonian_paths_via_query,
     hamiltonian_instance,
 )
 from repro.applications.star_queries import (
     count_star_answers_centre_free_closed_form,
+    count_star_answers_exact,
     star_instance,
 )
 
@@ -27,6 +29,8 @@ __all__ = [
     "count_locally_injective_homomorphisms_approx",
     "hamiltonian_instance",
     "count_hamiltonian_paths_dp",
+    "count_hamiltonian_paths_via_query",
     "star_instance",
+    "count_star_answers_exact",
     "count_star_answers_centre_free_closed_form",
 ]

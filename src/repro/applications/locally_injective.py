@@ -24,6 +24,7 @@ import networkx as nx
 from repro.core.fptras import fptras_count_ecq
 from repro.queries.atoms import Atom, Disequality
 from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Database
 from repro.util.rng import RNGLike
 
@@ -117,10 +118,12 @@ def count_locally_injective_homomorphisms_approx(
     delta: float = 0.05,
     rng: RNGLike = None,
     oracle_mode: str = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Corollary 6: approximate #LIHom(G, G') with the Theorem-5 FPTRAS on the
-    ECQ encoding."""
+    ECQ encoding.  ``engine`` selects the CSP engine backing the Hom oracle."""
     query, database = lihom_query_and_database(pattern, host)
     return fptras_count_ecq(
-        query, database, epsilon=epsilon, delta=delta, rng=rng, oracle_mode=oracle_mode
+        query, database, epsilon=epsilon, delta=delta, rng=rng,
+        oracle_mode=oracle_mode, engine=engine,
     )

@@ -20,8 +20,10 @@ from typing import Tuple
 
 import networkx as nx
 
+from repro.core.exact import count_answers_exact
 from repro.queries.builders import star_query
 from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Database
 
 
@@ -37,6 +39,26 @@ def star_instance(
     database = Database.from_graph_edges(graph.edges(), symmetric=True,
                                          universe=graph.nodes())
     return query, database
+
+
+def count_star_answers_exact(
+    graph: nx.Graph,
+    k: int,
+    centre_free: bool = False,
+    with_disequalities: bool = False,
+    engine: str = DEFAULT_ENGINE,
+) -> int:
+    """Exact answer count of the footnote-4 instance via the CSP-backed
+    counter; ``engine`` selects the CSP engine (``"indexed"``/``"naive"``).
+
+    For the centre-free variant this matches
+    :func:`count_star_answers_centre_free_closed_form` (cross-checked in the
+    tests), at exponential-in-``k`` cost instead of the closed form.
+    """
+    query, database = star_instance(
+        graph, k, centre_free=centre_free, with_disequalities=with_disequalities
+    )
+    return count_answers_exact(query, database, engine=engine)
 
 
 def count_star_answers_centre_free_closed_form(graph: nx.Graph, k: int) -> int:

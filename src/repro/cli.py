@@ -1,14 +1,20 @@
 """Command-line interface.
 
-Three subcommands, mirroring the package's main entry points::
+Five subcommands, mirroring the package's main entry points (also available
+as ``python -m repro``)::
 
     repro-count count    --query "Ans(x) :- E(x, y), E(x, z), y != z" --database db.json
     repro-count classify --query "Ans(x, y) :- E(x, y), x != y"
     repro-count sample   --query "Ans(x, y) :- E(x, z), E(z, y)" --database db.json -n 5
+    repro-count plan     --query "Ans(x) :- E(x, y)" --database db.json
+    repro-count batch    --queries workload.txt --database db.json --seed 7
+    repro-count batch    --workload 50 --seed 7   # synthetic mixed workload
 
 Databases are JSON files in the format of :mod:`repro.relational.io` (or edge
 lists with ``--edge-list``).  The counting subcommand prints both the chosen
-scheme's estimate and, with ``--exact``, the exact count for comparison.
+scheme's estimate and, with ``--exact``, the exact count for comparison;
+``plan`` and ``batch`` go through the :mod:`repro.service` layer (explainable
+scheme selection, plan/result caching, parallel batch execution).
 """
 
 from __future__ import annotations
@@ -96,6 +102,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use exact counts inside the sampler (exactly uniform, slower)",
     )
+
+    plan = subparsers.add_parser(
+        "plan",
+        help="explain which counting scheme the service planner would choose",
+    )
+    plan.add_argument("--query", required=True)
+    _add_database_arguments(plan)
+    plan.add_argument(
+        "--method",
+        choices=["exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact"],
+        default=None,
+        help="force a scheme instead of letting the planner choose",
+    )
+    plan.add_argument("--json", action="store_true", help="emit JSON")
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="count a batch of queries through the service (planned, cached, parallel)",
+    )
+    source = batch.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--queries",
+        help="path to a file with one query per line ('#' starts a comment)",
+    )
+    source.add_argument(
+        "--workload",
+        type=int,
+        metavar="N",
+        help="generate a synthetic mixed CQ/DCQ/ECQ workload of N queries "
+        "(with its own database unless one is given)",
+    )
+    _add_database_arguments(batch)
+    batch.add_argument("--epsilon", type=float, default=0.2)
+    batch.add_argument("--delta", type=float, default=0.05)
+    batch.add_argument("--seed", type=int, default=None, help="batch master seed")
+    batch.add_argument(
+        "--executor",
+        choices=["process", "thread", "serial"],
+        default="process",
+        help="execution back-end (default: process pool)",
+    )
+    batch.add_argument("--workers", type=int, default=None, help="worker count")
+    batch.add_argument(
+        "--method",
+        choices=["exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact"],
+        default=None,
+        help="force one scheme for every query",
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit the batch this many times (demonstrates result-cache hits)",
+    )
+    batch.add_argument("--json", action="store_true", help="emit a JSON report")
     return parser
 
 
@@ -172,6 +233,98 @@ def _command_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_plan(args: argparse.Namespace) -> int:
+    from repro.service import CountingService
+
+    query = parse_query(args.query)
+    database = _load_database(args)
+    service = CountingService(database)
+    plan = service.plan(query, method=args.method)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.explain())
+    return 0
+
+
+def _load_batch_queries(path: str) -> List:
+    queries = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            queries.append(parse_query(line))
+    if not queries:
+        raise SystemExit(f"no queries found in {path!r}")
+    return queries
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CountingService,
+        CountRequest,
+        ServiceConfig,
+        mixed_query_workload,
+        workload_database,
+    )
+
+    if args.workload is not None:
+        queries = mixed_query_workload(args.workload, rng=args.seed)
+        if args.database or args.edge_list:
+            database = _load_database(args)
+        else:
+            database = workload_database(rng=args.seed)
+    else:
+        queries = _load_batch_queries(args.queries)
+        database = _load_database(args)
+
+    service = CountingService(
+        database,
+        ServiceConfig(
+            epsilon=args.epsilon,
+            delta=args.delta,
+            executor=args.executor,
+            max_workers=args.workers,
+        ),
+    )
+    requests = [CountRequest(query=query, method=args.method) for query in queries]
+    reports = [
+        service.count_batch(requests, seed=args.seed)
+        for _ in range(max(1, args.repeat))
+    ]
+
+    if args.json:
+        payload = {
+            "passes": [report.to_dict() for report in reports],
+            "cache": service.stats(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    final = reports[-1]
+    for result, query in zip(final.results, queries):
+        print(
+            f"[{result.index:3d}] {result.query_class:3s} "
+            f"scheme={result.scheme:11s} estimate={result.estimate:12.2f} "
+            f"cache={result.cache:4s} {1000 * result.execute_seconds:8.1f}ms  {query}"
+        )
+    for number, report in enumerate(reports, start=1):
+        print(
+            f"pass {number}: {len(report.results)} queries in "
+            f"{report.wall_seconds:.2f}s ({report.throughput_qps:.1f} q/s) "
+            f"executor={report.executed_executor} "
+            f"cache hits={report.cache_hits} misses={report.cache_misses}"
+        )
+    stats = service.stats()
+    plan_stats, result_stats = stats["plan_cache"], stats["result_cache"]
+    print(
+        f"caches: plan {plan_stats['hits']}/{plan_stats['hits'] + plan_stats['misses']} hits, "
+        f"result {result_stats['hits']}/{result_stats['hits'] + result_stats['misses']} hits"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -181,6 +334,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_classify(args)
     if args.command == "sample":
         return _command_sample(args)
+    if args.command == "plan":
+        return _command_plan(args)
+    if args.command == "batch":
+        return _command_batch(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -176,13 +176,20 @@ def _hash_join(
             left_shared = tuple(left_positions_by_var[v] for v in shared)
             right_positions_by_var = {v: i for i, v in enumerate(right_vars)}
             right_shared = tuple(right_positions_by_var[v] for v in shared)
-            # Build the hash table on the smaller side.
+            # Build the hash table on the smaller side and probe with the
+            # larger (the signature-matched merge is symmetric).
+            if len(right_keys) <= len(left_keys):
+                build_keys, build_shared = right_keys, right_shared
+                probe_keys, probe_shared = left_keys, left_shared
+            else:
+                build_keys, build_shared = left_keys, left_shared
+                probe_keys, probe_shared = right_keys, right_shared
             table: Dict[Tuple[Element, ...], List[AssignmentKey]] = {}
-            for key in right_keys:
-                signature = tuple(key[i][1] for i in right_shared)
+            for key in build_keys:
+                signature = tuple(key[i][1] for i in build_shared)
                 table.setdefault(signature, []).append(key)
-            for key in left_keys:
-                signature = tuple(key[i][1] for i in left_shared)
+            for key in probe_keys:
+                signature = tuple(key[i][1] for i in probe_shared)
                 partners = table.get(signature)
                 if not partners:
                     continue

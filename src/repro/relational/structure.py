@@ -13,6 +13,7 @@ stated in.
 
 from __future__ import annotations
 
+import itertools
 from typing import (
     Dict,
     FrozenSet,
@@ -33,6 +34,10 @@ from repro.relational.signature import RelationSymbol, Signature
 
 Element = Hashable
 Fact = Tuple[Element, ...]
+
+#: Process-wide source of structure identity tokens (``next()`` is atomic in
+#: CPython, so no lock is needed even under threaded use).
+_STRUCTURE_TOKENS = itertools.count(1)
 
 
 class Structure:
@@ -68,6 +73,7 @@ class Structure:
         self._universe_version: int = 0
         self._relations_version: int = 0
         self._relation_versions: Dict[str, int] = {}
+        self._structure_token: int = next(_STRUCTURE_TOKENS)
         self._canonical_universe_cache: Optional[Tuple[int, Tuple[Element, ...]]] = None
         self._relation_index_cache: Dict[str, Tuple[int, TupleIndex]] = {}
         self._derived_cache_state: Optional[Tuple[Tuple[int, int], Dict[object, object]]] = None
@@ -219,6 +225,39 @@ class Structure:
             self._derived_cache_state = state
         return state[1]
 
+    @property
+    def structure_token(self) -> int:
+        """A process-wide unique identity token for this structure object.
+
+        Version counters only order the mutations of *one* structure: two
+        independently built structures can reach identical counter values with
+        different contents.  Cache keys therefore pair the token with
+        :meth:`version_fingerprint`; :meth:`copy` assigns a fresh token so a
+        copy and its original can never serve each other stale entries after
+        diverging mutations.
+        """
+        return self._structure_token
+
+    def version_fingerprint(
+        self, relation_names: Optional[Iterable[str]] = None
+    ) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+        """A hashable snapshot of the mutation counters this structure's
+        contents are keyed under: the universe version plus the per-relation
+        versions of ``relation_names`` (default: every declared relation).
+
+        Restricting to the relations a query actually mentions makes cache
+        keys insensitive to mutations of unrelated relations: adding facts to
+        ``F`` does not evict cached counts of a query over ``E``.
+        """
+        if relation_names is None:
+            names = sorted(self._relations)
+        else:
+            names = sorted(set(relation_names))
+        return (
+            self._universe_version,
+            tuple((name, self._relation_versions.get(name, 0)) for name in names),
+        )
+
     def facts(self) -> Iterator[Tuple[str, Fact]]:
         """Iterate over all (relation name, tuple) facts."""
         for name in sorted(self._relations):
@@ -315,6 +354,7 @@ class Structure:
         duplicate._universe_version = self._universe_version
         duplicate._relations_version = self._relations_version
         duplicate._relation_versions = dict(self._relation_versions)
+        duplicate._structure_token = next(_STRUCTURE_TOKENS)
         duplicate._canonical_universe_cache = self._canonical_universe_cache
         duplicate._relation_index_cache = dict(self._relation_index_cache)
         duplicate._derived_cache_state = None

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.core.exact import count_answers_exact, enumerate_answers_exact
 from repro.queries.query import ConjunctiveQuery
 from repro.queries.rewriting import add_constant_constraint
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike, as_generator, weighted_choice
 
@@ -36,11 +37,12 @@ def exact_uniform_answer_sampler(
     database: Structure,
     num_samples: int,
     rng: RNGLike = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[AnswerTuple]:
     """Exactly uniform answer samples, by enumerating Ans(phi, D) (ground
     truth for the approximate sampler's tests)."""
     generator = as_generator(rng)
-    answers = sorted(enumerate_answers_exact(query, database), key=repr)
+    answers = sorted(enumerate_answers_exact(query, database, engine=engine), key=repr)
     if not answers:
         return []
     indices = generator.integers(0, len(answers), size=num_samples)
@@ -69,6 +71,7 @@ def sample_answers(
     rng: RNGLike = None,
     counter: Optional[Counter] = None,
     exact: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[AnswerTuple]:
     """Draw ``num_samples`` (approximately) uniform answers of ``(phi, D)``.
 
@@ -80,21 +83,28 @@ def sample_answers(
         appropriate approximation scheme otherwise.
     exact:
         Use exact counts, yielding an exactly uniform sampler (slower).
+    engine:
+        The CSP engine (``"indexed"``/``"naive"``) backing the default
+        counters; ignored when an explicit ``counter`` is given.
 
     Returns an empty list when the query has no answers.
     """
     generator = as_generator(rng)
     if counter is None:
         if exact:
-            counter = lambda q, d: float(count_answers_exact(q, d))  # noqa: E731
+            counter = lambda q, d: float(count_answers_exact(q, d, engine=engine))  # noqa: E731
         else:
             from repro.core.fptras import fptras_count_dcq, fptras_count_ecq
             from repro.queries.query import QueryClass
 
             def counter(q: ConjunctiveQuery, d: Structure) -> float:
                 if q.query_class() is QueryClass.ECQ:
-                    return fptras_count_ecq(q, d, epsilon=epsilon, delta=delta, rng=generator)
-                return fptras_count_dcq(q, d, epsilon=epsilon, delta=delta, rng=generator)
+                    return fptras_count_ecq(
+                        q, d, epsilon=epsilon, delta=delta, rng=generator, engine=engine
+                    )
+                return fptras_count_dcq(
+                    q, d, epsilon=epsilon, delta=delta, rng=generator, engine=engine
+                )
 
     total = counter(query, database)
     if total <= 0.5:

@@ -1,0 +1,184 @@
+"""Batch task execution: serial, thread-pool, and process-pool back-ends.
+
+Counting is CPU-bound pure Python, so the parallel back-end of choice is a
+``concurrent.futures.ProcessPoolExecutor``; a thread back-end is provided for
+environments where spawning processes is not allowed (it interleaves rather
+than parallelises, but exercises the same code path), and ``serial`` is the
+baseline the throughput benches compare against.
+
+Determinism: every task carries its own integer seed (derived by the service
+via :func:`repro.util.rng.derive_seed`), and each scheme builds a fresh
+generator from it — so the estimate of a task depends only on its payload,
+never on which back-end ran it or in which order.
+
+Worker processes receive the batch's databases **once**, through the pool
+initializer, keyed by structure token; task payloads then reference databases
+by token instead of re-pickling them per task.  If creating or using the
+process pool fails (sandboxed environments commonly forbid the required
+semaphores), execution falls back to serial and the report says so.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exact import count_answers_exact
+from repro.core.fpras import fpras_count_cq
+from repro.core.fptras import fptras_count_dcq, fptras_count_ecq
+from repro.core.oracle_counting import exact_count_answers_via_oracle
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.structure import Structure
+
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class CountTask:
+    """One unit of work: count one query over one database with one scheme."""
+
+    index: int
+    query: ConjunctiveQuery
+    scheme: str
+    engine: str
+    epsilon: float
+    delta: float
+    seed: Optional[int]
+    database_token: int
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What came back: the estimate and how long the scheme took."""
+
+    index: int
+    estimate: float
+    seconds: float
+
+
+def execute_scheme(
+    scheme: str,
+    query: ConjunctiveQuery,
+    database: Structure,
+    epsilon: float,
+    delta: float,
+    seed: Optional[int],
+    engine: str,
+) -> float:
+    """Run one counting scheme; the single dispatch point shared by the
+    service, every executor back-end, and the equivalence checks in the
+    benches (which re-run schemes directly with the same seeds)."""
+    if scheme == "exact":
+        return float(count_answers_exact(query, database, engine=engine))
+    if scheme == "oracle_exact":
+        return float(
+            exact_count_answers_via_oracle(query, database, rng=seed, engine=engine)
+        )
+    if scheme == "fpras_cq":
+        return float(
+            fpras_count_cq(query, database, epsilon=epsilon, delta=delta, rng=seed)
+        )
+    if scheme == "fptras_dcq":
+        return float(
+            fptras_count_dcq(
+                query, database, epsilon=epsilon, delta=delta, rng=seed, engine=engine
+            )
+        )
+    if scheme == "fptras_ecq":
+        return float(
+            fptras_count_ecq(
+                query, database, epsilon=epsilon, delta=delta, rng=seed, engine=engine
+            )
+        )
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _run_task(task: CountTask, database: Structure) -> TaskOutcome:
+    started = time.perf_counter()
+    estimate = execute_scheme(
+        task.scheme,
+        task.query,
+        database,
+        epsilon=task.epsilon,
+        delta=task.delta,
+        seed=task.seed,
+        engine=task.engine,
+    )
+    return TaskOutcome(
+        index=task.index, estimate=estimate, seconds=time.perf_counter() - started
+    )
+
+
+# ------------------------------------------------------------ process workers
+#: Databases of the current batch, installed in each worker by the pool
+#: initializer (on fork platforms this is inherited copy-on-write).
+_WORKER_DATABASES: Dict[int, Structure] = {}
+
+
+def _init_worker(databases: Dict[int, Structure]) -> None:
+    _WORKER_DATABASES.clear()
+    _WORKER_DATABASES.update(databases)
+
+
+def _run_task_in_worker(task: CountTask) -> TaskOutcome:
+    return _run_task(task, _WORKER_DATABASES[task.database_token])
+
+
+@dataclass
+class ExecutionReport:
+    """The outcomes (in task order) plus how they were actually executed."""
+
+    outcomes: List[TaskOutcome]
+    requested_mode: str
+    executed_mode: str
+    max_workers: int
+    wall_seconds: float
+
+
+def run_tasks(
+    tasks: Sequence[CountTask],
+    databases: Dict[int, Structure],
+    mode: str = "process",
+    max_workers: Optional[int] = None,
+) -> ExecutionReport:
+    """Execute ``tasks`` with the requested back-end, returning outcomes in
+    task order.  Process-pool failures fall back to serial execution."""
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}")
+    workers = max(1, int(max_workers)) if max_workers else 2
+    started = time.perf_counter()
+    executed_mode = mode
+
+    if mode == "serial" or workers == 1 or len(tasks) <= 1:
+        outcomes = [_run_task(task, databases[task.database_token]) for task in tasks]
+        executed_mode = "serial"
+    elif mode == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(lambda t: _run_task(t, databases[t.database_token]), tasks)
+            )
+    else:
+        # Only pool-infrastructure failures trigger the serial fallback
+        # (sandboxes without semaphores raise OSError at pool creation, a
+        # crashed worker raises BrokenExecutor); an exception raised *by a
+        # task* propagates unchanged, as it would serially.
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(dict(databases),),
+            ) as pool:
+                outcomes = list(pool.map(_run_task_in_worker, tasks, chunksize=1))
+        except (OSError, BrokenExecutor):
+            outcomes = [_run_task(task, databases[task.database_token]) for task in tasks]
+            executed_mode = "serial-fallback"
+
+    return ExecutionReport(
+        outcomes=list(outcomes),
+        requested_mode=mode,
+        executed_mode=executed_mode,
+        max_workers=workers,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,282 @@
+"""The query planner: choose a counting scheme, explainably.
+
+Given a query and a database, :class:`Planner` produces a :class:`QueryPlan`
+naming one of the package's counting schemes together with the decision trace
+that led there.  The decision table (see DESIGN.md):
+
+1. A user override (``method=``) wins, after validation against the query
+   class (e.g. Theorem 16's FPRAS is only sound for plain CQs).
+2. Small instances (database ``size()`` and query variable count under the
+   configured thresholds) use the **exact** CSP-backtracking counter: it is
+   error-free and, on small inputs, faster than setting up an approximation
+   scheme.
+3. Otherwise the Figure-1 dichotomy picks the scheme by query class, exactly
+   as :func:`repro.core.classify_query` recommends: plain CQs get the
+   Theorem-16 FPRAS, DCQs the Theorem-13 FPTRAS, ECQs the Theorem-5 FPTRAS.
+
+Whenever an approximation scheme is chosen the plan records the query's width
+profile (treewidth, fhw, adaptive-width bounds, arity) so callers can see
+*why* the scheme's preconditions hold — and the trace warns when a width
+exceeds its configured alarm threshold, meaning the scheme still runs but
+without its fixed-parameter efficiency.  The width computations are
+exponential in the query size, so plans that do not need them (the exact
+scheme, whether by small-instance rule or override) skip them entirely and
+report ``None`` widths.
+
+Plans are cached on the canonical query form plus the decision inputs, so
+repeated queries skip the (exponential-in-query-size) width computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.dichotomy import classify_query
+from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.relational.csp import DEFAULT_ENGINE, ENGINES
+from repro.relational.structure import Structure
+from repro.service.cache import LRUCache
+from repro.service.keys import canonical_query_key
+
+#: The counting schemes the planner can choose among.
+SCHEMES = ("exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact")
+
+#: Which query classes each scheme is sound for.
+_SCHEME_CLASSES = {
+    "exact": (QueryClass.CQ, QueryClass.DCQ, QueryClass.ECQ),
+    "oracle_exact": (QueryClass.CQ, QueryClass.DCQ, QueryClass.ECQ),
+    "fpras_cq": (QueryClass.CQ,),
+    "fptras_dcq": (QueryClass.CQ, QueryClass.DCQ),
+    "fptras_ecq": (QueryClass.CQ, QueryClass.DCQ, QueryClass.ECQ),
+}
+
+_SCHEME_REFERENCES = {
+    "exact": "CSP backtracking baseline (Section 1.1)",
+    "oracle_exact": "exact counting via EdgeFree oracle splitting (Lemma 22 plumbing)",
+    "fpras_cq": "Theorem 16 (FPRAS, bounded fractional hypertreewidth)",
+    "fptras_dcq": "Theorem 13 (FPTRAS, bounded adaptive width)",
+    "fptras_ecq": "Theorem 5 (FPTRAS, bounded treewidth and arity)",
+}
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Thresholds of the planner's decision table."""
+
+    #: Databases with ``size()`` at most this use the exact counter ...
+    exact_size_threshold: int = 800
+    #: ... provided the query has at most this many variables.
+    exact_variable_limit: int = 10
+    #: Widths above these alarms add a warning to the decision trace (the
+    #: scheme still runs; it is correct for every instance, merely not
+    #: fixed-parameter efficient outside the bounded regime).
+    treewidth_alarm: int = 4
+    fhw_alarm: float = 3.0
+
+    def fingerprint(self) -> Tuple:
+        return (
+            self.exact_size_threshold,
+            self.exact_variable_limit,
+            self.treewidth_alarm,
+            self.fhw_alarm,
+        )
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An explainable counting plan for one (query, database-size) input."""
+
+    scheme: str
+    query_class: str
+    engine: str
+    database_size: int
+    size_class: str  # "small" | "large"
+    treewidth: Optional[int]
+    fractional_hypertreewidth: Optional[float]
+    adaptive_width_upper: Optional[float]
+    arity: Optional[int]
+    reference: str
+    override: Optional[str]
+    trace: Tuple[str, ...] = field(default_factory=tuple)
+
+    def explain(self) -> str:
+        """Human-readable plan summary (one decision per line)."""
+        lines = [
+            f"scheme:      {self.scheme}",
+            f"reference:   {self.reference}",
+            f"query class: {self.query_class}",
+            f"engine:      {self.engine}",
+            f"database:    size={self.database_size} ({self.size_class})",
+        ]
+        if self.treewidth is not None:
+            lines.append(
+                "widths:      "
+                f"tw={self.treewidth} fhw={self.fractional_hypertreewidth:.2f} "
+                f"aw<={self.adaptive_width_upper:.2f} arity={self.arity}"
+            )
+        lines.append("decision:")
+        lines.extend(f"  - {step}" for step in self.trace)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "reference": self.reference,
+            "query_class": self.query_class,
+            "engine": self.engine,
+            "database_size": self.database_size,
+            "size_class": self.size_class,
+            "treewidth": self.treewidth,
+            "fractional_hypertreewidth": self.fractional_hypertreewidth,
+            "adaptive_width_upper": self.adaptive_width_upper,
+            "arity": self.arity,
+            "override": self.override,
+            "trace": list(self.trace),
+        }
+
+
+def validate_scheme(scheme: str, query_class: QueryClass) -> None:
+    """Reject scheme overrides that are unsound for the query's class."""
+    if scheme not in _SCHEME_CLASSES:
+        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    if query_class not in _SCHEME_CLASSES[scheme]:
+        raise ValueError(
+            f"scheme {scheme!r} does not apply to {query_class.value} queries "
+            f"({_SCHEME_REFERENCES[scheme]})"
+        )
+
+
+class Planner:
+    """Plans queries against the decision table, with a plan cache keyed on
+    the canonical query form + the decision inputs (size class, override,
+    engine, thresholds) — repeated queries skip the width computations."""
+
+    def __init__(
+        self,
+        config: Optional[PlannerConfig] = None,
+        engine: str = DEFAULT_ENGINE,
+        cache_size: int = 256,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.config = config or PlannerConfig()
+        self.engine = engine
+        self.cache = LRUCache(cache_size)
+
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        database: Structure,
+        override: Optional[str] = None,
+        query_key: Optional[str] = None,
+    ) -> QueryPlan:
+        """Produce (or fetch from cache) the plan for ``query`` over
+        ``database``.  ``query_key`` may be passed in when the caller already
+        computed the canonical form."""
+        config = self.config
+        database_size = database.size()
+        small = (
+            database_size <= config.exact_size_threshold
+            and len(query.variables) <= config.exact_variable_limit
+        )
+        size_class = "small" if small else "large"
+        if query_key is None:
+            query_key = canonical_query_key(query)
+        cache_key = (query_key, size_class, override, self.engine, config.fingerprint())
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            # A cached plan's database_size (and its trace) reflect the size
+            # at planning time; the decision is the same within a size class.
+            return cached
+        plan = self._plan_uncached(query, database_size, size_class, override)
+        self.cache.put(cache_key, plan)
+        return plan
+
+    def _plan_uncached(
+        self,
+        query: ConjunctiveQuery,
+        database_size: int,
+        size_class: str,
+        override: Optional[str],
+    ) -> QueryPlan:
+        config = self.config
+        query_class = query.query_class()
+        trace = [f"classified as {query_class.value}"]
+        # The width computations are exponential in the query size; compute
+        # them only when the decision or an alarm actually needs them.
+        report = None
+        widths = None
+
+        def ensure_widths():
+            nonlocal report, widths
+            if report is None:
+                report = classify_query(query)
+                widths = report.widths
+                trace.append(
+                    f"width profile: tw={widths.treewidth} "
+                    f"fhw={widths.fractional_hypertreewidth:.2f} "
+                    f"aw<={widths.adaptive_width.upper_bound:.2f} "
+                    f"arity={widths.arity}"
+                )
+            return report
+
+        if override is not None:
+            validate_scheme(override, query_class)
+            scheme = override
+            trace.append(f"user override: scheme forced to {scheme!r}")
+        elif size_class == "small":
+            scheme = "exact"
+            trace.append(
+                f"small instance (database size {database_size} <= "
+                f"{config.exact_size_threshold}, |vars| "
+                f"{len(query.variables)} <= {config.exact_variable_limit}): "
+                "exact CSP count is error-free and fast here"
+            )
+        else:
+            ensure_widths()
+            scheme = {
+                QueryClass.CQ: "fpras_cq",
+                QueryClass.DCQ: "fptras_dcq",
+                QueryClass.ECQ: "fptras_ecq",
+            }[query_class]
+            trace.append(
+                f"large instance: Figure-1 dichotomy recommends "
+                f"{report.recommended_algorithm} — {report.recommendation_reason}"
+            )
+
+        if scheme in ("fpras_cq", "fptras_dcq", "fptras_ecq"):
+            ensure_widths()
+            if scheme == "fptras_ecq" and widths.treewidth > config.treewidth_alarm:
+                trace.append(
+                    f"warning: treewidth {widths.treewidth} exceeds the alarm "
+                    f"threshold {config.treewidth_alarm}; Theorem 5's FPTRAS still "
+                    "runs but is not fixed-parameter efficient here"
+                )
+            if scheme in ("fpras_cq", "fptras_dcq") and (
+                widths.fractional_hypertreewidth > config.fhw_alarm
+            ):
+                trace.append(
+                    f"warning: fhw {widths.fractional_hypertreewidth:.2f} exceeds "
+                    f"the alarm threshold {config.fhw_alarm}; the scheme still runs "
+                    "but without its efficiency guarantee"
+                )
+
+        return QueryPlan(
+            scheme=scheme,
+            query_class=query_class.value,
+            engine=self.engine,
+            database_size=database_size,
+            size_class=size_class,
+            treewidth=widths.treewidth if widths is not None else None,
+            fractional_hypertreewidth=(
+                widths.fractional_hypertreewidth if widths is not None else None
+            ),
+            adaptive_width_upper=(
+                widths.adaptive_width.upper_bound if widths is not None else None
+            ),
+            arity=widths.arity if widths is not None else None,
+            reference=_SCHEME_REFERENCES[scheme],
+            override=override,
+            trace=tuple(trace),
+        )

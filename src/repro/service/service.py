@@ -1,0 +1,366 @@
+"""The :class:`CountingService` front-end: plan, cache, execute.
+
+The service ties the subsystem together::
+
+    service = CountingService(database, ServiceConfig(executor="process"))
+    result = service.submit(query, seed=7)            # one query
+    report = service.count_batch(queries, seed=7)     # many, in parallel
+
+Every call goes through three stages:
+
+1. **Plan** — the :class:`~repro.service.plan.Planner` chooses the scheme
+   (plan cache: canonical query form + decision inputs).
+2. **Result cache** — the (canonical query form, database token + version
+   fingerprint, scheme, engine, epsilon, delta, seed) key is looked up;
+   a hit returns the cached estimate without counting.  Mutating a database
+   relation bumps its version counter, which changes the key of every query
+   mentioning that relation — stale entries are never served and age out via
+   LRU.
+3. **Execute** — cache misses become :class:`CountTask`s and run on the
+   configured back-end (process pool by default); each task's estimate is
+   deterministic in its seed alone, so a batch seeded with ``seed=s`` gives
+   task ``i`` the seed ``derive_seed(s, i)`` and reproduces the exact
+   estimates of serial direct library calls with those seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE, ENGINES
+from repro.relational.structure import Structure
+from repro.service.cache import LRUCache
+from repro.service.executor import (
+    EXECUTOR_MODES,
+    CountTask,
+    run_tasks,
+)
+from repro.service.keys import canonical_query_key, database_cache_key
+from repro.service.plan import Planner, PlannerConfig, QueryPlan
+from repro.util.rng import derive_seed
+from repro.util.validation import check_epsilon_delta
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide defaults; per-request values override epsilon/delta/seed."""
+
+    epsilon: float = 0.2
+    delta: float = 0.05
+    engine: str = DEFAULT_ENGINE
+    executor: str = "process"
+    max_workers: Optional[int] = None  # default: cpu count (min 2)
+    plan_cache_size: int = 256
+    result_cache_size: int = 4096
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def __post_init__(self) -> None:
+        check_epsilon_delta(self.epsilon, self.delta)
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTOR_MODES}"
+            )
+
+    def resolved_workers(self) -> int:
+        if self.max_workers:
+            return max(1, int(self.max_workers))
+        return max(2, os.cpu_count() or 2)
+
+
+@dataclass(frozen=True)
+class CountRequest:
+    """One query to count.  ``database``/``epsilon``/``delta``/``seed``/
+    ``method`` default to the service's values when omitted."""
+
+    query: ConjunctiveQuery
+    database: Optional[Structure] = None
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    seed: Optional[int] = None
+    method: Optional[str] = None  # planner override, e.g. "exact"
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """A structured counting result with provenance."""
+
+    index: int
+    estimate: float
+    scheme: str
+    query_class: str
+    plan: QueryPlan
+    seed: Optional[int]
+    epsilon: float
+    delta: float
+    cache: str  # "hit" | "miss" | "bypass"
+    plan_seconds: float
+    execute_seconds: float
+
+    @property
+    def count(self) -> int:
+        """The estimate rounded to the nearest integer (answer counts are
+        integers)."""
+        return int(round(self.estimate))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "estimate": self.estimate,
+            "count": self.count,
+            "scheme": self.scheme,
+            "query_class": self.query_class,
+            "seed": self.seed,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "cache": self.cache,
+            "plan_seconds": round(self.plan_seconds, 6),
+            "execute_seconds": round(self.execute_seconds, 6),
+        }
+
+
+@dataclass
+class BatchReport:
+    """The results of a :meth:`CountingService.count_batch` call plus the
+    batch-level execution/caching summary."""
+
+    results: List[CountResult]
+    wall_seconds: float
+    requested_executor: str
+    executed_executor: str
+    max_workers: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def throughput_qps(self) -> float:
+        return len(self.results) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def estimates(self) -> List[float]:
+        return [result.estimate for result in self.results]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_queries": len(self.results),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_qps": round(self.throughput_qps, 3),
+            "requested_executor": self.requested_executor,
+            "executed_executor": self.executed_executor,
+            "max_workers": self.max_workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+RequestLike = Union[CountRequest, ConjunctiveQuery]
+
+
+class CountingService:
+    """Planning, caching, parallel batch execution — one front door for all
+    of the package's counting schemes."""
+
+    def __init__(
+        self,
+        database: Optional[Structure] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.default_database = database
+        self.planner = Planner(
+            config=self.config.planner,
+            engine=self.config.engine,
+            cache_size=self.config.plan_cache_size,
+        )
+        self.result_cache = LRUCache(self.config.result_cache_size)
+
+    # ------------------------------------------------------------- internals
+    def _resolve(self, request: RequestLike) -> CountRequest:
+        if isinstance(request, ConjunctiveQuery):
+            request = CountRequest(query=request)
+        if request.database is None:
+            if self.default_database is None:
+                raise ValueError(
+                    "request has no database and the service has no default"
+                )
+            request = replace(request, database=self.default_database)
+        return request
+
+    def _result_key(
+        self,
+        query_key: str,
+        request: CountRequest,
+        plan: QueryPlan,
+        epsilon: float,
+        delta: float,
+        seed: Optional[int],
+    ):
+        return (
+            query_key,
+            database_cache_key(request.database, request.query),
+            plan.scheme,
+            plan.engine,
+            epsilon,
+            delta,
+            seed,
+        )
+
+    # ---------------------------------------------------------------- public
+    def plan(
+        self, query: ConjunctiveQuery, database: Optional[Structure] = None,
+        method: Optional[str] = None,
+    ) -> QueryPlan:
+        """Plan a query without executing it (the CLI's ``plan`` command)."""
+        request = self._resolve(CountRequest(query=query, database=database, method=method))
+        return self.planner.plan(request.query, request.database, override=request.method)
+
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        database: Optional[Structure] = None,
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+        seed: Optional[int] = None,
+        method: Optional[str] = None,
+    ) -> CountResult:
+        """Count one query synchronously (plan + cache + serial execution)."""
+        report = self.count_batch(
+            [
+                CountRequest(
+                    query=query,
+                    database=database,
+                    epsilon=epsilon,
+                    delta=delta,
+                    seed=seed,
+                    method=method,
+                )
+            ],
+            executor="serial",
+        )
+        return report.results[0]
+
+    def count_batch(
+        self,
+        requests: Iterable[RequestLike],
+        seed: Optional[int] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> BatchReport:
+        """Count a batch of independent queries, concurrently.
+
+        ``seed`` is the batch master seed: request ``i`` without its own seed
+        is counted with ``derive_seed(seed, i)``.  Requests with an explicit
+        seed keep it.  Execution back-end and worker count default to the
+        service config.
+        """
+        started = time.perf_counter()
+        mode = executor if executor is not None else self.config.executor
+        workers = (
+            max(1, int(max_workers)) if max_workers else self.config.resolved_workers()
+        )
+
+        resolved = [self._resolve(request) for request in requests]
+        results: List[Optional[CountResult]] = [None] * len(resolved)
+        tasks: List[CountTask] = []
+        task_meta: List[tuple] = []
+        databases: Dict[int, Structure] = {}
+        cache_hits = 0
+
+        for index, request in enumerate(resolved):
+            epsilon = request.epsilon if request.epsilon is not None else self.config.epsilon
+            delta = request.delta if request.delta is not None else self.config.delta
+            check_epsilon_delta(epsilon, delta)
+            if request.seed is not None:
+                task_seed: Optional[int] = request.seed
+            elif seed is not None:
+                task_seed = derive_seed(seed, index)
+            else:
+                task_seed = None
+
+            plan_started = time.perf_counter()
+            query_key = canonical_query_key(request.query)
+            plan = self.planner.plan(
+                request.query,
+                request.database,
+                override=request.method,
+                query_key=query_key,
+            )
+            plan_seconds = time.perf_counter() - plan_started
+
+            result_key = self._result_key(
+                query_key, request, plan, epsilon, delta, task_seed
+            )
+            cached_estimate = self.result_cache.get(result_key)
+            if cached_estimate is not None:
+                cache_hits += 1
+                results[index] = CountResult(
+                    index=index,
+                    estimate=cached_estimate,
+                    scheme=plan.scheme,
+                    query_class=plan.query_class,
+                    plan=plan,
+                    seed=task_seed,
+                    epsilon=epsilon,
+                    delta=delta,
+                    cache="hit",
+                    plan_seconds=plan_seconds,
+                    execute_seconds=0.0,
+                )
+                continue
+
+            token = request.database.structure_token
+            databases[token] = request.database
+            tasks.append(
+                CountTask(
+                    index=index,
+                    query=request.query,
+                    scheme=plan.scheme,
+                    engine=plan.engine,
+                    epsilon=epsilon,
+                    delta=delta,
+                    seed=task_seed,
+                    database_token=token,
+                )
+            )
+            task_meta.append((plan, plan_seconds, result_key, epsilon, delta, task_seed))
+
+        execution = run_tasks(tasks, databases, mode=mode, max_workers=workers)
+        for task, outcome, meta in zip(tasks, execution.outcomes, task_meta):
+            plan, plan_seconds, result_key, epsilon, delta, task_seed = meta
+            self.result_cache.put(result_key, outcome.estimate)
+            results[task.index] = CountResult(
+                index=task.index,
+                estimate=outcome.estimate,
+                scheme=plan.scheme,
+                query_class=plan.query_class,
+                plan=plan,
+                seed=task_seed,
+                epsilon=epsilon,
+                delta=delta,
+                cache="miss",
+                plan_seconds=plan_seconds,
+                execute_seconds=outcome.seconds,
+            )
+
+        assert all(result is not None for result in results)
+        return BatchReport(
+            results=[result for result in results if result is not None],
+            wall_seconds=time.perf_counter() - started,
+            requested_executor=mode,
+            executed_executor=execution.executed_mode if tasks else "cache",
+            max_workers=workers,
+            cache_hits=cache_hits,
+            cache_misses=len(tasks),
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction statistics of both caches."""
+        return {
+            "plan_cache": self.planner.cache.stats().to_dict(),
+            "result_cache": self.result_cache.stats().to_dict(),
+        }

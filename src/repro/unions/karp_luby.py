@@ -21,6 +21,7 @@ from typing import Callable, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.exact import enumerate_answers_exact
 from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 from repro.sampling.jvv import sample_answers
 from repro.util.rng import RNGLike, as_generator
@@ -42,13 +43,15 @@ def _validate_union(queries: Sequence[ConjunctiveQuery]) -> None:
 
 
 def exact_count_union(
-    queries: Sequence[ConjunctiveQuery], database: Structure
+    queries: Sequence[ConjunctiveQuery],
+    database: Structure,
+    engine: str = DEFAULT_ENGINE,
 ) -> int:
     """Exact ``|⋃_i Ans(phi_i, D)|`` by enumeration (baseline)."""
     _validate_union(queries)
     union: Set[AnswerTuple] = set()
     for query in queries:
-        union |= enumerate_answers_exact(query, database)
+        union |= enumerate_answers_exact(query, database, engine=engine)
     return len(union)
 
 
@@ -60,6 +63,7 @@ def approx_count_union(
     rng: RNGLike = None,
     exact_components: bool = False,
     num_samples: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Karp–Luby (epsilon, delta)-style estimate of ``|⋃_i Ans(phi_i, D)|``.
 
@@ -67,7 +71,8 @@ def approx_count_union(
     per-query samples (the estimator is then a plain Monte-Carlo Karp–Luby
     scheme whose only error is sampling error); otherwise the per-query
     counters/samplers are the package's approximation schemes, matching the
-    construction sketched in Section 6.
+    construction sketched in Section 6.  ``engine`` selects the CSP engine
+    backing the per-query counters and samplers.
     """
     check_epsilon_delta(epsilon, delta)
     _validate_union(queries)
@@ -77,7 +82,7 @@ def approx_count_union(
     counts: List[float] = []
     for query in queries:
         if exact_components:
-            count = float(len(enumerate_answers_exact(query, database)))
+            count = float(len(enumerate_answers_exact(query, database, engine=engine)))
         else:
             from repro.core.fptras import fptras_count_dcq, fptras_count_ecq
             from repro.queries.query import QueryClass
@@ -85,12 +90,12 @@ def approx_count_union(
             if query.query_class() is QueryClass.ECQ:
                 count = fptras_count_ecq(
                     query, database, epsilon=epsilon / 3.0, delta=delta / (3 * len(queries)),
-                    rng=generator,
+                    rng=generator, engine=engine,
                 )
             else:
                 count = fptras_count_dcq(
                     query, database, epsilon=epsilon / 3.0, delta=delta / (3 * len(queries)),
-                    rng=generator,
+                    rng=generator, engine=engine,
                 )
         counts.append(max(0.0, float(count)))
 
@@ -117,6 +122,7 @@ def approx_count_union(
             delta=delta,
             rng=generator,
             exact=exact_components,
+            engine=engine,
         )
         if not samples:
             continue

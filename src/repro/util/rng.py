@@ -45,6 +45,23 @@ def spawn_generators(rng: RNGLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(int(seed)) for seed in seeds]
 
 
+def derive_seed(master_seed: int, *path: int) -> int:
+    """Derive a deterministic child seed from ``master_seed`` and an index
+    path, via :class:`numpy.random.SeedSequence`.
+
+    Used by the batch-execution service to hand every task its own
+    statistically independent stream while keeping the overall run
+    reproducible from one integer: task ``i`` of a batch seeded with ``s``
+    always counts with ``derive_seed(s, i)``, whether it runs serially, in a
+    thread, or in a worker process — so a direct library call with the same
+    derived seed reproduces the service's estimate exactly.
+    """
+    if not all(isinstance(part, (int, np.integer)) for part in (master_seed, *path)):
+        raise TypeError("derive_seed takes integer seeds and indices")
+    sequence = np.random.SeedSequence([int(master_seed), *[int(part) for part in path]])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
 def random_subset(items: Iterable, probability: float, rng: RNGLike = None) -> list:
     """Return a random subset of ``items`` keeping each item independently
     with the given probability."""

@@ -1,0 +1,106 @@
+"""Tests for `Constraint.trusted()` (vs the validating constructor) and for
+the Structure version counters / derived caches the service keys on."""
+
+import pytest
+
+from repro.relational.csp import Constraint, CSPInstance
+from repro.relational.structure import Database, Structure
+
+
+@pytest.fixture
+def structure():
+    return Structure(relations={"E": [(1, 2), (2, 3), (3, 1)], "F": [(1, 1)]})
+
+
+class TestTrustedConstraint:
+    def test_trusted_equals_validated_constructor(self):
+        scope = ("x", "y")
+        allowed = frozenset({(1, 2), (2, 3)})
+        validated = Constraint(scope=scope, allowed=allowed)
+        trusted = Constraint.trusted(scope, allowed)
+        assert trusted.scope == validated.scope
+        assert trusted.allowed == validated.allowed
+        assert trusted == validated
+
+    def test_trusted_and_validated_solve_identically(self, structure):
+        universe = set(structure.canonical_universe())
+        domains = {"x": set(universe), "y": set(universe), "z": set(universe)}
+        edge = structure.relation("E")
+
+        def build(factory):
+            return CSPInstance(
+                {v: set(d) for v, d in domains.items()},
+                [factory(("x", "y"), edge), factory(("y", "z"), edge)],
+            )
+
+        validated = build(lambda scope, allowed: Constraint(scope=scope, allowed=allowed))
+        trusted = build(
+            lambda scope, allowed: Constraint.trusted(scope, frozenset(allowed))
+        )
+        assert validated.solve() == trusted.solve()
+
+    def test_validating_constructor_rejects_arity_mismatch(self):
+        with pytest.raises(ValueError, match="does not match scope"):
+            Constraint(scope=("x",), allowed=frozenset({(1, 2)}))
+
+    def test_trusted_skips_validation(self):
+        # The caller vouches for arity; no scan, no error.
+        constraint = Constraint.trusted(("x",), frozenset({(1, 2)}))
+        assert constraint.allowed == frozenset({(1, 2)})
+
+    def test_trusted_shares_the_structure_index(self, structure):
+        index = structure.relation_index("E")
+        constraint = Constraint.trusted(("x", "y"), index=index)
+        sibling = Constraint.trusted(("y", "z"), index=index)
+        assert constraint.index is index
+        assert sibling.index is index
+        assert constraint.allowed == index.allowed
+
+    def test_trusted_without_allowed_or_index_raises(self):
+        with pytest.raises(ValueError, match="needs either"):
+            Constraint.trusted(("x", "y"))
+
+
+class TestVersionCounters:
+    def test_fingerprint_changes_only_for_the_mutated_relation(self, structure):
+        before_e = structure.version_fingerprint(["E"])
+        before_f = structure.version_fingerprint(["F"])
+        structure.add_fact("E", (2, 1))
+        assert structure.version_fingerprint(["E"]) != before_e
+        assert structure.version_fingerprint(["F"]) == before_f
+
+    def test_fingerprint_tracks_universe_growth(self, structure):
+        before = structure.version_fingerprint(["F"])
+        structure.add_fact("E", (4, 5))  # new elements, F untouched
+        after = structure.version_fingerprint(["F"])
+        assert after != before  # universe version is part of every fingerprint
+
+    def test_duplicate_facts_do_not_bump_versions(self, structure):
+        before = structure.version_fingerprint()
+        structure.add_fact("E", (1, 2))  # already present
+        assert structure.version_fingerprint() == before
+
+    def test_tokens_are_unique_and_copies_get_fresh_ones(self, structure):
+        other = Structure(relations={"E": [(1, 2)]})
+        assert structure.structure_token != other.structure_token
+        copy = structure.copy()
+        assert copy.structure_token != structure.structure_token
+        # ... while the content-tracking counters are carried over.
+        assert copy.version_fingerprint() == structure.version_fingerprint()
+
+    def test_relation_index_cache_invalidates_on_mutation(self, structure):
+        first = structure.relation_index("E")
+        assert structure.relation_index("E") is first  # cached
+        assert structure.relation_index("F") is not first
+        structure.add_fact("E", (3, 2))
+        second = structure.relation_index("E")
+        assert second is not first
+        assert (3, 2) in second.allowed
+
+    def test_database_inherits_the_machinery(self):
+        database = Database.from_relations({"E": [(1, 2)]})
+        token = database.structure_token
+        fingerprint = database.version_fingerprint(["E"])
+        database.add_fact("E", (2, 1))
+        assert database.structure_token == token
+        assert database.version_fingerprint(["E"]) != fingerprint
