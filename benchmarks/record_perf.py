@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Standalone performance recorder: writes ``BENCH_engine.json`` and
-``BENCH_service.json``.
+"""Standalone performance recorder: writes ``BENCH_engine.json``,
+``BENCH_service.json`` and ``BENCH_prepared.json``.
 
-Two suites, selected with ``--suite`` (default: both):
+Three suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -19,6 +19,13 @@ Two suites, selected with ``--suite`` (default: both):
   the throughput record to ``BENCH_service.json`` (including ``cpu_count`` —
   on single-core machines the parallel/serial ratio is bounded by 1 and the
   record says so).
+* ``prepared`` — a repeated-shape batch of alpha-renamed copies of fixed CQ /
+  DCQ shapes: measures the width/decomposition compilation cost per-call
+  (a fresh, uncached ``PreparedQuery`` per copy — the pre-compilation-layer
+  behaviour) versus prepared-shared (every copy hits the one process-wide
+  cache entry, asserted via the cache and artifact counters), verifies that
+  registry-dispatched estimates equal the direct library calls under the
+  same seeds, and appends the speedup record to ``BENCH_prepared.json``.
 
 Usage::
 
@@ -299,12 +306,146 @@ def run_service(smoke: bool, out_path: Path) -> int:
     return 1 if failures else 0
 
 
+# -------------------------------------------------------------- prepared suite
+def _alpha_renamed_copies(query, count: int):
+    """``count`` alpha-renamed copies of ``query`` (same canonical form,
+    disjoint variable names)."""
+    copies = []
+    for index in range(count):
+        mapping = {v: f"r{index}_{v}" for v in query.variables}
+        copies.append(query.rename_variables(mapping))
+    return copies
+
+
+def run_prepared(smoke: bool, out_path: Path) -> int:
+    from repro.core import count_answers_exact as exact_direct  # noqa: F401
+    from repro.core import fpras_count_cq, fptras_count_dcq
+    from repro.core.registry import REGISTRY
+    from repro.queries.builders import path_query, star_query
+    from repro.queries.prepared import (
+        PreparedQuery,
+        clear_prepared_cache,
+        prepare,
+        prepared_cache_stats,
+    )
+    from repro.workloads import database_from_graph, erdos_renyi_graph
+
+    copies_per_shape = 12 if smoke else 30
+    epsilon, delta = 0.6, 0.3
+    database = database_from_graph(erdos_renyi_graph(10, 0.35, rng=23))
+    shapes = [
+        ("two-hop CQ", "fpras_cq", path_query(2, free_endpoints_only=True)),
+        ("star-3 DCQ", "fptras_dcq", star_query(3, with_disequalities=True)),
+    ]
+    failures = 0
+    results = []
+    for name, scheme, base in shapes:
+        copies = _alpha_renamed_copies(base, copies_per_shape)
+
+        # Per-call: a fresh, uncached PreparedQuery per copy, forced to
+        # compile the profile and the nice decomposition (what every scheme
+        # call recomputed before the compilation layer existed).
+        def compile_per_call():
+            for copy in copies:
+                fresh = PreparedQuery(copy)
+                fresh.width_profile()
+                fresh.nice_decomposition()
+
+        per_call_seconds = _best_of(compile_per_call, repeats=1)
+
+        # Prepared-shared: every copy resolves to one cache entry; artifacts
+        # are compiled once and translated per renaming.
+        clear_prepared_cache()
+        hits_before = prepared_cache_stats().hits
+
+        def compile_shared():
+            for copy in copies:
+                item = prepare(copy)
+                item.width_profile()
+                item.nice_decomposition_for(copy)
+
+        shared_seconds = _best_of(compile_shared, repeats=1)
+        shared = prepare(copies[0])
+        stats = shared.artifact_stats()
+        cache_hits = prepared_cache_stats().hits - hits_before
+        compiled_once = (
+            stats["width_profile"]["computes"] == 1
+            and stats["fhw_decomposition"]["computes"] == 1
+            and cache_hits >= len(copies) - 1
+        )
+        if not compiled_once:
+            failures += 1
+            print(f"[record_perf] FAIL: {name}: artifacts compiled more than once")
+
+        # Estimates through the registry must equal the direct library calls
+        # with the same seeds (the copies share artifacts; results must not).
+        direct_call = fpras_count_cq if scheme == "fpras_cq" else fptras_count_dcq
+        estimates_match = True
+        for seed, copy in enumerate(copies[:4]):
+            via_registry = REGISTRY.count(
+                scheme, copy, database, epsilon=epsilon, delta=delta, rng=seed
+            ).estimate
+            direct = direct_call(
+                copy, database, epsilon=epsilon, delta=delta, rng=seed
+            )
+            if via_registry != direct:
+                estimates_match = False
+                print(
+                    f"[record_perf] FAIL: {name} seed {seed}: "
+                    f"registry={via_registry} direct={direct}"
+                )
+        if not estimates_match:
+            failures += 1
+
+        speedup = per_call_seconds / shared_seconds if shared_seconds > 0 else float("inf")
+        results.append(
+            {
+                "shape": name,
+                "scheme": scheme,
+                "copies": len(copies),
+                "per_call_seconds": round(per_call_seconds, 6),
+                "prepared_shared_seconds": round(shared_seconds, 6),
+                "speedup": round(speedup, 2),
+                "cache_hits": cache_hits,
+                "artifacts_compiled_once": compiled_once,
+                "estimates_match_direct_calls": estimates_match,
+            }
+        )
+        print(
+            f"[record_perf] prepared {name}: {len(copies)} copies "
+            f"per-call={per_call_seconds * 1000:.1f}ms "
+            f"shared={shared_seconds * 1000:.1f}ms speedup={speedup:.1f}x "
+            f"cache_hits={cache_hits}"
+        )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "epsilon": epsilon,
+        "delta": delta,
+        "shapes": results,
+        "min_speedup": round(min((r["speedup"] for r in results), default=0.0), 2),
+        "all_verified": failures == 0,
+        "note": (
+            "per_call compiles widths + nice decomposition freshly per "
+            "alpha-renamed copy (pre-PreparedQuery behaviour); "
+            "prepared_shared hits one process-wide cache entry per shape"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(min speedup {record['min_speedup']}x)"
+    )
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="budgeted subset")
     parser.add_argument(
         "--suite",
-        choices=["engine", "service", "all"],
+        choices=["engine", "service", "prepared", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -316,6 +457,10 @@ def main() -> int:
         "--service-out", type=Path, default=REPO_ROOT / "BENCH_service.json",
         help="service-suite output JSON file",
     )
+    parser.add_argument(
+        "--prepared-out", type=Path, default=REPO_ROOT / "BENCH_prepared.json",
+        help="prepared-suite output JSON file",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     parser.add_argument(
         "--budget-seconds", type=float, default=30.0, help="smoke-mode time budget"
@@ -326,6 +471,8 @@ def main() -> int:
         status |= run_engine(args.smoke, args.out, max(1, args.repeats), args.budget_seconds)
     if args.suite in ("service", "all"):
         status |= run_service(args.smoke, args.service_out)
+    if args.suite in ("prepared", "all"):
+        status |= run_prepared(args.smoke, args.prepared_out)
     return status
 
 

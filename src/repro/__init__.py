@@ -16,6 +16,11 @@ The package implements, from scratch:
 * exact counting baselines, approximate uniform sampling, unions of queries,
   the locally-injective-homomorphism application, and the Figure-1 dichotomy
   classifier,
+* a compile-once/count-many layer: :func:`prepare` turns a query into a
+  :class:`PreparedQuery` (canonical form + lazily memoised widths and
+  decompositions, shared process-wide across alpha-renamed copies) and
+  :data:`repro.core.REGISTRY` dispatches every counting scheme through one
+  uniform envelope,
 * a serving layer (:mod:`repro.service`): an explainable query planner over
   all of the above schemes, plan/result caches keyed on canonical query forms
   and database version counters, and a :class:`CountingService` that executes
@@ -35,7 +40,9 @@ from repro.queries import (
     ConjunctiveQuery,
     Disequality,
     NegatedAtom,
+    PreparedQuery,
     parse_query,
+    prepare,
 )
 from repro.relational import Database, Signature, Structure
 from repro.core import (
@@ -55,6 +62,8 @@ __all__ = [
     "NegatedAtom",
     "Disequality",
     "ConjunctiveQuery",
+    "PreparedQuery",
+    "prepare",
     "parse_query",
     "Signature",
     "Structure",

@@ -21,7 +21,7 @@ from typing import Dict, Hashable, List, Tuple
 
 import networkx as nx
 
-from repro.core.exact import count_answers_exact
+from repro.core.registry import REGISTRY
 from repro.queries.builders import hamiltonian_path_query
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE
@@ -47,12 +47,12 @@ def hamiltonian_instance(graph: nx.Graph) -> Tuple[ConjunctiveQuery, Database]:
 def count_hamiltonian_paths_via_query(
     graph: nx.Graph, engine: str = DEFAULT_ENGINE
 ) -> int:
-    """``|Ans(phi, D)|`` of the Observation-10 instance via the CSP-backed
-    exact counter (``engine`` selects ``"indexed"``/``"naive"``) — the
+    """``|Ans(phi, D)|`` of the Observation-10 instance via the registry's
+    ``exact`` scheme (``engine`` selects ``"indexed"``/``"naive"``) — the
     query-side counterpart of :func:`count_hamiltonian_paths_dp`, exponential
     by design (that is the point of the hardness construction)."""
     query, database = hamiltonian_instance(graph)
-    return count_answers_exact(query, database, engine=engine)
+    return REGISTRY.count("exact", query, database, engine=engine).count
 
 
 def count_hamiltonian_paths_dp(graph: nx.Graph) -> int:

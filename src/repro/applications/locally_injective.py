@@ -21,7 +21,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.core.fptras import fptras_count_ecq
+from repro.core.registry import REGISTRY
 from repro.queries.atoms import Atom, Disequality
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE
@@ -121,9 +121,10 @@ def count_locally_injective_homomorphisms_approx(
     engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Corollary 6: approximate #LIHom(G, G') with the Theorem-5 FPTRAS on the
-    ECQ encoding.  ``engine`` selects the CSP engine backing the Hom oracle."""
+    ECQ encoding, dispatched through the unified scheme registry.  ``engine``
+    selects the CSP engine backing the Hom oracle."""
     query, database = lihom_query_and_database(pattern, host)
-    return fptras_count_ecq(
-        query, database, epsilon=epsilon, delta=delta, rng=rng,
+    return REGISTRY.count(
+        "fptras_ecq", query, database, epsilon=epsilon, delta=delta, rng=rng,
         oracle_mode=oracle_mode, engine=engine,
-    )
+    ).estimate

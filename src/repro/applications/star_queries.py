@@ -20,7 +20,7 @@ from typing import Tuple
 
 import networkx as nx
 
-from repro.core.exact import count_answers_exact
+from repro.core.registry import REGISTRY
 from repro.queries.builders import star_query
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE
@@ -48,8 +48,9 @@ def count_star_answers_exact(
     with_disequalities: bool = False,
     engine: str = DEFAULT_ENGINE,
 ) -> int:
-    """Exact answer count of the footnote-4 instance via the CSP-backed
-    counter; ``engine`` selects the CSP engine (``"indexed"``/``"naive"``).
+    """Exact answer count of the footnote-4 instance via the registry's
+    ``exact`` scheme (CSP-backed); ``engine`` selects the CSP engine
+    (``"indexed"``/``"naive"``).
 
     For the centre-free variant this matches
     :func:`count_star_answers_centre_free_closed_form` (cross-checked in the
@@ -58,7 +59,7 @@ def count_star_answers_exact(
     query, database = star_instance(
         graph, k, centre_free=centre_free, with_disequalities=with_disequalities
     )
-    return count_answers_exact(query, database, engine=engine)
+    return REGISTRY.count("exact", query, database, engine=engine).count
 
 
 def count_star_answers_centre_free_closed_form(graph: nx.Graph, k: int) -> int:

@@ -74,9 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--seed", type=int, default=None)
     count.add_argument(
         "--method",
-        choices=["auto", "fpras", "fptras", "exact"],
+        choices=[
+            "auto", "fpras", "fptras",
+            "exact", "oracle_exact", "fpras_cq", "fptras_dcq", "fptras_ecq",
+        ],
         default="auto",
-        help="counting method (default: auto — FPRAS for CQs, FPTRAS otherwise)",
+        help="counting method: auto (FPRAS for CQs, FPTRAS otherwise), the "
+        "legacy fpras/fptras aliases, or any registered scheme name; all "
+        "dispatch through the unified scheme registry",
     )
     count.add_argument(
         "--exact",

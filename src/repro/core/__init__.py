@@ -3,6 +3,9 @@ to (extended) conjunctive queries.
 
 Entry points
 ------------
+* :data:`REGISTRY` / :class:`SchemeRegistry` — the unified scheme registry:
+  every counting scheme behind one ``count(prepared, database, ...)``
+  envelope; all the wrappers below dispatch through it.
 * :func:`approx_count_answers` — dispatching convenience wrapper: picks the
   FPRAS (Theorem 16) for plain CQs and the appropriate FPTRAS (Theorems 5/13)
   otherwise, and returns a rounded integer estimate.
@@ -11,6 +14,10 @@ Entry points
 * :func:`fpras_count_cq` — Theorem 16 (bounded fractional hypertreewidth, CQ).
 * :func:`count_answers_exact` — exact baselines.
 * :func:`classify_query` / :func:`classify_class` — the Figure-1 dichotomy.
+
+All of them consume :class:`repro.queries.prepared.PreparedQuery` artifacts
+(hypergraph, widths, decompositions), computed at most once per canonical
+query shape per process.
 """
 
 from __future__ import annotations
@@ -56,7 +63,15 @@ from repro.core.oracle_counting import (
     approx_count_answers_via_oracle,
     exact_count_answers_via_oracle,
 )
+from repro.core.registry import (
+    REGISTRY,
+    CountResult,
+    SchemeRegistry,
+    SchemeSpec,
+    default_registry,
+)
 from repro.core.tree_automaton import RootedTree, TreeAutomaton
+from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike
@@ -75,30 +90,35 @@ def approx_count_answers(
 
     ``method`` may be ``"auto"`` (FPRAS for plain CQs, FPTRAS otherwise),
     ``"fpras"`` (force Theorem 16; CQs only), ``"fptras"`` (force the
-    Lemma-22 engine of Theorems 5/13) or ``"exact"``.
+    Lemma-22 engine of Theorems 5/13), ``"exact"``, or any registered scheme
+    name (``exact`` / ``oracle_exact`` / ``fpras_cq`` / ``fptras_dcq`` /
+    ``fptras_ecq``).  Dispatch goes through :data:`REGISTRY`.
     """
-    if method == "exact":
-        return count_answers_exact(query, database)
     query_class = query.query_class()
     if method == "auto":
         method = "fpras" if query_class is QueryClass.CQ else "fptras"
     if method == "fpras":
-        estimate = fpras_count_cq(query, database, epsilon=epsilon, delta=delta, rng=seed)
+        scheme = "fpras_cq"
     elif method == "fptras":
-        if query_class is QueryClass.ECQ:
-            estimate = fptras_count_ecq(
-                query, database, epsilon=epsilon, delta=delta, rng=seed
-            )
-        else:
-            estimate = fptras_count_dcq(
-                query, database, epsilon=epsilon, delta=delta, rng=seed
-            )
+        scheme = "fptras_ecq" if query_class is QueryClass.ECQ else "fptras_dcq"
+    elif method in REGISTRY.names(include_unions=False):
+        scheme = method
     else:
         raise ValueError(f"unknown method {method!r}")
-    return int(round(estimate))
+    result = REGISTRY.count(
+        scheme, query, database, epsilon=epsilon, delta=delta, rng=seed
+    )
+    return result.count
 
 
 __all__ = [
+    "REGISTRY",
+    "SchemeRegistry",
+    "SchemeSpec",
+    "CountResult",
+    "default_registry",
+    "PreparedQuery",
+    "prepare",
     "approx_count_answers",
     "count_answers_exact",
     "count_solutions_exact",

@@ -36,6 +36,7 @@ from enum import Enum
 from typing import Optional
 
 from repro.decomposition.widths import WidthProfile, width_profile
+from repro.queries.prepared import prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.util.rng import RNGLike
 
@@ -169,12 +170,23 @@ def classify_query(
     query: ConjunctiveQuery,
     arity_bound: Optional[int] = None,
     rng: RNGLike = None,
+    profile: Optional[WidthProfile] = None,
 ) -> QueryReport:
     """Classify a single query: compute its width profile, say which of the
     package's algorithms applies, and report the Figure-1 verdict for the
-    class of queries whose widths are bounded by this query's widths."""
-    hypergraph = query.hypergraph()
-    profile = width_profile(hypergraph, rng=rng)
+    class of queries whose widths are bounded by this query's widths.
+
+    The width profile is read from the process-wide prepared-query cache
+    (:func:`repro.queries.prepared.prepare`), so repeated or alpha-renamed
+    queries never recompute it.  Passing an explicit ``rng`` bypasses the
+    cache (the adaptive-width lower bound is sampled fresh), and passing a
+    precomputed ``profile`` skips the width computation entirely.
+    """
+    if profile is None:
+        if rng is None:
+            profile = prepare(query).width_profile()
+        else:
+            profile = width_profile(query.hypergraph(), rng=rng)
     query_class = query.query_class()
     bounded_arity = arity_bound is None or profile.arity <= arity_bound
 

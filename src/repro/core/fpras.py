@@ -38,8 +38,8 @@ from repro.core.bag_solutions import (
     solutions_consistent_with,
 )
 from repro.core.tree_automaton import RootedTree, TreeAutomaton
-from repro.decomposition.fractional import fractional_hypertreewidth_decomposition
-from repro.decomposition.nice import NiceTreeDecomposition, make_nice
+from repro.decomposition.nice import NiceTreeDecomposition
+from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike
@@ -94,9 +94,15 @@ class FPRASResult:
 
 
 def build_tree_automaton(
-    query: ConjunctiveQuery, database: Structure
+    query: ConjunctiveQuery,
+    database: Structure,
+    prepared: Optional[PreparedQuery] = None,
 ) -> Lemma52Reduction:
-    """Construct the Lemma-52 tree automaton for a CQ instance."""
+    """Construct the Lemma-52 tree automaton for a CQ instance.
+
+    The fhw-optimal decomposition and its nice form come from the shared
+    ``prepared`` query (computed once per query shape and cached process-wide
+    when omitted), translated into this query's variable names."""
     if query.query_class() is not QueryClass.CQ:
         raise ValueError(
             "Theorem 16 applies to plain CQs (no disequalities or negations); "
@@ -104,9 +110,10 @@ def build_tree_automaton(
         )
     query._check_signature_compatibility(database)
 
-    hypergraph = query.hypergraph()
-    decomposition, fhw, _ = fractional_hypertreewidth_decomposition(hypergraph)
-    nice = make_nice(decomposition, hypergraph)
+    if prepared is None:
+        prepared = prepare(query)
+    fhw = prepared.fractional_hypertreewidth()[0]
+    nice = prepared.nice_decomposition_for(query)
 
     free_variables = set(query.free_variables)
 
@@ -212,15 +219,18 @@ def fpras_count_cq(
     rng: RNGLike = None,
     return_result: bool = False,
     samples_per_union: Optional[int] = None,
+    prepared: Optional[PreparedQuery] = None,
 ):
     """Theorem 16: FPRAS for #CQ on queries with bounded fractional
     hypertreewidth.
 
     Returns the (epsilon, delta)-approximation of ``|Ans(phi, D)|`` (a float),
-    or a :class:`FPRASResult` when ``return_result`` is true.
+    or a :class:`FPRASResult` when ``return_result`` is true.  The Lemma-43
+    decomposition is read from the shared ``prepared`` query (prepared and
+    cached process-wide when omitted).
     """
     check_epsilon_delta(epsilon, delta)
-    reduction = build_tree_automaton(query, database)
+    reduction = build_tree_automaton(query, database, prepared=prepared)
     fhw = reduction.fractional_hypertreewidth
 
     if reduction.empty_language():

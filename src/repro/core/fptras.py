@@ -23,15 +23,13 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Optional
 
 from repro.core.oracle_counting import (
     OracleCountingStatistics,
     approx_count_answers_via_oracle,
 )
-from repro.decomposition.f_width import EXACT_F_WIDTH_LIMIT
-from repro.decomposition.treewidth import exact_treewidth, treewidth_upper_bound
-from repro.decomposition.adaptive import adaptive_width_upper_bound
+from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
@@ -59,15 +57,6 @@ class FPTRASResult:
         return int(round(self.estimate))
 
 
-def _query_treewidth(query: ConjunctiveQuery) -> Optional[int]:
-    hypergraph = query.hypergraph()
-    if hypergraph.num_vertices() == 0:
-        return -1
-    if hypergraph.num_vertices() <= EXACT_F_WIDTH_LIMIT:
-        return exact_treewidth(hypergraph)
-    return treewidth_upper_bound(hypergraph)
-
-
 def fptras_count_ecq(
     query: ConjunctiveQuery,
     database: Structure,
@@ -79,6 +68,7 @@ def fptras_count_ecq(
     arity_bound: Optional[int] = None,
     return_result: bool = False,
     engine: str = DEFAULT_ENGINE,
+    prepared: Optional[PreparedQuery] = None,
 ):
     """Theorem 5: FPTRAS for #ECQ on queries with bounded treewidth and arity.
 
@@ -95,19 +85,36 @@ def fptras_count_ecq(
         ``"direct"`` (deterministic EdgeFree decisions) or ``"auto"``.
     treewidth_bound, arity_bound:
         Optional declared bounds ``t`` and ``a`` of the query class Φ_C.  When
-        given, the query is checked against them (a query outside the class is
-        rejected — this mirrors the theorem being a statement about promise
-        classes).  When omitted, no check is performed: the algorithm is
-        correct for every ECQ, merely not fixed-parameter efficient outside
-        the bounded-treewidth regime.
+        given, the query is checked against them.  A query *provably* outside
+        the class is rejected (this mirrors the theorem being a statement
+        about promise classes); when the computed treewidth is only a greedy
+        upper bound, exceeding the declared bound proves nothing and merely
+        warns — the algorithm still runs and is correct, just possibly not
+        fixed-parameter efficient (mirroring the Theorem-13 adaptive-width
+        check).  When omitted, no check is performed.
     return_result:
         Return a full :class:`FPTRASResult` instead of only the estimate.
+    prepared:
+        The shared compiled artifacts of the query's shape; computed (and
+        cached process-wide) via :func:`repro.queries.prepared.prepare` when
+        omitted.
     """
-    treewidth = _query_treewidth(query)
+    if prepared is None:
+        prepared = prepare(query)
+    treewidth = prepared.treewidth()
     arity = query.arity()
     if treewidth_bound is not None and treewidth is not None and treewidth > treewidth_bound:
-        raise ValueError(
-            f"query treewidth {treewidth} exceeds the declared bound {treewidth_bound}"
+        if prepared.treewidth_is_exact():
+            raise ValueError(
+                f"query treewidth {treewidth} exceeds the declared bound {treewidth_bound}"
+            )
+        # A greedy upper bound exceeding the declared bound does not prove
+        # the query is outside the class, so only warn.
+        warnings.warn(
+            f"the query's treewidth upper bound ({treewidth}) exceeds the "
+            f"declared bound {treewidth_bound}; the FPTRAS still runs but may "
+            "not be fixed-parameter efficient",
+            stacklevel=2,
         )
     if arity_bound is not None and arity > arity_bound:
         raise ValueError(f"query arity {arity} exceeds the declared bound {arity_bound}")
@@ -145,24 +152,24 @@ def fptras_count_dcq(
     adaptive_width_bound: Optional[float] = None,
     return_result: bool = False,
     engine: str = DEFAULT_ENGINE,
+    prepared: Optional[PreparedQuery] = None,
 ):
     """Theorem 13: FPTRAS for #DCQ on queries with bounded adaptive width
     (unbounded arity allowed).
 
     Rejects queries with negated predicates (those are ECQs; Theorem 13 does
     not cover them and whether it can is an open problem stated in Figure 1).
+    Width artifacts come from the shared ``prepared`` query (computed and
+    cached process-wide when omitted).
     """
     if query.query_class() is QueryClass.ECQ:
         raise ValueError(
             "Theorem 13 applies to DCQs (no negated predicates); "
             "use fptras_count_ecq for queries with negations"
         )
-    hypergraph = query.hypergraph()
-    aw_upper: Optional[float]
-    if hypergraph.num_vertices() <= EXACT_F_WIDTH_LIMIT:
-        aw_upper = adaptive_width_upper_bound(hypergraph)
-    else:
-        aw_upper = None
+    if prepared is None:
+        prepared = prepare(query)
+    aw_upper = prepared.adaptive_width_upper()
     if (
         adaptive_width_bound is not None
         and aw_upper is not None
@@ -191,7 +198,7 @@ def fptras_count_dcq(
         estimate=float(estimate),
         epsilon=epsilon,
         delta=delta,
-        treewidth=_query_treewidth(query),
+        treewidth=prepared.treewidth(),
         arity=query.arity(),
         adaptive_width_upper_bound=aw_upper,
         oracle_mode=statistics.oracle_mode,

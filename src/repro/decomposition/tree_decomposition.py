@@ -166,6 +166,22 @@ class TreeDecomposition:
     def copy(self) -> "TreeDecomposition":
         return TreeDecomposition(self._tree, self._bags, root=self._root)
 
+    def rename_vertices(self, mapping: Dict) -> "TreeDecomposition":
+        """Return the same decomposition with every bag vertex renamed through
+        ``mapping`` (vertices absent from the map are kept).  The tree shape,
+        node identifiers and root are preserved, so niceness and node kinds
+        survive — the prepared-query layer uses this to translate a shared
+        decomposition into an alpha-renamed query's variable space.  The
+        mapping must be injective on each bag (alpha-renamings are)."""
+        new_bags = {
+            node: frozenset(mapping.get(v, v) for v in bag)
+            for node, bag in self._bags.items()
+        }
+        for node, bag in new_bags.items():
+            if len(bag) != len(self._bags[node]):
+                raise ValueError("rename_vertices mapping collapses a bag")
+        return type(self)(self._tree, new_bags, root=self._root)
+
     def restrict_bags(self, keep: Callable[[object], bool]) -> "TreeDecomposition":
         """Return a decomposition whose bags are filtered by ``keep`` (used
         when projecting a decomposition onto a sub-hypergraph).  The tree shape

@@ -13,8 +13,15 @@ star queries, ...) in :mod:`repro.queries.builders`.
 """
 
 from repro.queries.atoms import Atom, Disequality, Equality, NegatedAtom
+from repro.queries.canonical import canonical_query_key, canonical_variable_renaming
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.queries.parser import parse_query
+from repro.queries.prepared import (
+    PreparedQuery,
+    clear_prepared_cache,
+    prepare,
+    prepared_cache_stats,
+)
 from repro.queries.rewriting import eliminate_equalities, add_constant_constraint
 from repro.queries.builders import (
     clique_query,
@@ -36,6 +43,12 @@ __all__ = [
     "Equality",
     "ConjunctiveQuery",
     "QueryClass",
+    "PreparedQuery",
+    "prepare",
+    "prepared_cache_stats",
+    "clear_prepared_cache",
+    "canonical_query_key",
+    "canonical_variable_renaming",
     "parse_query",
     "eliminate_equalities",
     "add_constant_constraint",

@@ -94,17 +94,24 @@ def sample_answers(
         if exact:
             counter = lambda q, d: float(count_answers_exact(q, d, engine=engine))  # noqa: E731
         else:
-            from repro.core.fptras import fptras_count_dcq, fptras_count_ecq
+            # Dispatch through the unified scheme registry.  The pinned
+            # queries of the self-reducibility recursion share one *shape*
+            # per (recursion depth, variable) — only the pinned value in the
+            # database changes — so the prepared-query cache computes each
+            # shape's widths once instead of once per candidate value.
+            from repro.core.registry import REGISTRY
             from repro.queries.query import QueryClass
 
             def counter(q: ConjunctiveQuery, d: Structure) -> float:
-                if q.query_class() is QueryClass.ECQ:
-                    return fptras_count_ecq(
-                        q, d, epsilon=epsilon, delta=delta, rng=generator, engine=engine
-                    )
-                return fptras_count_dcq(
-                    q, d, epsilon=epsilon, delta=delta, rng=generator, engine=engine
+                scheme = (
+                    "fptras_ecq"
+                    if q.query_class() is QueryClass.ECQ
+                    else "fptras_dcq"
                 )
+                return REGISTRY.count(
+                    scheme, q, d, epsilon=epsilon, delta=delta,
+                    rng=generator, engine=engine,
+                ).estimate
 
     total = counter(query, database)
     if total <= 0.5:

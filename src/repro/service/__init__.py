@@ -20,7 +20,7 @@ See DESIGN.md ("The service layer") for the architecture.
 """
 
 from repro.service.cache import CacheStats, LRUCache
-from repro.service.executor import EXECUTOR_MODES, execute_scheme
+from repro.service.executor import EXECUTOR_MODES, execute_scheme, execute_scheme_result
 from repro.service.keys import (
     canonical_query_key,
     canonical_variable_renaming,
@@ -55,6 +55,7 @@ __all__ = [
     "CacheStats",
     "EXECUTOR_MODES",
     "execute_scheme",
+    "execute_scheme_result",
     "canonical_query_key",
     "canonical_variable_renaming",
     "database_cache_key",

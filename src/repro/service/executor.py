@@ -22,13 +22,10 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.exact import count_answers_exact
-from repro.core.fpras import fpras_count_cq
-from repro.core.fptras import fptras_count_dcq, fptras_count_ecq
-from repro.core.oracle_counting import exact_count_answers_via_oracle
+from repro.core.registry import REGISTRY, CountResult as SchemeCountResult
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.structure import Structure
 
@@ -51,11 +48,35 @@ class CountTask:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """What came back: the estimate and how long the scheme took."""
+    """What came back: the estimate, how long the scheme took, and the width
+    parameters the scheme run relied on (from the registry envelope)."""
 
     index: int
     estimate: float
     seconds: float
+    widths: Dict[str, Any] = field(default_factory=dict)
+
+
+def execute_scheme_result(
+    scheme: str,
+    query: ConjunctiveQuery,
+    database: Structure,
+    epsilon: float,
+    delta: float,
+    seed: Optional[int],
+    engine: str,
+) -> SchemeCountResult:
+    """Run one counting scheme through the unified registry, returning the
+    full scheme-level :class:`~repro.core.registry.CountResult` envelope."""
+    return REGISTRY.count(
+        scheme,
+        query,
+        database,
+        epsilon=epsilon,
+        delta=delta,
+        rng=seed,
+        engine=engine,
+    )
 
 
 def execute_scheme(
@@ -67,37 +88,18 @@ def execute_scheme(
     seed: Optional[int],
     engine: str,
 ) -> float:
-    """Run one counting scheme; the single dispatch point shared by the
-    service, every executor back-end, and the equivalence checks in the
-    benches (which re-run schemes directly with the same seeds)."""
-    if scheme == "exact":
-        return float(count_answers_exact(query, database, engine=engine))
-    if scheme == "oracle_exact":
-        return float(
-            exact_count_answers_via_oracle(query, database, rng=seed, engine=engine)
-        )
-    if scheme == "fpras_cq":
-        return float(
-            fpras_count_cq(query, database, epsilon=epsilon, delta=delta, rng=seed)
-        )
-    if scheme == "fptras_dcq":
-        return float(
-            fptras_count_dcq(
-                query, database, epsilon=epsilon, delta=delta, rng=seed, engine=engine
-            )
-        )
-    if scheme == "fptras_ecq":
-        return float(
-            fptras_count_ecq(
-                query, database, epsilon=epsilon, delta=delta, rng=seed, engine=engine
-            )
-        )
-    raise ValueError(f"unknown scheme {scheme!r}")
+    """Run one counting scheme and return the bare estimate; thin wrapper
+    over :func:`execute_scheme_result`, kept as the single dispatch point
+    shared by the service, every executor back-end, and the equivalence
+    checks in the benches (which re-run schemes with the same seeds)."""
+    return execute_scheme_result(
+        scheme, query, database, epsilon=epsilon, delta=delta, seed=seed, engine=engine
+    ).estimate
 
 
 def _run_task(task: CountTask, database: Structure) -> TaskOutcome:
     started = time.perf_counter()
-    estimate = execute_scheme(
+    result = execute_scheme_result(
         task.scheme,
         task.query,
         database,
@@ -107,7 +109,10 @@ def _run_task(task: CountTask, database: Structure) -> TaskOutcome:
         engine=task.engine,
     )
     return TaskOutcome(
-        index=task.index, estimate=estimate, seconds=time.perf_counter() - started
+        index=task.index,
+        estimate=result.estimate,
+        seconds=time.perf_counter() - started,
+        widths=result.widths,
     )
 
 

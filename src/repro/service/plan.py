@@ -1,11 +1,12 @@
 """The query planner: choose a counting scheme, explainably.
 
 Given a query and a database, :class:`Planner` produces a :class:`QueryPlan`
-naming one of the package's counting schemes together with the decision trace
-that led there.  The decision table (see DESIGN.md):
+naming one of the registered counting schemes together with the decision
+trace that led there.  The decision table (see DESIGN.md):
 
 1. A user override (``method=``) wins, after validation against the query
-   class (e.g. Theorem 16's FPRAS is only sound for plain CQs).
+   class through :data:`repro.core.registry.REGISTRY` (e.g. Theorem 16's
+   FPRAS is only sound for plain CQs).
 2. Small instances (database ``size()`` and query variable count under the
    configured thresholds) use the **exact** CSP-backtracking counter: it is
    error-free and, on small inputs, faster than setting up an approximation
@@ -14,17 +15,19 @@ that led there.  The decision table (see DESIGN.md):
    as :func:`repro.core.classify_query` recommends: plain CQs get the
    Theorem-16 FPRAS, DCQs the Theorem-13 FPTRAS, ECQs the Theorem-5 FPTRAS.
 
-Whenever an approximation scheme is chosen the plan records the query's width
-profile (treewidth, fhw, adaptive-width bounds, arity) so callers can see
-*why* the scheme's preconditions hold — and the trace warns when a width
-exceeds its configured alarm threshold, meaning the scheme still runs but
-without its fixed-parameter efficiency.  The width computations are
-exponential in the query size, so plans that do not need them (the exact
-scheme, whether by small-instance rule or override) skip them entirely and
-report ``None`` widths.
+Width artifacts come from the **prepared query**
+(:func:`repro.queries.prepared.prepare`): they are computed at most once per
+canonical query shape per process and shared with the scheme run itself.
+Widths are pulled **per width, lazily** — an exact plan computes none, a
+Theorem-5 override computes only treewidth/arity, a Theorem-13/16 override
+only the fhw-based widths, and only the dichotomy path (which must discuss
+the whole Figure-1 profile) computes the full profile.  ``QueryPlan.explain``
+prints whichever widths the plan actually computed and the trace warns when a
+width exceeds its configured alarm threshold (the scheme still runs, merely
+without its fixed-parameter efficiency).
 
 Plans are cached on the canonical query form plus the decision inputs, so
-repeated queries skip the (exponential-in-query-size) width computations.
+repeated queries skip even the per-width lookups.
 """
 
 from __future__ import annotations
@@ -32,32 +35,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.dichotomy import classify_query
+from repro.core.registry import REGISTRY
+from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.structure import Structure
 from repro.service.cache import LRUCache
-from repro.service.keys import canonical_query_key
 
-#: The counting schemes the planner can choose among.
-SCHEMES = ("exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact")
-
-#: Which query classes each scheme is sound for.
-_SCHEME_CLASSES = {
-    "exact": (QueryClass.CQ, QueryClass.DCQ, QueryClass.ECQ),
-    "oracle_exact": (QueryClass.CQ, QueryClass.DCQ, QueryClass.ECQ),
-    "fpras_cq": (QueryClass.CQ,),
-    "fptras_dcq": (QueryClass.CQ, QueryClass.DCQ),
-    "fptras_ecq": (QueryClass.CQ, QueryClass.DCQ, QueryClass.ECQ),
-}
-
-_SCHEME_REFERENCES = {
-    "exact": "CSP backtracking baseline (Section 1.1)",
-    "oracle_exact": "exact counting via EdgeFree oracle splitting (Lemma 22 plumbing)",
-    "fpras_cq": "Theorem 16 (FPRAS, bounded fractional hypertreewidth)",
-    "fptras_dcq": "Theorem 13 (FPTRAS, bounded adaptive width)",
-    "fptras_ecq": "Theorem 5 (FPTRAS, bounded treewidth and arity)",
-}
+#: The built-in single-query counting schemes (an import-time snapshot of the
+#: registry's non-union schemes, kept for display/introspection; validation
+#: reads the registry live so later registrations are planable too).
+SCHEMES = REGISTRY.names(include_unions=False)
 
 
 @dataclass(frozen=True)
@@ -85,7 +73,12 @@ class PlannerConfig:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """An explainable counting plan for one (query, database-size) input."""
+    """An explainable counting plan for one (query, database-size) input.
+
+    Width fields are ``None`` when the decision did not need them (widths are
+    exponential in the query size, so the planner computes each one lazily
+    and only when the chosen scheme's guarantees refer to it).
+    """
 
     scheme: str
     query_class: str
@@ -101,7 +94,8 @@ class QueryPlan:
     trace: Tuple[str, ...] = field(default_factory=tuple)
 
     def explain(self) -> str:
-        """Human-readable plan summary (one decision per line)."""
+        """Human-readable plan summary (one decision per line).  Each width
+        is printed only if the plan computed it — any subset may be absent."""
         lines = [
             f"scheme:      {self.scheme}",
             f"reference:   {self.reference}",
@@ -109,12 +103,17 @@ class QueryPlan:
             f"engine:      {self.engine}",
             f"database:    size={self.database_size} ({self.size_class})",
         ]
+        width_parts = []
         if self.treewidth is not None:
-            lines.append(
-                "widths:      "
-                f"tw={self.treewidth} fhw={self.fractional_hypertreewidth:.2f} "
-                f"aw<={self.adaptive_width_upper:.2f} arity={self.arity}"
-            )
+            width_parts.append(f"tw={self.treewidth}")
+        if self.fractional_hypertreewidth is not None:
+            width_parts.append(f"fhw={self.fractional_hypertreewidth:.2f}")
+        if self.adaptive_width_upper is not None:
+            width_parts.append(f"aw<={self.adaptive_width_upper:.2f}")
+        if self.arity is not None:
+            width_parts.append(f"arity={self.arity}")
+        if width_parts:
+            lines.append("widths:      " + " ".join(width_parts))
         lines.append("decision:")
         lines.extend(f"  - {step}" for step in self.trace)
         return "\n".join(lines)
@@ -137,20 +136,21 @@ class QueryPlan:
 
 
 def validate_scheme(scheme: str, query_class: QueryClass) -> None:
-    """Reject scheme overrides that are unsound for the query's class."""
-    if scheme not in _SCHEME_CLASSES:
-        raise ValueError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
-    if query_class not in _SCHEME_CLASSES[scheme]:
-        raise ValueError(
-            f"scheme {scheme!r} does not apply to {query_class.value} queries "
-            f"({_SCHEME_REFERENCES[scheme]})"
-        )
+    """Reject scheme overrides that are unsound for the query's class
+    (delegates to the scheme registry's applicability table).  The name check
+    reads the registry live, so schemes registered after import are planable
+    without touching this module."""
+    names = REGISTRY.names(include_unions=False)
+    if scheme not in names:
+        raise ValueError(f"unknown scheme {scheme!r}; expected one of {names}")
+    REGISTRY.validate(scheme, query_class)
 
 
 class Planner:
     """Plans queries against the decision table, with a plan cache keyed on
     the canonical query form + the decision inputs (size class, override,
-    engine, thresholds) — repeated queries skip the width computations."""
+    engine, thresholds) — repeated queries skip even the lazy width
+    lookups."""
 
     def __init__(
         self,
@@ -170,10 +170,11 @@ class Planner:
         database: Structure,
         override: Optional[str] = None,
         query_key: Optional[str] = None,
+        prepared: Optional[PreparedQuery] = None,
     ) -> QueryPlan:
         """Produce (or fetch from cache) the plan for ``query`` over
-        ``database``.  ``query_key`` may be passed in when the caller already
-        computed the canonical form."""
+        ``database``.  ``prepared`` (or the legacy ``query_key``) may be
+        passed in when the caller already compiled the query."""
         config = self.config
         database_size = database.size()
         small = (
@@ -182,20 +183,25 @@ class Planner:
         )
         size_class = "small" if small else "large"
         if query_key is None:
-            query_key = canonical_query_key(query)
+            if prepared is None:
+                prepared = prepare(query)
+            query_key = prepared.canonical_key
         cache_key = (query_key, size_class, override, self.engine, config.fingerprint())
         cached = self.cache.get(cache_key)
         if cached is not None:
             # A cached plan's database_size (and its trace) reflect the size
             # at planning time; the decision is the same within a size class.
             return cached
-        plan = self._plan_uncached(query, database_size, size_class, override)
+        if prepared is None:
+            prepared = prepare(query)
+        plan = self._plan_uncached(query, prepared, database_size, size_class, override)
         self.cache.put(cache_key, plan)
         return plan
 
     def _plan_uncached(
         self,
         query: ConjunctiveQuery,
+        prepared: PreparedQuery,
         database_size: int,
         size_class: str,
         override: Optional[str],
@@ -203,23 +209,12 @@ class Planner:
         config = self.config
         query_class = query.query_class()
         trace = [f"classified as {query_class.value}"]
-        # The width computations are exponential in the query size; compute
-        # them only when the decision or an alarm actually needs them.
-        report = None
-        widths = None
-
-        def ensure_widths():
-            nonlocal report, widths
-            if report is None:
-                report = classify_query(query)
-                widths = report.widths
-                trace.append(
-                    f"width profile: tw={widths.treewidth} "
-                    f"fhw={widths.fractional_hypertreewidth:.2f} "
-                    f"aw<={widths.adaptive_width.upper_bound:.2f} "
-                    f"arity={widths.arity}"
-                )
-            return report
+        # Each width is pulled lazily from the shared prepared query, and only
+        # when the decision (or the chosen scheme's guarantee) refers to it.
+        treewidth: Optional[int] = None
+        fhw: Optional[float] = None
+        aw_upper: Optional[float] = None
+        arity: Optional[int] = None
 
         if override is not None:
             validate_scheme(override, query_class)
@@ -234,7 +229,20 @@ class Planner:
                 "exact CSP count is error-free and fast here"
             )
         else:
-            ensure_widths()
+            # The dichotomy path discusses the whole Figure-1 profile, so it
+            # is the one place the full width profile is (shared-ly) computed.
+            report = prepared.classification()
+            widths = report.widths
+            treewidth = widths.treewidth
+            fhw = widths.fractional_hypertreewidth
+            aw_upper = widths.adaptive_width.upper_bound
+            arity = widths.arity
+            trace.append(
+                f"width profile: tw={treewidth} "
+                f"fhw={fhw:.2f} "
+                f"aw<={aw_upper:.2f} "
+                f"arity={arity}"
+            )
             scheme = {
                 QueryClass.CQ: "fpras_cq",
                 QueryClass.DCQ: "fptras_dcq",
@@ -245,19 +253,31 @@ class Planner:
                 f"{report.recommended_algorithm} — {report.recommendation_reason}"
             )
 
-        if scheme in ("fpras_cq", "fptras_dcq", "fptras_ecq"):
-            ensure_widths()
-            if scheme == "fptras_ecq" and widths.treewidth > config.treewidth_alarm:
+        if scheme == "fptras_ecq":
+            if treewidth is None:
+                treewidth = prepared.treewidth()
+                arity = prepared.hypergraph_arity()
                 trace.append(
-                    f"warning: treewidth {widths.treewidth} exceeds the alarm "
+                    f"lazy widths for Theorem 5: tw={treewidth} arity={arity} "
+                    "(fhw not needed)"
+                )
+            if treewidth > config.treewidth_alarm:
+                trace.append(
+                    f"warning: treewidth {treewidth} exceeds the alarm "
                     f"threshold {config.treewidth_alarm}; Theorem 5's FPTRAS still "
                     "runs but is not fixed-parameter efficient here"
                 )
-            if scheme in ("fpras_cq", "fptras_dcq") and (
-                widths.fractional_hypertreewidth > config.fhw_alarm
-            ):
+        if scheme in ("fpras_cq", "fptras_dcq"):
+            if fhw is None:
+                fhw = prepared.fractional_hypertreewidth()[0]
+                aw_upper = fhw  # Lemma 12: aw <= fhw.
                 trace.append(
-                    f"warning: fhw {widths.fractional_hypertreewidth:.2f} exceeds "
+                    f"lazy widths for {scheme}: fhw={fhw:.2f} aw<={aw_upper:.2f} "
+                    "(treewidth not needed)"
+                )
+            if fhw > config.fhw_alarm:
+                trace.append(
+                    f"warning: fhw {fhw:.2f} exceeds "
                     f"the alarm threshold {config.fhw_alarm}; the scheme still runs "
                     "but without its efficiency guarantee"
                 )
@@ -268,15 +288,11 @@ class Planner:
             engine=self.engine,
             database_size=database_size,
             size_class=size_class,
-            treewidth=widths.treewidth if widths is not None else None,
-            fractional_hypertreewidth=(
-                widths.fractional_hypertreewidth if widths is not None else None
-            ),
-            adaptive_width_upper=(
-                widths.adaptive_width.upper_bound if widths is not None else None
-            ),
-            arity=widths.arity if widths is not None else None,
-            reference=_SCHEME_REFERENCES[scheme],
+            treewidth=treewidth,
+            fractional_hypertreewidth=fhw,
+            adaptive_width_upper=aw_upper,
+            arity=arity,
+            reference=REGISTRY.reference(scheme),
             override=override,
             trace=tuple(trace),
         )

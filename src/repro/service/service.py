@@ -6,18 +6,23 @@ The service ties the subsystem together::
     result = service.submit(query, seed=7)            # one query
     report = service.count_batch(queries, seed=7)     # many, in parallel
 
-Every call goes through three stages:
+Every call goes through four stages:
 
-1. **Plan** — the :class:`~repro.service.plan.Planner` chooses the scheme
-   (plan cache: canonical query form + decision inputs).
-2. **Result cache** — the (canonical query form, database token + version
+1. **Prepare** — :func:`repro.queries.prepared.prepare` compiles the query
+   (canonical form, hypergraph, lazy widths/decompositions), shared
+   process-wide across alpha-renamed shapes.
+2. **Plan** — the :class:`~repro.service.plan.Planner` chooses the scheme
+   (plan cache: canonical query form + decision inputs), reading the
+   prepared widths.
+3. **Result cache** — the (canonical query form, database token + version
    fingerprint, scheme, engine, epsilon, delta, seed) key is looked up;
    a hit returns the cached estimate without counting.  Mutating a database
    relation bumps its version counter, which changes the key of every query
    mentioning that relation — stale entries are never served and age out via
    LRU.
-3. **Execute** — cache misses become :class:`CountTask`s and run on the
-   configured back-end (process pool by default); each task's estimate is
+4. **Execute** — cache misses become :class:`CountTask`s and run on the
+   configured back-end (process pool by default) through the unified
+   :data:`repro.core.registry.REGISTRY`; each task's estimate is
    deterministic in its seed alone, so a batch seeded with ``seed=s`` gives
    task ``i`` the seed ``derive_seed(s, i)`` and reproduces the exact
    estimates of serial direct library calls with those seeds.
@@ -30,6 +35,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.queries.prepared import prepare
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.structure import Structure
@@ -39,7 +45,7 @@ from repro.service.executor import (
     CountTask,
     run_tasks,
 )
-from repro.service.keys import canonical_query_key, database_cache_key
+from repro.service.keys import database_cache_key
 from repro.service.plan import Planner, PlannerConfig, QueryPlan
 from repro.util.rng import derive_seed
 from repro.util.validation import check_epsilon_delta
@@ -101,6 +107,9 @@ class CountResult:
     cache: str  # "hit" | "miss" | "bypass"
     plan_seconds: float
     execute_seconds: float
+    #: Width parameters the scheme run relied on (from the registry
+    #: envelope); ``None`` for cache hits, which skip the scheme run.
+    widths: Optional[Dict[str, Any]] = None
 
     @property
     def count(self) -> int:
@@ -121,6 +130,7 @@ class CountResult:
             "cache": self.cache,
             "plan_seconds": round(self.plan_seconds, 6),
             "execute_seconds": round(self.execute_seconds, 6),
+            "widths": self.widths,
         }
 
 
@@ -283,12 +293,16 @@ class CountingService:
                 task_seed = None
 
             plan_started = time.perf_counter()
-            query_key = canonical_query_key(request.query)
+            # Compile once: the prepared query carries the canonical form and
+            # the width/decomposition artifacts the planner and the scheme run
+            # both read (shared process-wide across alpha-renamed shapes).
+            prepared = prepare(request.query)
+            query_key = prepared.canonical_key
             plan = self.planner.plan(
                 request.query,
                 request.database,
                 override=request.method,
-                query_key=query_key,
+                prepared=prepared,
             )
             plan_seconds = time.perf_counter() - plan_started
 
@@ -345,6 +359,7 @@ class CountingService:
                 cache="miss",
                 plan_seconds=plan_seconds,
                 execute_seconds=outcome.seconds,
+                widths=outcome.widths,
             )
 
         assert all(result is not None for result in results)

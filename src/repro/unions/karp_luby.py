@@ -78,25 +78,33 @@ def approx_count_union(
     _validate_union(queries)
     generator = as_generator(rng)
 
-    # Per-query counts.
+    # Per-query counts, dispatched through the unified scheme registry: the
+    # prepared-query layer shares width/decomposition artifacts across
+    # repeated component shapes (common in unions built by renaming).
     counts: List[float] = []
     for query in queries:
         if exact_components:
             count = float(len(enumerate_answers_exact(query, database, engine=engine)))
         else:
-            from repro.core.fptras import fptras_count_dcq, fptras_count_ecq
+            from repro.core.registry import REGISTRY
+            from repro.queries.prepared import prepare
             from repro.queries.query import QueryClass
 
-            if query.query_class() is QueryClass.ECQ:
-                count = fptras_count_ecq(
-                    query, database, epsilon=epsilon / 3.0, delta=delta / (3 * len(queries)),
-                    rng=generator, engine=engine,
-                )
-            else:
-                count = fptras_count_dcq(
-                    query, database, epsilon=epsilon / 3.0, delta=delta / (3 * len(queries)),
-                    rng=generator, engine=engine,
-                )
+            prepared = prepare(query)
+            scheme = (
+                "fptras_ecq"
+                if query.query_class() is QueryClass.ECQ
+                else "fptras_dcq"
+            )
+            count = REGISTRY.count(
+                scheme,
+                prepared,
+                database,
+                epsilon=epsilon / 3.0,
+                delta=delta / (3 * len(queries)),
+                rng=generator,
+                engine=engine,
+            ).estimate
         counts.append(max(0.0, float(count)))
 
     total = sum(counts)
