@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Standalone performance recorder: writes ``BENCH_engine.json``,
-``BENCH_service.json`` and ``BENCH_prepared.json``.
+``BENCH_service.json``, ``BENCH_prepared.json`` and ``BENCH_stream.json``.
 
-Three suites, selected with ``--suite`` (default: all):
+Four suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -26,6 +26,14 @@ Three suites, selected with ``--suite`` (default: all):
   cache entry, asserted via the cache and artifact counters), verifies that
   registry-dispatched estimates equal the direct library calls under the
   same seeds, and appends the speedup record to ``BENCH_prepared.json``.
+* ``stream`` — live updates through :mod:`repro.stream`: a touched-relation
+  mutation loop where a subscribed exact count is delta-patched each step
+  and verified bit-identical against a from-scratch recount of the same
+  state (the recount is timed as the baseline), an untouched-relation loop
+  where reads must be served from the stored fingerprint at near-zero cost,
+  and an approximate-handle check that a refreshed ``LiveCount`` equals the
+  direct registry call with the same derived seed.  Appends the
+  incremental-vs-recount speedup record to ``BENCH_stream.json``.
 
 Usage::
 
@@ -440,12 +448,168 @@ def run_prepared(smoke: bool, out_path: Path) -> int:
     return 1 if failures else 0
 
 
+# --------------------------------------------------------------- stream suite
+def run_stream_suite(smoke: bool, out_path: Path) -> int:
+    from repro.core.registry import REGISTRY
+    from repro.service import CountingService, ServiceConfig
+    from repro.util.rng import derive_seed
+    from repro.workloads import database_from_graph, erdos_renyi_graph
+
+    failures = 0
+    steps = 60 if smoke else 150
+    size = 32 if smoke else 40
+    database = database_from_graph(erdos_renyi_graph(size, 0.2, rng=19))
+    from repro.relational.signature import RelationSymbol
+
+    database.add_relation(RelationSymbol("F", 2))
+    database.add_fact("F", (0, 1))
+    service = CountingService(database, ServiceConfig(executor="serial"))
+    query = TWO_HOP
+
+    # --- touched-relation loop: delta-patched subscription vs recount.
+    # The mutation schedule is the stream workload generator's, restricted
+    # to pure insert/delete events over E within the existing universe.
+    from repro.stream import stream_schedule
+
+    subscription = service.subscribe(query)
+    schedule = stream_schedule(
+        steps, database, num_queries=1, rng=5,
+        mix={"insert": 0.5, "delete": 0.5},
+        relations=("E",), fresh_vertex_probability=0.0,
+    )
+    incremental_seconds = 0.0
+    recount_seconds = 0.0
+    mismatches = 0
+    modes: dict = {}
+    for event in schedule:
+        if event.kind == "insert":
+            database.add_fact("E", event.fact)
+        else:
+            database.remove_fact("E", event.fact)
+        start = time.perf_counter()
+        live = subscription.read()
+        incremental_seconds += time.perf_counter() - start
+        modes[live.mode] = modes.get(live.mode, 0) + 1
+        start = time.perf_counter()
+        expected = count_answers_exact(query, database)
+        recount_seconds += time.perf_counter() - start
+        if live.estimate != expected:
+            mismatches += 1
+    touched_speedup = (
+        recount_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    )
+    if mismatches:
+        failures += 1
+        print(f"[record_perf] FAIL: {mismatches}/{steps} incremental counts diverged")
+    print(
+        f"[record_perf] stream touched-relation: {steps} steps "
+        f"incremental={incremental_seconds * 1000:.1f}ms "
+        f"recount={recount_seconds * 1000:.1f}ms "
+        f"speedup={touched_speedup:.1f}x modes={modes}"
+    )
+
+    # --- untouched-relation loop: mutations elsewhere must be free.
+    untouched_reads = steps
+    freshness_violations = 0
+    start = time.perf_counter()
+    for index in range(untouched_reads):
+        database.add_fact("F", (index % size, (index * 7 + 1) % size))
+        live = subscription.read()
+        if not live.fresh or live.refreshed:
+            freshness_violations += 1
+    untouched_seconds = time.perf_counter() - start
+    if freshness_violations:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: {freshness_violations}/{untouched_reads} "
+            "untouched-relation reads were stale or refreshed"
+        )
+    untouched_per_read = untouched_seconds / untouched_reads
+    recount_per_step = recount_seconds / steps
+    untouched_free = untouched_per_read < 0.05 * recount_per_step
+    if not untouched_free:
+        failures += 1
+        print(
+            "[record_perf] FAIL: untouched-relation reads cost "
+            f"{untouched_per_read * 1e6:.0f}us each (recount {recount_per_step * 1e3:.1f}ms)"
+        )
+    print(
+        f"[record_perf] stream untouched-relation: {untouched_reads} reads in "
+        f"{untouched_seconds * 1000:.2f}ms "
+        f"({untouched_per_read * 1e6:.1f}us/read vs {recount_per_step * 1e3:.1f}ms/recount)"
+    )
+    subscription.close()
+
+    # --- approximate handle: refreshed reads equal direct registry calls.
+    from repro.service import CountRequest
+
+    base_seed = 97
+    epsilon, delta = 0.6, 0.3
+    approx = service.subscribe(
+        CountRequest(
+            query=query, epsilon=epsilon, delta=delta,
+            seed=base_seed, method="fpras_cq",
+        )
+    )
+    approx_match = True
+    for refresh_index in (1, 2):
+        # A guaranteed-new fact, so the mutation is never a no-op.
+        database.add_fact("E", (f"approx{refresh_index}", refresh_index))
+        live = approx.read()
+        direct = REGISTRY.count(
+            "fpras_cq", query, database, epsilon=epsilon, delta=delta,
+            rng=derive_seed(base_seed, refresh_index), engine=approx.plan.engine,
+        ).estimate
+        if live.estimate != direct:
+            approx_match = False
+            print(
+                f"[record_perf] FAIL: approx refresh {refresh_index}: "
+                f"live={live.estimate} direct={direct}"
+            )
+    if not approx_match:
+        failures += 1
+    print(f"[record_perf] stream approx refresh matches direct registry calls: {approx_match}")
+    approx.close()
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "database": f"erdos_renyi({size}, 0.2) symmetric E + sparse F",
+        "query": "two-hop CQ",
+        "scheme": "exact",
+        "mutation_steps": steps,
+        "refresh_modes": modes,
+        "incremental_seconds": round(incremental_seconds, 6),
+        "recount_seconds": round(recount_seconds, 6),
+        "touched_speedup": round(touched_speedup, 2),
+        "untouched_reads": untouched_reads,
+        "untouched_seconds_per_read": round(untouched_per_read, 9),
+        "recount_seconds_per_step": round(recount_per_step, 6),
+        "untouched_is_near_zero": untouched_free,
+        "untouched_reads_all_fresh": freshness_violations == 0,
+        "counts_match_recounts": mismatches == 0,
+        "approx_refresh_matches_direct": approx_match,
+        "note": (
+            "touched_speedup compares delta-patched subscription reads with "
+            "from-scratch exact recounts of the same database states; "
+            "untouched reads are served from the stored fingerprint"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(touched {touched_speedup:.1f}x, untouched "
+        f"{untouched_per_read * 1e6:.1f}us/read)"
+    )
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="budgeted subset")
     parser.add_argument(
         "--suite",
-        choices=["engine", "service", "prepared", "all"],
+        choices=["engine", "service", "prepared", "stream", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -461,6 +625,10 @@ def main() -> int:
         "--prepared-out", type=Path, default=REPO_ROOT / "BENCH_prepared.json",
         help="prepared-suite output JSON file",
     )
+    parser.add_argument(
+        "--stream-out", type=Path, default=REPO_ROOT / "BENCH_stream.json",
+        help="stream-suite output JSON file",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     parser.add_argument(
         "--budget-seconds", type=float, default=30.0, help="smoke-mode time budget"
@@ -473,6 +641,8 @@ def main() -> int:
         status |= run_service(args.smoke, args.service_out)
     if args.suite in ("prepared", "all"):
         status |= run_prepared(args.smoke, args.prepared_out)
+    if args.suite in ("stream", "all"):
+        status |= run_stream_suite(args.smoke, args.stream_out)
     return status
 
 

@@ -24,7 +24,13 @@ The package implements, from scratch:
 * a serving layer (:mod:`repro.service`): an explainable query planner over
   all of the above schemes, plan/result caches keyed on canonical query forms
   and database version counters, and a :class:`CountingService` that executes
-  batches of queries in parallel with deterministic per-task seeding.
+  batches of queries in parallel with deterministic per-task seeding,
+* a streaming layer (:mod:`repro.stream`): ``CountingService.subscribe``
+  returns live count handles that survive database mutations —
+  untouched-relation updates are free, touched-relation updates are
+  delta-patched through the change log (exact schemes, bit-identical to a
+  recount) or re-estimated with derived seeds (approximate schemes), under
+  eager / debounced / budget refresh policies.
 
 Quickstart
 ----------

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands, mirroring the package's main entry points (also available
+Six subcommands, mirroring the package's main entry points (also available
 as ``python -m repro``)::
 
     repro-count count    --query "Ans(x) :- E(x, y), E(x, z), y != z" --database db.json
@@ -9,12 +9,16 @@ as ``python -m repro``)::
     repro-count plan     --query "Ans(x) :- E(x, y)" --database db.json
     repro-count batch    --queries workload.txt --database db.json --seed 7
     repro-count batch    --workload 50 --seed 7   # synthetic mixed workload
+    repro-count stream   --events 200 --queries 8 --seed 7 --refresh debounced
 
 Databases are JSON files in the format of :mod:`repro.relational.io` (or edge
 lists with ``--edge-list``).  The counting subcommand prints both the chosen
 scheme's estimate and, with ``--exact``, the exact count for comparison;
 ``plan`` and ``batch`` go through the :mod:`repro.service` layer (explainable
-scheme selection, plan/result caching, parallel batch execution).
+scheme selection, plan/result caching, parallel batch execution); ``stream``
+replays a randomized insert/delete/query schedule against live
+``subscribe()`` handles (:mod:`repro.stream`) and reports how many reads were
+served for free, delta-patched, or re-estimated.
 """
 
 from __future__ import annotations
@@ -162,6 +166,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit the batch this many times (demonstrates result-cache hits)",
     )
     batch.add_argument("--json", action="store_true", help="emit a JSON report")
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="replay a live insert/delete/query stream against subscriptions",
+    )
+    _add_database_arguments(stream)
+    stream.add_argument(
+        "--events", type=int, default=200, help="schedule length (default: 200)"
+    )
+    stream.add_argument(
+        "--queries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of subscribed queries (synthetic mixed workload)",
+    )
+    stream.add_argument(
+        "--refresh",
+        choices=["eager", "debounced", "budget"],
+        default="eager",
+        help="subscription refresh policy (default: eager)",
+    )
+    stream.add_argument(
+        "--debounce-ticks",
+        type=int,
+        default=4,
+        help="mutation ticks a debounced subscription coalesces (default: 4)",
+    )
+    stream.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=1.0,
+        help="per-subscription refresh budget for --refresh budget",
+    )
+    stream.add_argument("--epsilon", type=float, default=0.2)
+    stream.add_argument("--delta", type=float, default=0.05)
+    stream.add_argument("--seed", type=int, default=None, help="schedule + estimate seed")
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every fresh exact read against a from-scratch recount (slow)",
+    )
+    stream.add_argument("--json", action="store_true", help="emit a JSON report")
     return parser
 
 
@@ -330,6 +377,95 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CountingService,
+        ServiceConfig,
+        mixed_query_workload,
+        workload_database,
+    )
+    from repro.stream import run_stream, stream_schedule
+
+    if args.database or args.edge_list:
+        database = _load_database(args)
+        # Adapt the synthetic workload to the database's own relations: the
+        # first binary relation hosts the positive atoms, the second the
+        # negated ones (declared empty when absent, so ECQs stay valid).
+        binary = [s.name for s in database.signature if s.arity == 2]
+        if not binary:
+            raise SystemExit(
+                "stream needs a database with at least one binary relation"
+            )
+        relation = binary[0]
+        if len(binary) > 1:
+            negated = binary[1]
+        else:
+            from repro.relational import RelationSymbol
+
+            # Pick a name no declared symbol (of any arity) already uses.
+            negated = "F"
+            while negated in database.signature:
+                negated += "_"
+            database.add_relation(RelationSymbol(negated, 2))
+    else:
+        database = workload_database(rng=args.seed)
+        relation, negated = "E", "F"
+    queries = mixed_query_workload(
+        args.queries, rng=args.seed, relation=relation, negated_relation=negated
+    )
+    schedule = stream_schedule(
+        args.events, database, len(queries), rng=args.seed,
+        relations=(relation, negated),
+    )
+    service = CountingService(
+        database,
+        ServiceConfig(epsilon=args.epsilon, delta=args.delta, executor="serial"),
+    )
+    report, subscriptions = run_stream(
+        service,
+        queries,
+        database,
+        schedule,
+        refresh=args.refresh,
+        debounce_ticks=args.debounce_ticks,
+        budget_seconds=args.budget_seconds,
+        seed=args.seed,
+        verify=args.verify,
+    )
+    if args.json:
+        payload = report.to_dict()
+        payload["refresh_policy"] = args.refresh
+        payload["schemes"] = [sub.scheme for sub in subscriptions]
+        payload["cache"] = service.stats()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"replayed {report.num_events} events "
+            f"({report.inserts} inserts, {report.deletes} deletes, "
+            f"{report.reads} reads) in {report.wall_seconds:.2f}s "
+            f"({report.events_per_second:.0f} ev/s, policy={args.refresh})"
+        )
+        print(
+            f"reads: {report.fresh_serves} served fresh without refresh, "
+            f"{report.refreshes} refreshed "
+            f"({', '.join(f'{mode}={n}' for mode, n in sorted(report.modes.items())) or 'none'}), "
+            f"{report.stale_serves} served stale"
+        )
+        for index, (subscription, estimate) in enumerate(
+            zip(subscriptions, report.final_estimates)
+        ):
+            print(
+                f"[{index:3d}] {subscription.query_class:3s} "
+                f"scheme={subscription.scheme:11s} estimate={estimate:12.2f}  "
+                f"{subscription.query}"
+            )
+        if args.verify:
+            print(f"verified {report.verified_reads} exact reads against recounts")
+    for subscription in subscriptions:
+        subscription.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -343,6 +479,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_plan(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "stream":
+        return _command_stream(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -259,4 +259,6 @@ def solutions_consistent_with(
         candidate = dict(key)
         if are_consistent(anchor_dict, candidate):
             result.append(key)
-    return sorted(result)
+    # key=repr: value types may be mixed (e.g. int vertices joined by string
+    # vertices streamed in later), which plain tuple comparison cannot order.
+    return sorted(result, key=repr)

@@ -28,6 +28,12 @@ from repro.relational.csp import (
     solve_csp,
 )
 from repro.relational.index import TupleIndex
+from repro.relational.changelog import (
+    ChangeLog,
+    ChangeLogGap,
+    RelationDelta,
+    rewind,
+)
 from repro.relational.io import (
     database_from_dict,
     database_to_dict,
@@ -52,6 +58,10 @@ __all__ = [
     "NotEqualConstraint",
     "NotInRelationConstraint",
     "TupleIndex",
+    "ChangeLog",
+    "ChangeLogGap",
+    "RelationDelta",
+    "rewind",
     "DEFAULT_ENGINE",
     "ENGINES",
     "solve_csp",

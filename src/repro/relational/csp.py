@@ -432,6 +432,17 @@ class CSPInstance:
                     break
                 domain = domains[variable]
                 bucket = index.by_position[position]
+                if len(domain) * 4 < len(bucket):
+                    # Small domain (e.g. variables pinned by the streaming
+                    # delta probes): gather the surviving ids directly
+                    # instead of subtracting every missing value's bucket.
+                    kept: Set[int] = set()
+                    for value in domain:
+                        ids = bucket.get(value)
+                        if ids:
+                            kept |= ids
+                    live &= kept
+                    continue
                 missing = [value for value in bucket if value not in domain]
                 if not missing:
                     continue

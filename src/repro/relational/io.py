@@ -3,8 +3,12 @@
 Small utilities so the examples, the CLI and downstream users can keep
 databases in plain files:
 
-* JSON — ``{"universe": [...], "relations": {"E": [[1, 2], ...], ...}}``
-  (universe may be omitted; it is then the active domain).
+* JSON — ``{"universe": [...], "relations": {"E": [[1, 2], ...], ...},
+  "arities": {"E": 2, ...}}`` (universe may be omitted; it is then the
+  active domain).  Saved files always carry ``arities``, so declared-but-
+  unpopulated relations — including relations a stream of deletions emptied
+  out — survive the round trip and a reloaded database re-subscribes cleanly
+  against queries mentioning them.
 * CSV — one file per relation, one fact per line; the relation name is the
   file's stem.
 * edge lists — ``u v`` per line, loaded as a (by default symmetric) binary
@@ -25,12 +29,21 @@ PathLike = Union[str, Path]
 
 
 def database_to_dict(database: Database) -> Dict:
-    """A JSON-serialisable dictionary representation of a database."""
+    """A JSON-serialisable dictionary representation of a database.
+
+    Every declared relation appears (empty ones as ``[]``) and ``arities``
+    records the full signature, so :func:`database_from_dict` reconstructs
+    declared-but-unpopulated symbols instead of refusing to guess their
+    arity.
+    """
     return {
         "universe": list(database.canonical_universe()),
         "relations": {
             name: sorted([list(fact) for fact in facts], key=repr)
             for name, facts in database.relations().items()
+        },
+        "arities": {
+            symbol.name: symbol.arity for symbol in database.signature
         },
     }
 

@@ -39,6 +39,14 @@ Fact = Tuple[Element, ...]
 #: CPython, so no lock is needed even under threaded use).
 _STRUCTURE_TOKENS = itertools.count(1)
 
+#: How many single-fact mutations a cached relation index absorbs through
+#: :meth:`TupleIndex.with_fact_added` / :meth:`~TupleIndex.with_fact_removed`
+#: before :meth:`Structure.relation_index` gives up and rebuilds from scratch.
+#: Streams fold one pending delta per lookup; the limit only bites when many
+#: mutations pile up between lookups — exactly the "versions skip" case where
+#: a rebuild beats replaying a long op chain.
+_INDEX_DELTA_LIMIT = 32
+
 
 class Structure:
     """A finite relational structure.
@@ -76,7 +84,12 @@ class Structure:
         self._structure_token: int = next(_STRUCTURE_TOKENS)
         self._canonical_universe_cache: Optional[Tuple[int, Tuple[Element, ...]]] = None
         self._relation_index_cache: Dict[str, Tuple[int, TupleIndex]] = {}
+        self._relation_index_pending: Dict[str, List[Tuple[str, Fact]]] = {}
         self._derived_cache_state: Optional[Tuple[Tuple[int, int], Dict[object, object]]] = None
+        # Opt-in change capture: callbacks invoked as (name, op, fact,
+        # relation_version) on every effective fact mutation ("add"/"remove").
+        # Copies start with no observers — a ChangeLog watches one structure.
+        self._fact_observers: List = []
         if relations:
             for name, tuples in relations.items():
                 tuples = [tuple(t) for t in tuples]
@@ -149,12 +162,62 @@ class Structure:
         if fact not in relation:
             relation.add(fact)
             self._relations_version += 1
-            self._relation_versions[name] = self._relation_versions.get(name, 0) + 1
+            version = self._relation_versions.get(name, 0) + 1
+            self._relation_versions[name] = version
+            self._record_index_delta(name, "add", fact)
+            for observer in self._fact_observers:
+                observer(name, "add", fact, version)
         before = len(self._universe)
         self._universe.update(fact)
         if len(self._universe) != before:
             self._universe_version += 1
         return fact
+
+    def remove_fact(self, name: str, fact: Sequence[Element]) -> Fact:
+        """Remove a fact (tuple) from the named relation — the mutation
+        symmetric to :meth:`add_fact`.
+
+        Bumps the relation's version counter (invalidating exactly the
+        version-keyed caches that depend on it: the relation's tuple index,
+        the derived cache, and every service result-cache entry whose
+        fingerprint mentions the relation) and notifies attached change
+        observers.  The universe is **not** shrunk: elements stay once seen,
+        so cached canonical universes and the identities of other facts are
+        unaffected.  Raises ``KeyError`` for unknown relation symbols or
+        facts not present in the relation.
+        """
+        fact = tuple(fact)
+        if name not in self._signature:
+            raise KeyError(f"unknown relation symbol {name!r}")
+        relation = self._relations.get(name)
+        if relation is None or fact not in relation:
+            raise KeyError(f"relation {name!r} has no fact {fact!r}")
+        relation.remove(fact)
+        self._relations_version += 1
+        version = self._relation_versions.get(name, 0) + 1
+        self._relation_versions[name] = version
+        self._record_index_delta(name, "remove", fact)
+        for observer in self._fact_observers:
+            observer(name, "remove", fact, version)
+        return fact
+
+    # ---------------------------------------------------------- change capture
+    def register_fact_observer(self, observer) -> None:
+        """Register a change-capture callback, invoked as ``observer(name,
+        op, fact, relation_version)`` after every *effective* fact mutation
+        (``op`` is ``"add"`` or ``"remove"``; no-op re-adds do not fire).
+
+        This is the hook behind :class:`repro.relational.changelog.ChangeLog`;
+        observers are not carried over by :meth:`copy`.
+        """
+        self._fact_observers.append(observer)
+
+    def unregister_fact_observer(self, observer) -> None:
+        """Remove a previously registered observer (idempotent)."""
+        try:
+            self._fact_observers.remove(observer)
+        except ValueError:
+            pass
 
     # ----------------------------------------------------------------- access
     @property
@@ -193,10 +256,30 @@ class Structure:
         self._canonical_universe_cache = (self._universe_version, ordered)
         return ordered
 
+    def _record_index_delta(self, name: str, op: str, fact: Fact) -> None:
+        """Remember a single-fact mutation so the next :meth:`relation_index`
+        lookup can fold it into the cached index instead of rebuilding.  Once
+        the pending chain exceeds ``_INDEX_DELTA_LIMIT`` the cache entry is
+        dropped (rebuild on next lookup)."""
+        if name not in self._relation_index_cache:
+            return
+        pending = self._relation_index_pending.setdefault(name, [])
+        pending.append((op, fact))
+        if len(pending) > _INDEX_DELTA_LIMIT:
+            self._relation_index_cache.pop(name, None)
+            self._relation_index_pending.pop(name, None)
+
     def relation_index(self, name: str) -> TupleIndex:
         """The positional :class:`TupleIndex` of the named relation, cached
         until *that* relation changes and shared by every constraint built
         from this structure (and by fast copies of it).
+
+        Mutations do not throw the cached index away: pending single-fact
+        deltas are folded in via :meth:`TupleIndex.with_fact_added` /
+        :meth:`~TupleIndex.with_fact_removed` (a structurally shared
+        derivation — previously handed-out indexes keep their snapshot), and
+        only a version skip beyond the recorded chain falls back to a full
+        ``O(|R| * arity)`` rebuild.
 
         Raises ``KeyError`` for unknown relation symbols, like
         :meth:`relation`.
@@ -206,11 +289,25 @@ class Structure:
             raise KeyError(f"unknown relation symbol {name!r}")
         version = self._relation_versions.get(name, 0)
         cached = self._relation_index_cache.get(name)
-        if cached is not None and cached[0] == version:
-            return cached[1]
+        if cached is not None:
+            if cached[0] == version:
+                return cached[1]
+            pending = self._relation_index_pending.get(name, ())
+            if cached[0] + len(pending) == version:
+                index = cached[1]
+                for op, fact in pending:
+                    index = (
+                        index.with_fact_added(fact)
+                        if op == "add"
+                        else index.with_fact_removed(fact)
+                    )
+                self._relation_index_pending.pop(name, None)
+                self._relation_index_cache[name] = (version, index)
+                return index
         index = TupleIndex.from_tuples(
             self._relations.get(name, set()), arity=symbol.arity
         )
+        self._relation_index_pending.pop(name, None)
         self._relation_index_cache[name] = (version, index)
         return index
 
@@ -357,7 +454,12 @@ class Structure:
         duplicate._structure_token = next(_STRUCTURE_TOKENS)
         duplicate._canonical_universe_cache = self._canonical_universe_cache
         duplicate._relation_index_cache = dict(self._relation_index_cache)
+        duplicate._relation_index_pending = {
+            name: list(ops) for name, ops in self._relation_index_pending.items()
+        }
         duplicate._derived_cache_state = None
+        # Change observers watch the original object, not its copies.
+        duplicate._fact_observers = []
         return duplicate
 
     # ----------------------------------------------------------------- dunder

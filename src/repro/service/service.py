@@ -188,6 +188,9 @@ class CountingService:
             cache_size=self.config.plan_cache_size,
         )
         self.result_cache = LRUCache(self.config.result_cache_size)
+        #: Per-database streaming state (change log + live subscriptions),
+        #: keyed by structure token; populated by :meth:`subscribe`.
+        self._streams: Dict[int, Any] = {}
 
     # ------------------------------------------------------------- internals
     def _resolve(self, request: RequestLike) -> CountRequest:
@@ -373,9 +376,95 @@ class CountingService:
             cache_misses=len(tasks),
         )
 
+    # ------------------------------------------------------------- streaming
+    def subscribe(
+        self,
+        request: RequestLike,
+        refresh: str = "eager",
+        debounce_ticks: int = 4,
+        budget_seconds: float = 1.0,
+    ):
+        """Open a live handle on one query's count (see
+        :mod:`repro.stream.live`).
+
+        The returned :class:`~repro.stream.live.CountSubscription` serves
+        untouched-relation updates from its fingerprint for free and folds
+        touched-relation updates in per the ``refresh`` policy (``"eager"``,
+        ``"debounced"`` or ``"budget"``) — delta-patching exact schemes
+        through the database's shared change log, re-estimating approximate
+        ones through the registry with deterministically derived seeds.
+        """
+        from repro.queries.canonical import query_relation_names
+        from repro.stream.live import CountSubscription, _StreamState
+
+        resolved = self._resolve(request)
+        token = resolved.database.structure_token
+        state = self._streams.get(token)
+        if state is None:
+            state = _StreamState(resolved.database)
+            self._streams[token] = state
+        # Watch the query's relations before the subscription takes its
+        # first fingerprint, so the shared change log records them from the
+        # start; undo everything if construction fails (bad policy, invalid
+        # query/database pairing) — a failed subscribe must not leave an
+        # attached observer behind.
+        relations = query_relation_names(resolved.query)
+        state.watch(relations)
+        try:
+            subscription = CountSubscription(
+                self,
+                resolved,
+                state,
+                refresh=refresh,
+                debounce_ticks=debounce_ticks,
+                budget_seconds=budget_seconds,
+            )
+        except BaseException:
+            state.unwatch(relations)
+            if not state.subscriptions:
+                state.changelog.detach()
+                self._streams.pop(token, None)
+            raise
+        state.subscriptions.append(subscription)
+        return subscription
+
+    def _drop_subscription(self, subscription) -> None:
+        """Called by :meth:`CountSubscription.close`; detaches the change log
+        and forgets the stream state with the last subscription."""
+        token = subscription._database.structure_token
+        state = self._streams.get(token)
+        if state is not None and state.discard(subscription):
+            del self._streams[token]
+
+    def evict(self, database: Structure) -> int:
+        """Drop every result-cache entry keyed to ``database`` (any
+        fingerprint), returning how many were dropped.
+
+        Version-fingerprinted keys already guarantee stale entries are never
+        *served*; this reclaims the capacity they occupy, which matters for
+        long streams of mutations where dead fingerprints pile up faster
+        than LRU churn retires them.
+        """
+        token = database.structure_token
+
+        def keyed_to_database(key) -> bool:
+            return (
+                isinstance(key, tuple)
+                and len(key) >= 2
+                and isinstance(key[1], tuple)
+                and len(key[1]) == 2
+                and key[1][0] == token
+            )
+
+        return self.result_cache.invalidate_where(keyed_to_database)
+
     def stats(self) -> Dict[str, Any]:
-        """Hit/miss/eviction statistics of both caches."""
+        """Hit/miss/eviction statistics of both caches, plus streaming
+        state."""
         return {
             "plan_cache": self.planner.cache.stats().to_dict(),
             "result_cache": self.result_cache.stats().to_dict(),
+            "subscriptions": sum(
+                len(state.subscriptions) for state in self._streams.values()
+            ),
         }

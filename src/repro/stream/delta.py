@@ -1,0 +1,418 @@
+"""Exact delta counting: maintain ``|Ans(phi, D)|`` under fact mutations.
+
+Given the net :class:`~repro.relational.changelog.RelationDelta`s between an
+old database state and the current one, this module computes
+
+    ``delta = |Ans(phi, D_new)| - |Ans(phi, D_old)|``
+
+without recounting either side from scratch.  The key observation: a
+solution that exists on one side but not the other must map some *touched
+atom* onto a *delta fact* —
+
+* a solution of ``D_new`` that is not a solution of ``D_old`` maps a positive
+  atom onto an **inserted** fact or a negated atom onto a **deleted** fact;
+* a solution of ``D_old`` that is not a solution of ``D_new`` maps a positive
+  atom onto a **deleted** fact or a negated atom onto an **inserted** fact.
+
+So all the work concentrates on the (typically tiny) delta, and the existing
+indexed CSP/join engine does the counting with delta facts *pinned* in.  Two
+strategies, both verified bit-identical to a from-scratch recount by the
+differential tests:
+
+``inclusion_exclusion`` (quantifier-free queries)
+    With no existential variables, distinct solutions project to distinct
+    answers, so ``|Ans| = |Sol|`` and the delta is a difference of *solution*
+    counts.  "Solutions touching the delta" is counted by
+    inclusion–exclusion over the touched atom occurrences: for every
+    non-empty subset, constrain each chosen atom to its delta facts (an extra
+    table constraint whose allowed set is the delta — GAC propagation then
+    collapses the search space around those few facts) and count.
+
+``candidates`` (general case)
+    With existential variables, projections collide, so the delta enumerates
+    **candidate answers** instead: project the pinned solutions on each side
+    onto the free variables, then confirm each candidate by a satisfiability
+    probe on the *other* side — a gained answer is a candidate of the new
+    side that was not an answer of the old side, and vice versa for lost
+    answers.  Candidates appearing on both sides cancel automatically (they
+    are answers on both sides).
+
+Soundness requires the assignment space itself not to have drifted: when the
+universe grew between the two states, variables that occur only in
+disequalities or negated atoms range over elements no delta fact mentions.
+:func:`delta_applicable` detects that situation; callers fall back to a full
+recount (the :class:`~repro.stream.live.CountSubscription` refresh loop does
+this automatically).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.changelog import StructureDelta
+from repro.relational.csp import (
+    DEFAULT_ENGINE,
+    Constraint,
+    CSPInstance,
+    NotEqualConstraint,
+    NotInRelationConstraint,
+)
+from repro.relational.structure import Structure
+
+Element = Hashable
+AnswerTuple = Tuple[Element, ...]
+
+#: Above this many touched atom occurrences the ``2^k - 1`` terms of
+#: inclusion–exclusion stop being worth it and the candidate strategy is used
+#: instead.
+INCLUSION_EXCLUSION_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class DeltaCountReport:
+    """The outcome of one incremental recount step."""
+
+    #: ``|Ans(new)| - |Ans(old)|``.
+    delta: int
+    #: ``"inclusion_exclusion"`` | ``"candidates"`` | ``"noop"``.
+    strategy: str
+    #: Candidate answers confirmed against the other side ("candidates")
+    #: or inclusion–exclusion terms evaluated ("inclusion_exclusion").
+    work_units: int
+
+
+def delta_applicable(query: ConjunctiveQuery, universe_changed: bool) -> bool:
+    """Whether the touched-atom delta argument is sound for ``query``.
+
+    Always sound while the universe is unchanged.  After universe growth it
+    remains sound iff every variable occurs in a positive atom: then every
+    solution maps each variable into some fact, new elements only occur in
+    inserted facts, and the pinning argument goes through.  (The universe
+    never shrinks — :meth:`Structure.remove_fact` keeps elements.)
+    """
+    if not universe_changed:
+        return True
+    covered: Set[str] = set()
+    for atom in query.atoms:
+        covered.update(atom.args)
+    return covered >= set(query.variables)
+
+
+# --------------------------------------------------------------- CSP plumbing
+def _base_constraints(query: ConjunctiveQuery, database: Structure) -> List[object]:
+    """The constraints of ``Sol(phi, D)`` — the same construction as
+    :func:`repro.core.exact._solution_csp`, shared indexes included."""
+    constraints: List[object] = []
+    for atom in query.atoms:
+        constraints.append(
+            Constraint.trusted(atom.args, index=database.relation_index(atom.relation))
+        )
+    for atom in query.negated_atoms:
+        forbidden = (
+            database.relation(atom.relation)
+            if atom.relation in database.signature
+            else frozenset()
+        )
+        constraints.append(
+            NotInRelationConstraint(scope=atom.args, forbidden=frozenset(forbidden))
+        )
+    for disequality in query.disequalities:
+        constraints.append(NotEqualConstraint(disequality.left, disequality.right))
+    return constraints
+
+
+def _instance(
+    query: ConjunctiveQuery,
+    database: Structure,
+    engine: str,
+    extra_constraints: Sequence[object] = (),
+    restrict: Optional[Dict[str, Set[Element]]] = None,
+    search_order: Optional[Sequence[str]] = None,
+) -> Optional[CSPInstance]:
+    """A ``Sol(phi, D)`` instance with optional extra table constraints and
+    restricted (e.g. pinned singleton) variable domains; ``None`` when a
+    restriction has no value inside the universe (no solutions).
+
+    ``search_order`` lets one refresh share a single min-fill computation
+    across its many small pinned instances (the variable set never changes).
+    """
+    universe = database.canonical_universe()
+    universe_set = database.universe
+    domains: Dict[str, Set[Element]] = {}
+    for variable in query.variables:
+        if restrict is not None and variable in restrict:
+            values = {
+                value for value in restrict[variable] if value in universe_set
+            }
+            if not values:
+                return None
+            domains[variable] = values
+        else:
+            domains[variable] = set(universe)
+    constraints = _base_constraints(query, database)
+    constraints.extend(extra_constraints)
+    return CSPInstance(
+        domains, constraints, engine=engine, search_order=search_order
+    )
+
+
+def _pin_atom(scope: Sequence[str], fact: AnswerTuple) -> Optional[Dict[str, Element]]:
+    """Map an atom's argument variables onto a fact's values; ``None`` when a
+    repeated variable would need two different values."""
+    pin: Dict[str, Element] = {}
+    for variable, value in zip(scope, fact):
+        if pin.setdefault(variable, value) != value:
+            return None
+    return pin
+
+
+# --------------------------------------------------- touched-atom bookkeeping
+def _touched_events(
+    query: ConjunctiveQuery, delta: StructureDelta, side: str
+) -> List[Tuple[Tuple[str, ...], FrozenSet[AnswerTuple]]]:
+    """The ``(atom scope, delta facts)`` pairs whose pinning characterises the
+    solutions present only on ``side`` (``"new"`` or ``"old"``).
+
+    New-only solutions pin positive atoms to inserted facts or negated atoms
+    to deleted facts; old-only solutions the other way around.
+    """
+    events: List[Tuple[Tuple[str, ...], FrozenSet[AnswerTuple]]] = []
+    for atom in query.atoms:
+        relation_delta = delta.get(atom.relation)
+        if relation_delta is None:
+            continue
+        facts = relation_delta.added if side == "new" else relation_delta.removed
+        if facts:
+            events.append((atom.args, facts))
+    for atom in query.negated_atoms:
+        relation_delta = delta.get(atom.relation)
+        if relation_delta is None:
+            continue
+        facts = relation_delta.removed if side == "new" else relation_delta.added
+        if facts:
+            events.append((atom.args, facts))
+    return events
+
+
+# --------------------------------------------------- strategy: incl-exclusion
+def _count_touching(
+    query: ConjunctiveQuery,
+    database: Structure,
+    events: Sequence[Tuple[Tuple[str, ...], FrozenSet[AnswerTuple]]],
+    engine: str,
+    search_order: Optional[Sequence[str]] = None,
+) -> Tuple[int, int]:
+    """``(count, terms)``: the number of solutions of ``phi`` over
+    ``database`` whose assignment satisfies at least one event (maps the
+    event's scope onto one of its delta facts), by inclusion–exclusion over
+    the non-empty event subsets."""
+    total = 0
+    terms = 0
+    for size in range(1, len(events) + 1):
+        sign = 1 if size % 2 else -1
+        for subset in itertools.combinations(events, size):
+            extra = [
+                Constraint.trusted(scope, allowed=facts) for scope, facts in subset
+            ]
+            instance = _instance(
+                query, database, engine,
+                extra_constraints=extra, search_order=search_order,
+            )
+            terms += 1
+            if instance is not None:
+                total += sign * instance.count_solutions()
+    return total, terms
+
+
+# ------------------------------------------------------- strategy: candidates
+def _pinned_projections(
+    query: ConjunctiveQuery,
+    database: Structure,
+    events: Sequence[Tuple[Tuple[str, ...], FrozenSet[AnswerTuple]]],
+    engine: str,
+    search_order: Optional[Sequence[str]] = None,
+) -> Set[AnswerTuple]:
+    """Projections onto the free variables of every solution of ``phi`` over
+    ``database`` that maps some event's scope onto one of its delta facts."""
+    free = query.free_variables
+    projections: Set[AnswerTuple] = set()
+    for scope, facts in events:
+        for fact in facts:
+            pin = _pin_atom(scope, fact)
+            if pin is None:
+                continue
+            instance = _instance(
+                query, database, engine,
+                restrict={variable: {value} for variable, value in pin.items()},
+                search_order=search_order,
+            )
+            if instance is None:
+                continue
+            for solution in instance._iter_assignments(None):
+                projections.add(tuple(solution[v] for v in free))
+    return projections
+
+
+def _answers_among(
+    query: ConjunctiveQuery,
+    database: Structure,
+    candidates: Set[AnswerTuple],
+    engine: str,
+    search_order: Optional[Sequence[str]] = None,
+) -> Set[AnswerTuple]:
+    """The subset of ``candidates`` that are answers of ``phi`` over
+    ``database`` — one batched enumeration (free domains restricted to the
+    candidates' values plus a table constraint over the free tuple) instead
+    of a satisfiability probe per candidate, so the propagation set-up cost
+    is paid once per side, not once per candidate."""
+    if not candidates:
+        return set()
+    free = query.free_variables
+    if not free:
+        # Boolean query: the only possible candidate is the empty tuple.
+        instance = _instance(query, database, engine, search_order=search_order)
+        return set(candidates) if instance.is_satisfiable() else set()
+    restrict = {
+        variable: {candidate[position] for candidate in candidates}
+        for position, variable in enumerate(free)
+    }
+    instance = _instance(
+        query, database, engine,
+        extra_constraints=(Constraint.trusted(free, allowed=frozenset(candidates)),),
+        restrict=restrict,
+        search_order=search_order,
+    )
+    if instance is None:
+        return set()
+    found: Set[AnswerTuple] = set()
+    for solution in instance._iter_assignments(None):
+        found.add(tuple(solution[v] for v in free))
+        if len(found) == len(candidates):
+            break
+    return found
+
+
+def is_answer(
+    query: ConjunctiveQuery,
+    database: Structure,
+    candidate: AnswerTuple,
+    engine: str = DEFAULT_ENGINE,
+) -> bool:
+    """Whether ``candidate`` is an answer of ``phi`` over ``database`` —
+    a satisfiability probe with the free variables pinned (the CSP-engine
+    analogue of :meth:`ConjunctiveQuery.is_answer`, usable on large
+    databases)."""
+    instance = _instance(
+        query,
+        database,
+        engine,
+        restrict={
+            variable: {value}
+            for variable, value in zip(query.free_variables, candidate)
+        },
+    )
+    return instance is not None and instance.is_satisfiable()
+
+
+# ----------------------------------------------------------------- entry point
+def delta_count_exact(
+    query: ConjunctiveQuery,
+    old_database: Structure,
+    new_database: Structure,
+    delta: StructureDelta,
+    engine: str = DEFAULT_ENGINE,
+    strategy: str = "auto",
+) -> DeltaCountReport:
+    """Compute ``|Ans(phi, new)| - |Ans(phi, old)|`` from the net delta.
+
+    ``old_database`` is typically :func:`repro.relational.changelog.rewind`
+    applied to ``new_database``; both sides must genuinely differ by exactly
+    ``delta`` on the query's relations.  ``strategy`` is ``"auto"``
+    (inclusion–exclusion for quantifier-free queries with few touched atom
+    occurrences, candidates otherwise) or one of the two names; requesting
+    ``"inclusion_exclusion"`` for a quantified query raises, since solution
+    deltas do not equal answer deltas under projection.
+
+    The caller is responsible for :func:`delta_applicable` (the refresh loop
+    in :mod:`repro.stream.live` checks it and falls back to a recount).
+    """
+    query._check_signature_compatibility(new_database)
+    relevant = {
+        name
+        for name in delta
+        if not delta[name].is_empty()
+        and any(
+            atom.relation == name
+            for atom in itertools.chain(query.atoms, query.negated_atoms)
+        )
+    }
+    if not relevant:
+        return DeltaCountReport(delta=0, strategy="noop", work_units=0)
+    restricted = {name: delta[name] for name in relevant}
+
+    new_events = _touched_events(query, restricted, "new")
+    old_events = _touched_events(query, restricted, "old")
+
+    if strategy == "auto":
+        use_ie = (
+            query.is_quantifier_free()
+            and max(len(new_events), len(old_events)) <= INCLUSION_EXCLUSION_LIMIT
+        )
+        strategy = "inclusion_exclusion" if use_ie else "candidates"
+    # One min-fill computation serves every small pinned instance of this
+    # refresh — the variable set never changes.
+    order = _instance(query, new_database, engine).search_order()
+
+    if strategy == "inclusion_exclusion":
+        if not query.is_quantifier_free():
+            raise ValueError(
+                "inclusion_exclusion maintains solution counts; with "
+                "existential variables projections collide — use "
+                "strategy='candidates' (or 'auto')"
+            )
+        gained, terms_new = _count_touching(
+            query, new_database, new_events, engine, order
+        )
+        lost, terms_old = _count_touching(
+            query, old_database, old_events, engine, order
+        )
+        return DeltaCountReport(
+            delta=gained - lost,
+            strategy="inclusion_exclusion",
+            work_units=terms_new + terms_old,
+        )
+    if strategy != "candidates":
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected 'auto', "
+            "'inclusion_exclusion' or 'candidates'"
+        )
+
+    new_candidates = _pinned_projections(
+        query, new_database, new_events, engine, order
+    )
+    old_candidates = _pinned_projections(
+        query, old_database, old_events, engine, order
+    )
+    gained = len(new_candidates) - len(
+        _answers_among(query, old_database, new_candidates, engine, order)
+    )
+    lost = len(old_candidates) - len(
+        _answers_among(query, new_database, old_candidates, engine, order)
+    )
+    return DeltaCountReport(
+        delta=gained - lost,
+        strategy="candidates",
+        work_units=len(new_candidates) + len(old_candidates),
+    )
+
+
+__all__ = [
+    "DeltaCountReport",
+    "delta_applicable",
+    "delta_count_exact",
+    "is_answer",
+    "INCLUSION_EXCLUSION_LIMIT",
+]

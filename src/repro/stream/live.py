@@ -1,0 +1,404 @@
+"""Live count handles: subscriptions that stay (approximately) current.
+
+``CountingService.subscribe(request)`` returns a :class:`CountSubscription` —
+a long-lived handle on one ``(query, database)`` pair whose value survives
+database mutations.  Every :meth:`~CountSubscription.read` returns a
+:class:`LiveCount` carrying the estimate *and* its staleness metadata, and
+decides — according to the subscription's refresh policy — whether to fold
+the pending mutations in first:
+
+* **Untouched-relation updates are free.**  The subscription stores the
+  database fingerprint restricted to the query's relations (the same
+  restriction the service result cache keys on), so mutations elsewhere do
+  not even make the handle stale.  Universe growth is likewise ignored when
+  every query variable occurs in a positive atom (then new elements cannot
+  carry new answers without a touched fact).
+* **Touched-relation updates on exact schemes delta-patch.**  The database's
+  shared :class:`~repro.relational.changelog.ChangeLog` yields the net delta
+  since the stored fingerprint; :func:`repro.stream.delta.delta_count_exact`
+  turns it into ``new - old`` and the stored value is patched — bit-identical
+  to a from-scratch recount, at delta cost.  When the log has a gap or the
+  delta argument is inapplicable (see
+  :func:`~repro.stream.delta.delta_applicable`), the subscription falls back
+  to a full recount through the service (plan pinned at subscribe time).
+* **Touched-relation updates on approximate schemes re-estimate** through the
+  scheme registry with a deterministically derived seed
+  (``derive_seed(base_seed, refresh_index)``), so a refreshed read equals the
+  direct registry call with the same seed.  Results land in the service
+  result cache under the current fingerprint, and refreshes check that cache
+  first — concurrent subscriptions on the same shape share work.
+
+Refresh policies (``refresh=``):
+
+``"eager"``
+    Every read of a stale handle refreshes before returning.
+``"debounced"``
+    Refresh only once at least ``debounce_ticks`` mutation ticks (version
+    bumps of the query's relations) have accumulated; earlier reads serve
+    the stale value, marked as such.
+``"budget"``
+    Refresh while the accumulated refresh cost stays under
+    ``budget_seconds``; once exhausted, reads serve stale values until
+    :meth:`~CountSubscription.add_budget` tops the account up.
+
+``read(force=True)`` (or :meth:`~CountSubscription.refresh`) overrides any
+policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.queries.canonical import query_relation_names
+from repro.relational.changelog import ChangeLog, ChangeLogGap, rewind
+from repro.stream.delta import delta_applicable, delta_count_exact
+from repro.util.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from repro.relational.structure import Structure
+    from repro.service.service import CountingService, CountRequest
+
+#: Registered schemes whose estimates are error-free integers; only these can
+#: be delta-patched (an approximation's estimate is a random variable, not a
+#: count one can add a delta to).
+EXACT_SCHEMES = frozenset({"exact", "oracle_exact"})
+
+REFRESH_POLICIES = ("eager", "debounced", "budget")
+
+
+@dataclass(frozen=True)
+class LiveCount:
+    """One read of a subscription: the estimate plus staleness metadata."""
+
+    estimate: float
+    scheme: str
+    query_class: str
+    #: ``True`` when the value reflects the database contents at read time.
+    fresh: bool
+    #: Whether *this* read performed a refresh.
+    refreshed: bool
+    #: How the served value was (last) computed: ``"initial"`` | ``"delta"``
+    #: | ``"recount"`` | ``"reestimate"`` | ``"cached"``.
+    mode: str
+    #: Version bumps of the query's relations not yet folded into the value
+    #: (0 when fresh).
+    pending_ticks: int
+    #: Refreshes performed over the subscription's lifetime (initial compute
+    #: excluded).
+    refresh_count: int
+    #: The seed the served value was computed with (``None`` for exact
+    #: schemes); a direct registry call with this seed reproduces it.
+    seed: Optional[int]
+    epsilon: float
+    delta: float
+
+    @property
+    def count(self) -> int:
+        """The estimate rounded to the nearest integer."""
+        return int(round(self.estimate))
+
+
+class _StreamState:
+    """Per-database streaming state the service keeps: one shared change log
+    plus the live subscriptions reading it.
+
+    The log only records relations some live subscription watches (refcounted
+    via :meth:`watch`/part of :meth:`discard`), so heavy churn on unwatched
+    relations — the advertised "free" path — cannot grow it."""
+
+    def __init__(self, database: "Structure") -> None:
+        self.database = database
+        self._watched: Dict[str, int] = {}
+        self.changelog = ChangeLog(
+            database, relation_filter=self._watched.__contains__
+        )
+        self.subscriptions: List["CountSubscription"] = []
+
+    def watch(self, relation_names) -> None:
+        """Start recording ``relation_names`` (called before the watching
+        subscription takes its first fingerprint)."""
+        for name in relation_names:
+            count = self._watched.get(name, 0)
+            if count == 0:
+                # The unrecorded window ends here; covers() must know.
+                self.changelog.mark_floor(name)
+            self._watched[name] = count + 1
+
+    def unwatch(self, relation_names) -> None:
+        for name in relation_names:
+            count = self._watched.get(name, 0) - 1
+            if count <= 0:
+                self._watched.pop(name, None)
+            else:
+                self._watched[name] = count
+
+    def discard(self, subscription: "CountSubscription") -> bool:
+        """Remove a subscription; returns ``True`` when none remain (the
+        caller then detaches the change log and drops this state)."""
+        try:
+            self.subscriptions.remove(subscription)
+            self.unwatch(subscription._relations)
+        except ValueError:
+            pass
+        if not self.subscriptions:
+            self.changelog.detach()
+            return True
+        self.trim()
+        return False
+
+    def trim(self) -> None:
+        """Drop change-log events no live subscription can still ask about:
+        per relation, everything at or before the minimum subscribed
+        fingerprint version (relations no subscription watches are trimmed
+        to the present)."""
+        floors: Dict[str, int] = {}
+        for subscription in self.subscriptions:
+            _, relation_versions = subscription._fingerprint
+            for name, version in relation_versions:
+                floors[name] = min(floors.get(name, version), version)
+        current = self.database._relation_versions
+        entries = tuple(
+            (name, floors.get(name, current.get(name, 0)))
+            for name in self.changelog.recorded_relations()
+        )
+        if entries:
+            self.changelog.trim((0, entries))
+
+
+class CountSubscription:
+    """A live handle on one ``(query, database)`` count.
+
+    Created by :meth:`repro.service.service.CountingService.subscribe`; not
+    instantiated directly.  The plan (scheme, engine) is pinned at subscribe
+    time so refreshes never silently hop between schemes as the database
+    grows.
+    """
+
+    def __init__(
+        self,
+        service: "CountingService",
+        request: "CountRequest",
+        state: _StreamState,
+        refresh: str = "eager",
+        debounce_ticks: int = 4,
+        budget_seconds: float = 1.0,
+    ) -> None:
+        if refresh not in REFRESH_POLICIES:
+            raise ValueError(
+                f"unknown refresh policy {refresh!r}; expected one of "
+                f"{REFRESH_POLICIES}"
+            )
+        if debounce_ticks < 1:
+            raise ValueError("debounce_ticks must be at least 1")
+        self._service = service
+        self._request = request
+        self._state = state
+        self._database = request.database
+        self._policy = refresh
+        self._debounce_ticks = int(debounce_ticks)
+        self._budget_seconds = float(budget_seconds)
+        self._spent_seconds = 0.0
+        self._closed = False
+
+        self.query = request.query
+        self.epsilon = (
+            request.epsilon if request.epsilon is not None else service.config.epsilon
+        )
+        self.delta = (
+            request.delta if request.delta is not None else service.config.delta
+        )
+        self._base_seed = request.seed
+        self._relations = query_relation_names(request.query)
+        from repro.queries.prepared import prepare
+
+        # The query never changes; compute its canonical key once instead of
+        # re-canonicalising on every refresh's cache lookup.
+        self._canonical_key = prepare(request.query).canonical_key
+        # Universe growth can only matter when some variable ranges outside
+        # the positive atoms (see delta_applicable); otherwise ignore it.
+        self._universe_sensitive = not delta_applicable(request.query, True)
+        self.plan = service.planner.plan(
+            request.query, self._database, override=request.method
+        )
+        self.scheme = self.plan.scheme
+        self.query_class = self.plan.query_class
+
+        # Initial compute, through the service (plans, caches, registry).
+        self._refresh_count = 0
+        self._last_seed = self._seed_for(0)
+        result = service.submit(
+            request.query,
+            self._database,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            seed=self._last_seed,
+            method=self.scheme,
+        )
+        self._estimate = result.estimate
+        self._mode = "initial"
+        self._fingerprint = self._current_fingerprint()
+
+    # -------------------------------------------------------------- internals
+    def _seed_for(self, refresh_index: int) -> Optional[int]:
+        if self.scheme in EXACT_SCHEMES:
+            # Exact schemes ignore randomness; a stable None seed makes their
+            # result-cache entries shareable across refreshes and callers.
+            return None
+        if self._base_seed is None:
+            return None
+        return derive_seed(self._base_seed, refresh_index)
+
+    def _current_fingerprint(self) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+        return self._database.version_fingerprint(self._relations)
+
+    def pending_ticks(self) -> int:
+        """Version bumps of the query's relations (plus universe growth, when
+        this query is sensitive to it) since the stored value."""
+        old_universe, old_relations = self._fingerprint
+        new_universe, new_relations = self._current_fingerprint()
+        ticks = sum(
+            new_version - old_version
+            for (_, old_version), (_, new_version) in zip(old_relations, new_relations)
+        )
+        if self._universe_sensitive:
+            ticks += new_universe - old_universe
+        return ticks
+
+    def _should_refresh(self, ticks: int) -> bool:
+        if ticks <= 0:
+            return False
+        if self._policy == "eager":
+            return True
+        if self._policy == "debounced":
+            return ticks >= self._debounce_ticks
+        return self._spent_seconds < self._budget_seconds
+
+    def _result_cache_key(self, seed: Optional[int]):
+        return self._service._result_key(
+            self._canonical_key, self._request, self.plan,
+            self.epsilon, self.delta, seed,
+        )
+
+    def _refresh(self) -> None:
+        started = time.perf_counter()
+        seed = self._seed_for(self._refresh_count + 1)
+        key = self._result_cache_key(seed)
+        cached = self._service.result_cache.get(key)
+        if cached is not None:
+            self._estimate = cached
+            self._mode = "cached"
+        elif self.scheme in EXACT_SCHEMES and self._try_delta_patch():
+            self._service.result_cache.put(key, self._estimate)
+        else:
+            result = self._service.submit(
+                self.query,
+                self._database,
+                epsilon=self.epsilon,
+                delta=self.delta,
+                seed=seed,
+                method=self.scheme,
+            )
+            self._estimate = result.estimate
+            self._mode = (
+                "recount" if self.scheme in EXACT_SCHEMES else "reestimate"
+            )
+        self._refresh_count += 1
+        self._last_seed = seed
+        self._fingerprint = self._current_fingerprint()
+        self._spent_seconds += time.perf_counter() - started
+        self._state.trim()
+
+    def _try_delta_patch(self) -> bool:
+        """Patch the stored exact count from the change log's net delta;
+        ``False`` when the log has a gap or the delta argument is unsound
+        here (the caller then recounts)."""
+        old_universe, _ = self._fingerprint
+        universe_changed = self._database._universe_version != old_universe
+        if not delta_applicable(self.query, universe_changed):
+            return False
+        changelog = self._state.changelog
+        try:
+            delta = changelog.delta_since(self._fingerprint)
+        except ChangeLogGap:
+            return False
+        if delta:
+            old_database = rewind(self._database, delta)
+            report = delta_count_exact(
+                self.query, old_database, self._database, delta,
+                engine=self.plan.engine,
+            )
+            self._estimate = self._estimate + report.delta
+        self._mode = "delta"
+        return True
+
+    # ----------------------------------------------------------------- public
+    def read(self, force: bool = False) -> LiveCount:
+        """The current value, refreshed first when the policy (or ``force``)
+        says so.  Always cheap when the query's relations are untouched."""
+        if self._closed:
+            raise RuntimeError("subscription is closed")
+        ticks = self.pending_ticks()
+        refreshed = False
+        if force and ticks > 0 or not force and self._should_refresh(ticks):
+            self._refresh()
+            refreshed = True
+            ticks = 0
+        return LiveCount(
+            estimate=self._estimate,
+            scheme=self.scheme,
+            query_class=self.query_class,
+            fresh=ticks == 0,
+            refreshed=refreshed,
+            mode=self._mode,
+            pending_ticks=ticks,
+            refresh_count=self._refresh_count,
+            seed=self._last_seed,
+            epsilon=self.epsilon,
+            delta=self.delta,
+        )
+
+    def refresh(self) -> LiveCount:
+        """Fold every pending mutation in now, regardless of policy."""
+        return self.read(force=True)
+
+    def add_budget(self, seconds: float) -> None:
+        """Top up a ``refresh="budget"`` subscription's refresh account."""
+        self._budget_seconds += float(seconds)
+
+    @property
+    def spent_seconds(self) -> float:
+        """Total wall-clock seconds spent refreshing (budget accounting)."""
+        return self._spent_seconds
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the subscription (idempotent).  The database's change log
+        is detached when its last subscription closes."""
+        if not self._closed:
+            self._closed = True
+            self._service._drop_subscription(self)
+
+    def __enter__(self) -> "CountSubscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CountSubscription(scheme={self.scheme!r}, policy={self._policy!r}, "
+            f"estimate={self._estimate}, refreshes={self._refresh_count})"
+        )
+
+
+__all__ = [
+    "LiveCount",
+    "CountSubscription",
+    "REFRESH_POLICIES",
+    "EXACT_SCHEMES",
+]

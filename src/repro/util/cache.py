@@ -15,10 +15,16 @@ The module lives in :mod:`repro.util` rather than :mod:`repro.service` so the
 queries/core layers can use it without depending on the service layer;
 :mod:`repro.service.cache` re-exports it under its historical name.
 
-Entries never need explicit invalidation: the database component of every
+Entries rarely need explicit invalidation: the database component of every
 result key embeds the structure's per-relation version counters, so mutating
-a relation changes the keys of all affected queries and the stale entries
-simply age out through LRU eviction.
+a relation changes the keys of all affected queries and stale entries are
+never *served*.  Under one-shot batch use they simply age out through LRU
+eviction; under **streaming** use (long-lived, frequently mutated databases)
+dead-fingerprint entries pile up faster than they churn out, so the cache
+also supports targeted eviction: :meth:`LRUCache.invalidate_where` drops
+every entry matching a key predicate, and
+``CountingService.evict(database)`` uses it to purge all entries keyed to a
+database's structure token in one call.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 
 @dataclass
@@ -113,6 +119,23 @@ class LRUCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* satisfies ``predicate``; returns how
+        many were dropped (counted as evictions in :meth:`stats`).
+
+        The streaming hook: result keys embed a database structure token and
+        version fingerprint, so ``invalidate_where(lambda key: ...token...)``
+        purges the dead entries a long-lived mutating database strands,
+        instead of waiting for LRU churn.  The predicate runs under the cache
+        lock — keep it cheap and non-reentrant.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._evictions += len(doomed)
+            return len(doomed)
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -45,6 +45,40 @@ class TestDatabaseIO:
         database = database_from_dict({"relations": {"E": []}, "arities": {"E": 2}})
         assert database.relation("E") == frozenset()
 
+    def test_round_trip_preserves_empty_relations_and_signature(self, tmp_path):
+        """Declared-but-unpopulated symbols (including relations a stream of
+        deletions emptied) must survive save/load, so a reloaded database
+        re-subscribes cleanly against queries mentioning them."""
+        from repro.relational import RelationSymbol
+
+        database = Database.from_relations({"E": [(1, 2), (2, 1)]})
+        database.add_relation(RelationSymbol("F", 2))  # declared, never populated
+        database.add_fact("G", (1, 2))
+        database.remove_fact("G", (1, 2))  # emptied by a deletion
+        path = tmp_path / "stream_db.json"
+        save_database_json(database, path)
+        restored = load_database_json(path)
+        assert restored.signature == database.signature
+        assert restored.relations() == database.relations()
+        assert restored.universe == database.universe
+
+        # The reloaded database serves subscriptions over the empty relation.
+        from repro.queries import parse_query
+        from repro.service import CountingService, ServiceConfig
+
+        service = CountingService(restored, ServiceConfig(executor="serial"))
+        subscription = service.subscribe(
+            parse_query("Ans(x) :- E(x, y), !F(x, y)")
+        )
+        assert subscription.read().fresh
+        restored.add_fact("F", (1, 2))
+        live = subscription.read()
+        assert live.refreshed
+        assert live.estimate == parse_query(
+            "Ans(x) :- E(x, y), !F(x, y)"
+        ).count_answers_bruteforce(restored)
+        subscription.close()
+
     def test_load_edge_list(self, tmp_path):
         path = tmp_path / "graph.txt"
         path.write_text("# a comment\n1 2\n2 3\n\n")
@@ -109,6 +143,30 @@ class TestCLI:
         )
         assert code == 0
         assert "estimate:    6" in capsys.readouterr().out
+
+    def test_stream_command(self, capsys):
+        code = main(
+            ["stream", "--events", "40", "--queries", "3", "--seed", "5",
+             "--verify"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 40 events" in output
+        assert "verified" in output
+
+    def test_stream_command_json(self, capsys):
+        code = main(
+            ["stream", "--events", "30", "--queries", "2", "--seed", "5",
+             "--refresh", "debounced", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_events"] == 30
+        assert payload["refresh_policy"] == "debounced"
+        assert (
+            payload["refreshes"] + payload["fresh_serves"] + payload["stale_serves"]
+            == payload["reads"]
+        )
 
     def test_classify_command_json(self, capsys):
         code = main(["classify", "--query", "Ans(x, y) :- E(x, y), x != y", "--json"])

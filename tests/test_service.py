@@ -247,8 +247,9 @@ class TestCountingService:
         service = CountingService(database, ServiceConfig(executor="serial"))
         service.submit(parse_query(CQ), seed=1)
         stats = service.stats()
-        assert set(stats) == {"plan_cache", "result_cache"}
+        assert set(stats) == {"plan_cache", "result_cache", "subscriptions"}
         assert stats["result_cache"]["misses"] == 1
+        assert stats["subscriptions"] == 0
 
 
 # ------------------------------------------------------------------ workload
