@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """Standalone performance recorder: writes ``BENCH_engine.json``,
-``BENCH_service.json``, ``BENCH_prepared.json`` and ``BENCH_stream.json``.
+``BENCH_service.json``, ``BENCH_prepared.json``, ``BENCH_stream.json`` and
+``BENCH_shard.json``, and (with ``--check-against``) gates regressions
+against committed baselines.
 
-Four suites, selected with ``--suite`` (default: all):
+Five suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -34,16 +36,28 @@ Four suites, selected with ``--suite`` (default: all):
   and an approximate-handle check that a refreshed ``LiveCount`` equals the
   direct registry call with the same derived seed.  Appends the
   incremental-vs-recount speedup record to ``BENCH_stream.json``.
+* ``shard`` — horizontally sharded counting through :mod:`repro.shard`: a
+  multi-component query over relation-partitioned shards is counted sharded
+  (per-shard tasks fanned across the process pool, combined by product) and
+  unsharded, verified bit-identical, and the shard-parallel speedup recorded;
+  a hash-by-tuple union-decomposition count is verified bit-identical too.
+  Appends to ``BENCH_shard.json``.
 
 Usage::
 
-    python benchmarks/record_perf.py                    # both suites, full
+    python benchmarks/record_perf.py                    # all suites, full
     python benchmarks/record_perf.py --smoke            # budgeted subset
     python benchmarks/record_perf.py --suite service    # one suite
+    python benchmarks/record_perf.py --smoke \\
+        --check-against benchmarks/baselines/baselines.json   # CI perf gate
 
-Exits non-zero if any verification fails.  Installed environments get the
-pytest-benchmark harness via the ``bench`` extra (``pip install .[bench]``);
-this script intentionally has no dependency beyond the package itself.
+``--check-against`` compares each suite's headline *speedup ratio* (machine-
+relative, so shared CI runners don't flake on absolute times) against the
+committed baseline and fails when it regresses beyond the tolerance
+(``baseline / tolerance``).  Exits non-zero if any verification fails or any
+gated metric regresses.  Installed environments get the pytest-benchmark
+harness via the ``bench`` extra (``pip install .[bench]``); this script
+intentionally has no dependency beyond the package itself.
 """
 
 from __future__ import annotations
@@ -108,7 +122,7 @@ def _append_record(out_path: Path, record: dict) -> None:
     out_path.write_text(json.dumps(existing, indent=2) + "\n")
 
 
-def run_engine(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> int:
+def run_engine(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> tuple:
     started = time.perf_counter()
     results = []
     failures = 0
@@ -161,7 +175,7 @@ def run_engine(smoke: bool, out_path: Path, repeats: int, budget_seconds: float)
     }
     _append_record(out_path, record)
     print(f"[record_perf] appended record to {out_path} (min speedup {record['min_speedup']}x)")
-    return 1 if failures else 0
+    return (1 if failures else 0), {"min_speedup": record["min_speedup"]}
 
 
 # --------------------------------------------------------------- service suite
@@ -191,7 +205,7 @@ def _service_workload(smoke: bool):
     return requests, database
 
 
-def run_service(smoke: bool, out_path: Path) -> int:
+def run_service(smoke: bool, out_path: Path) -> tuple:
     from repro.service import CountingService, ServiceConfig, execute_scheme
     from repro.util.rng import derive_seed
 
@@ -311,7 +325,11 @@ def run_service(smoke: bool, out_path: Path) -> int:
         f"(parallel {speedup:.2f}x, cached resubmission {cached_speedup:.0f}x "
         f"vs serial on {os.cpu_count()} cpu(s))"
     )
-    return 1 if failures else 0
+    # The parallel ratio is cpu-bound (1.0 on single-core runners), so only
+    # the cache-layer ratio is a gateable machine-relative metric.
+    return (1 if failures else 0), {
+        "cached_resubmission_speedup": record["cached_resubmission_speedup"]
+    }
 
 
 # -------------------------------------------------------------- prepared suite
@@ -325,7 +343,7 @@ def _alpha_renamed_copies(query, count: int):
     return copies
 
 
-def run_prepared(smoke: bool, out_path: Path) -> int:
+def run_prepared(smoke: bool, out_path: Path) -> tuple:
     from repro.core import count_answers_exact as exact_direct  # noqa: F401
     from repro.core import fpras_count_cq, fptras_count_dcq
     from repro.core.registry import REGISTRY
@@ -445,11 +463,11 @@ def run_prepared(smoke: bool, out_path: Path) -> int:
         f"[record_perf] appended record to {out_path} "
         f"(min speedup {record['min_speedup']}x)"
     )
-    return 1 if failures else 0
+    return (1 if failures else 0), {"min_speedup": record["min_speedup"]}
 
 
 # --------------------------------------------------------------- stream suite
-def run_stream_suite(smoke: bool, out_path: Path) -> int:
+def run_stream_suite(smoke: bool, out_path: Path) -> tuple:
     from repro.core.registry import REGISTRY
     from repro.service import CountingService, ServiceConfig
     from repro.util.rng import derive_seed
@@ -601,6 +619,190 @@ def run_stream_suite(smoke: bool, out_path: Path) -> int:
         f"(touched {touched_speedup:.1f}x, untouched "
         f"{untouched_per_read * 1e6:.1f}us/read)"
     )
+    return (1 if failures else 0), {"touched_speedup": record["touched_speedup"]}
+
+
+# ---------------------------------------------------------------- shard suite
+def _shard_workload(smoke: bool):
+    """A large multi-component workload over a relation-partitioned database.
+
+    Four binary relations ``E0..E3`` over one shared universe, and one query
+    with four connected components (a two-hop per relation, one free variable
+    each): the unsharded exact count enumerates the ~``n^4`` product of the
+    per-component answer sets, while the shard planner counts each component
+    on its owning shard and multiplies — the decomposition the sharding layer
+    exists to exploit.
+    """
+    from repro.queries.atoms import Atom
+    from repro.queries.query import ConjunctiveQuery
+    from repro.relational.structure import Database
+
+    size = 9 if smoke else 10
+    num_relations = 3
+    database = Database(universe=range(size))
+    for index in range(num_relations):
+        graph = erdos_renyi_graph(size, 0.3, rng=100 + index)
+        for u, v in graph.edges():
+            database.add_fact(f"E{index}", (u, v))
+            database.add_fact(f"E{index}", (v, u))
+    atoms = []
+    free = []
+    for index in range(num_relations):
+        a, b, c = f"a{index}", f"b{index}", f"c{index}"
+        atoms.append(Atom(f"E{index}", (a, b)))
+        atoms.append(Atom(f"E{index}", (b, c)))
+        free.append(a)
+    query = ConjunctiveQuery(free_variables=free, atoms=atoms)
+    return query, database, num_relations
+
+
+def run_shard_suite(smoke: bool, out_path: Path) -> tuple:
+    from repro.shard import (
+        ByRelationPartitioner,
+        HashTuplePartitioner,
+        ShardedStructure,
+        ShardExecutor,
+        plan_sharded_count,
+    )
+
+    failures = 0
+    query, database, num_relations = _shard_workload(smoke)
+    assignment = {f"E{index}": index for index in range(num_relations)}
+    sharded = ShardedStructure.from_structure(
+        database, ByRelationPartitioner(num_relations, assignment=assignment)
+    )
+    plan = plan_sharded_count(query, sharded)
+    if plan.strategy != "local":
+        failures += 1
+        print(f"[record_perf] FAIL: expected a local shard plan, got {plan.strategy!r}")
+
+    unsharded_started = time.perf_counter()
+    unsharded_count = count_answers_exact(query, database)
+    unsharded_seconds = time.perf_counter() - unsharded_started
+
+    executor = ShardExecutor(mode="process", max_workers=num_relations)
+    sharded_started = time.perf_counter()
+    sharded_result = executor.count(query, sharded, scheme="exact", plan=plan)
+    sharded_seconds = time.perf_counter() - sharded_started
+    counts_match = sharded_result.estimate == unsharded_count
+    if not counts_match:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: sharded count {sharded_result.estimate} != "
+            f"unsharded {unsharded_count}"
+        )
+    speedup = unsharded_seconds / sharded_seconds if sharded_seconds > 0 else float("inf")
+    print(
+        f"[record_perf] shard local: count={unsharded_count} "
+        f"unsharded={unsharded_seconds * 1000:.1f}ms "
+        f"sharded={sharded_seconds * 1000:.1f}ms "
+        f"({sharded_result.executed_mode}, {sharded_result.num_tasks} tasks "
+        f"over shards {list(sharded_result.shards_involved)}) "
+        f"speedup={speedup:.1f}x counts_match={counts_match}"
+    )
+
+    # Union decomposition (hash-by-tuple): exact counts stay bit-identical.
+    union_query = TWO_HOP
+    union_database = database_from_graph(erdos_renyi_graph(12, 0.3, rng=31))
+    union_sharded = ShardedStructure.from_structure(
+        union_database, HashTuplePartitioner(2)
+    )
+    union_plan = plan_sharded_count(union_query, union_sharded)
+    union_expected = count_answers_exact(union_query, union_database)
+    union_result = ShardExecutor(mode="serial").count(
+        union_query, union_sharded, scheme="exact", plan=union_plan
+    )
+    union_verified = (
+        union_plan.strategy == "union" and union_result.estimate == union_expected
+    )
+    if not union_verified:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: union path ({union_plan.strategy}) gave "
+            f"{union_result.estimate}, expected {union_expected}"
+        )
+    print(
+        f"[record_perf] shard union: {union_result.num_tasks} restrictions, "
+        f"count={union_result.estimate} verified={union_verified}"
+    )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "num_shards": num_relations,
+        "partitioner": "relation",
+        "strategy": plan.strategy,
+        "cpu_count": os.cpu_count(),
+        "executed_mode": sharded_result.executed_mode,
+        "query_components": plan.num_components,
+        "count": unsharded_count,
+        "unsharded_seconds": round(unsharded_seconds, 6),
+        "sharded_seconds": round(sharded_seconds, 6),
+        "speedup": round(speedup, 2),
+        "counts_match": counts_match,
+        "union_restrictions": union_result.num_tasks,
+        "union_verified": union_verified,
+        "note": (
+            "speedup compares one multi-component exact count over the "
+            "monolith with the shard-decomposed count (per-shard tasks "
+            "through the process pool, combined by product); the union row "
+            "verifies the hash-by-tuple decomposition stays bit-identical"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} (shard-parallel "
+        f"{speedup:.1f}x on {os.cpu_count()} cpu(s))"
+    )
+    return (1 if failures else 0), {"speedup": record["speedup"]}
+
+
+# ------------------------------------------------------------------ perf gate
+def check_against(
+    baseline_path: Path, observed: dict, tolerance_override: float = None
+) -> int:
+    """Compare observed suite metrics with committed baselines.
+
+    The baselines file maps suite name -> {metric: baseline value} (plus an
+    optional top-level ``tolerance``).  A metric regresses when ``observed <
+    baseline / tolerance``; only suites that actually ran are checked, and a
+    gated metric missing from a run that should carry it fails loudly.
+    """
+    payload = json.loads(Path(baseline_path).read_text())
+    tolerance = float(payload.get("tolerance", 1.5))
+    if tolerance_override is not None:
+        tolerance = float(tolerance_override)
+    if tolerance < 1.0:
+        raise SystemExit("--check-tolerance must be >= 1.0")
+    suites = payload.get("suites", {})
+    failures = 0
+    checked = 0
+    for suite, metrics in sorted(suites.items()):
+        if suite not in observed:
+            continue
+        for metric, baseline in sorted(metrics.items()):
+            current = observed[suite].get(metric)
+            checked += 1
+            floor = baseline / tolerance
+            if current is None:
+                failures += 1
+                print(
+                    f"[perf-gate] FAIL {suite}.{metric}: metric missing from "
+                    f"this run (baseline {baseline})"
+                )
+            elif current < floor:
+                failures += 1
+                print(
+                    f"[perf-gate] FAIL {suite}.{metric}: {current} < "
+                    f"{floor:.2f} (baseline {baseline} / tolerance {tolerance})"
+                )
+            else:
+                print(
+                    f"[perf-gate] ok   {suite}.{metric}: {current} >= "
+                    f"{floor:.2f} (baseline {baseline} / tolerance {tolerance})"
+                )
+    if checked == 0:
+        print("[perf-gate] no baselined suite ran; nothing to check")
     return 1 if failures else 0
 
 
@@ -609,7 +811,7 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true", help="budgeted subset")
     parser.add_argument(
         "--suite",
-        choices=["engine", "service", "prepared", "stream", "all"],
+        choices=["engine", "service", "prepared", "stream", "shard", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -629,20 +831,50 @@ def main() -> int:
         "--stream-out", type=Path, default=REPO_ROOT / "BENCH_stream.json",
         help="stream-suite output JSON file",
     )
+    parser.add_argument(
+        "--shard-out", type=Path, default=REPO_ROOT / "BENCH_shard.json",
+        help="shard-suite output JSON file",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     parser.add_argument(
         "--budget-seconds", type=float, default=30.0, help="smoke-mode time budget"
     )
+    parser.add_argument(
+        "--check-against", type=Path, default=None, metavar="BASELINES_JSON",
+        help="fail if any suite's headline metric regresses beyond the "
+        "tolerance relative to the committed baselines (the CI perf gate)",
+    )
+    parser.add_argument(
+        "--check-tolerance", type=float, default=None,
+        help="override the baselines file's regression tolerance (default 1.5)",
+    )
     args = parser.parse_args()
     status = 0
+    observed = {}
     if args.suite in ("engine", "all"):
-        status |= run_engine(args.smoke, args.out, max(1, args.repeats), args.budget_seconds)
+        suite_status, metrics = run_engine(
+            args.smoke, args.out, max(1, args.repeats), args.budget_seconds
+        )
+        status |= suite_status
+        observed["engine"] = metrics
     if args.suite in ("service", "all"):
-        status |= run_service(args.smoke, args.service_out)
+        suite_status, metrics = run_service(args.smoke, args.service_out)
+        status |= suite_status
+        observed["service"] = metrics
     if args.suite in ("prepared", "all"):
-        status |= run_prepared(args.smoke, args.prepared_out)
+        suite_status, metrics = run_prepared(args.smoke, args.prepared_out)
+        status |= suite_status
+        observed["prepared"] = metrics
     if args.suite in ("stream", "all"):
-        status |= run_stream_suite(args.smoke, args.stream_out)
+        suite_status, metrics = run_stream_suite(args.smoke, args.stream_out)
+        status |= suite_status
+        observed["stream"] = metrics
+    if args.suite in ("shard", "all"):
+        suite_status, metrics = run_shard_suite(args.smoke, args.shard_out)
+        status |= suite_status
+        observed["shard"] = metrics
+    if args.check_against is not None:
+        status |= check_against(args.check_against, observed, args.check_tolerance)
     return status
 
 

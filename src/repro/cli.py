@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands, mirroring the package's main entry points (also available
+Seven subcommands, mirroring the package's main entry points (also available
 as ``python -m repro``)::
 
     repro-count count    --query "Ans(x) :- E(x, y), E(x, z), y != z" --database db.json
@@ -9,6 +9,7 @@ as ``python -m repro``)::
     repro-count plan     --query "Ans(x) :- E(x, y)" --database db.json
     repro-count batch    --queries workload.txt --database db.json --seed 7
     repro-count batch    --workload 50 --seed 7   # synthetic mixed workload
+    repro-count shard    --workload 20 --shards 4 --partitioner relation --compare
     repro-count stream   --events 200 --queries 8 --seed 7 --refresh debounced
 
 Databases are JSON files in the format of :mod:`repro.relational.io` (or edge
@@ -166,6 +167,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit the batch this many times (demonstrates result-cache hits)",
     )
     batch.add_argument("--json", action="store_true", help="emit a JSON report")
+
+    shard = subparsers.add_parser(
+        "shard",
+        help="count a batch against a horizontally sharded database",
+    )
+    source = shard.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--queries",
+        help="path to a file with one query per line ('#' starts a comment)",
+    )
+    source.add_argument(
+        "--workload",
+        type=int,
+        metavar="N",
+        help="generate a synthetic mixed CQ/DCQ/ECQ workload of N queries "
+        "(with its own database unless one is given)",
+    )
+    _add_database_arguments(shard)
+    shard.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default: 4)"
+    )
+    shard.add_argument(
+        "--partitioner",
+        choices=["relation", "tuple"],
+        default="relation",
+        help="fact placement: whole relations per shard, or hash-by-tuple "
+        "(default: relation)",
+    )
+    shard.add_argument(
+        "--assign",
+        default=None,
+        metavar="R=0,S=1",
+        help="explicit relation-to-shard assignment for --partitioner "
+        "relation (comma-separated name=shard pairs)",
+    )
+    shard.add_argument("--epsilon", type=float, default=0.2)
+    shard.add_argument("--delta", type=float, default=0.05)
+    shard.add_argument("--seed", type=int, default=None, help="batch master seed")
+    shard.add_argument(
+        "--executor",
+        choices=["process", "thread", "serial"],
+        default="process",
+        help="execution back-end for per-shard tasks (default: process pool)",
+    )
+    shard.add_argument("--workers", type=int, default=None, help="worker count")
+    shard.add_argument(
+        "--method",
+        choices=["exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact"],
+        default=None,
+        help="force one scheme for every query",
+    )
+    shard.add_argument(
+        "--compare",
+        action="store_true",
+        help="also count unsharded and report agreement (slow on large inputs)",
+    )
+    shard.add_argument("--json", action="store_true", help="emit a JSON report")
 
     stream = subparsers.add_parser(
         "stream",
@@ -377,6 +435,124 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard_assignment(spec: Optional[str]) -> Optional[dict]:
+    if not spec:
+        return None
+    assignment = {}
+    for pair in spec.split(","):
+        name, _, shard = pair.partition("=")
+        if not name or not shard:
+            raise SystemExit(f"bad --assign entry {pair!r}; expected name=shard")
+        try:
+            assignment[name.strip()] = int(shard)
+        except ValueError:
+            raise SystemExit(f"bad shard index in --assign entry {pair!r}")
+    return assignment
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CountingService,
+        CountRequest,
+        ServiceConfig,
+        mixed_query_workload,
+        workload_database,
+    )
+    from repro.shard import ShardedStructure, make_partitioner
+
+    if args.workload is not None:
+        queries = mixed_query_workload(args.workload, rng=args.seed)
+        if args.database or args.edge_list:
+            database = _load_database(args)
+        else:
+            database = workload_database(rng=args.seed)
+    else:
+        queries = _load_batch_queries(args.queries)
+        database = _load_database(args)
+
+    if args.assign and args.partitioner != "relation":
+        raise SystemExit("--assign requires --partitioner relation")
+    partitioner = make_partitioner(
+        args.partitioner, args.shards, assignment=_parse_shard_assignment(args.assign)
+    )
+    sharded = ShardedStructure.from_structure(database, partitioner)
+    service = CountingService(
+        sharded,
+        ServiceConfig(
+            epsilon=args.epsilon,
+            delta=args.delta,
+            executor=args.executor,
+            max_workers=args.workers,
+        ),
+    )
+    requests = [CountRequest(query=query, method=args.method) for query in queries]
+    report = service.count_batch(requests, seed=args.seed)
+    # The batch already planned every query; "hit" marks cache-served results
+    # (which skip the shard planner entirely).
+    strategies = [result.shard_strategy or "hit" for result in report.results]
+
+    comparison = None
+    if args.compare:
+        plain = CountingService(
+            database,
+            ServiceConfig(
+                epsilon=args.epsilon,
+                delta=args.delta,
+                executor=args.executor,
+                max_workers=args.workers,
+            ),
+        )
+        plain_report = plain.count_batch(requests, seed=args.seed)
+        comparison = [
+            (sharded_result.estimate, plain_result.estimate)
+            for sharded_result, plain_result in zip(report.results, plain_report.results)
+        ]
+
+    if args.json:
+        payload = {
+            "num_shards": sharded.num_shards,
+            "partitioner": partitioner.kind,
+            "shard_fact_counts": sharded.shard_fact_counts(),
+            "strategies": {
+                strategy: strategies.count(strategy) for strategy in sorted(set(strategies))
+            },
+            "batch": report.to_dict(),
+        }
+        if comparison is not None:
+            payload["compare"] = {
+                "estimates_equal": [a == b for a, b in comparison],
+                "unsharded_estimates": [b for _, b in comparison],
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(
+        f"sharded database: {sharded.num_shards} shards "
+        f"(partitioner={partitioner.kind}), facts per shard "
+        f"{sharded.shard_fact_counts()}"
+    )
+    for result, query, strategy in zip(report.results, queries, strategies):
+        print(
+            f"[{result.index:3d}] {result.query_class:3s} "
+            f"scheme={result.scheme:11s} strategy={strategy:7s} "
+            f"estimate={result.estimate:12.2f} cache={result.cache:4s} "
+            f"{1000 * result.execute_seconds:8.1f}ms  {query}"
+        )
+    print(
+        f"batch: {len(report.results)} queries in {report.wall_seconds:.2f}s "
+        f"({report.throughput_qps:.1f} q/s) executor={report.executed_executor} "
+        f"cache hits={report.cache_hits} misses={report.cache_misses}"
+    )
+    if comparison is not None:
+        equal = sum(1 for a, b in comparison if a == b)
+        print(
+            f"compare: {equal}/{len(comparison)} sharded estimates equal the "
+            "unsharded service run (exact schemes must all agree; shard-"
+            "spanning approximations may differ within their error bounds)"
+        )
+    return 0
+
+
 def _command_stream(args: argparse.Namespace) -> int:
     from repro.service import (
         CountingService,
@@ -479,6 +655,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_plan(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "shard":
+        return _command_shard(args)
     if args.command == "stream":
         return _command_stream(args)
     parser.error(f"unknown command {args.command!r}")

@@ -20,7 +20,9 @@ semaphores), execution falls back to serial and the report says so.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -165,18 +167,38 @@ def run_tasks(
                 pool.map(lambda t: _run_task(t, databases[t.database_token]), tasks)
             )
     else:
-        # Only pool-infrastructure failures trigger the serial fallback
-        # (sandboxes without semaphores raise OSError at pool creation, a
-        # crashed worker raises BrokenExecutor); an exception raised *by a
-        # task* propagates unchanged, as it would serially.
+        # Only pool-infrastructure failures trigger the serial fallback:
+        # sandboxed environments commonly have no usable multiprocessing
+        # start method at all (get_context raises), or forbid the required
+        # semaphores (OSError at pool creation), and a crashed worker raises
+        # BrokenExecutor.  An exception raised *by a task* propagates
+        # unchanged, as it would serially.
+        fallback_error: Optional[BaseException] = None
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(dict(databases),),
-            ) as pool:
-                outcomes = list(pool.map(_run_task_in_worker, tasks, chunksize=1))
-        except (OSError, BrokenExecutor):
+            # Preflight, separately from the pool so that a RuntimeError
+            # raised *by a task* inside pool.map is not mistaken for an
+            # unavailable start method.
+            multiprocessing.get_context()
+        except (ValueError, RuntimeError, OSError) as error:
+            fallback_error = error
+        if fallback_error is None:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(dict(databases),),
+                ) as pool:
+                    outcomes = list(pool.map(_run_task_in_worker, tasks, chunksize=1))
+            except (OSError, BrokenExecutor) as error:
+                fallback_error = error
+        if fallback_error is not None:
+            warnings.warn(
+                "process executor unavailable "
+                f"({type(fallback_error).__name__}: {fallback_error}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             outcomes = [_run_task(task, databases[task.database_token]) for task in tasks]
             executed_mode = "serial-fallback"
 

@@ -33,13 +33,17 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.queries.prepared import prepare
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.structure import Structure
 from repro.service.cache import LRUCache
+
+# Imported as a submodule (not the repro.shard package __init__) to stay
+# cycle-safe: repro.shard.executor imports repro.service.executor.
+from repro.shard.sharded import ShardedStructure
 from repro.service.executor import (
     EXECUTOR_MODES,
     CountTask,
@@ -109,7 +113,12 @@ class CountResult:
     execute_seconds: float
     #: Width parameters the scheme run relied on (from the registry
     #: envelope); ``None`` for cache hits, which skip the scheme run.
+    #: Sharded local plans carry the per-component width dicts instead.
     widths: Optional[Dict[str, Any]] = None
+    #: The shard strategy (``"single"`` | ``"local"`` | ``"union"`` |
+    #: ``"merged"``) when the request's database was sharded and the count
+    #: actually ran; ``None`` for monolithic databases and cache hits.
+    shard_strategy: Optional[str] = None
 
     @property
     def count(self) -> int:
@@ -131,6 +140,7 @@ class CountResult:
             "plan_seconds": round(self.plan_seconds, 6),
             "execute_seconds": round(self.execute_seconds, 6),
             "widths": self.widths,
+            "shard_strategy": self.shard_strategy,
         }
 
 
@@ -191,6 +201,9 @@ class CountingService:
         #: Per-database streaming state (change log + live subscriptions),
         #: keyed by structure token; populated by :meth:`subscribe`.
         self._streams: Dict[int, Any] = {}
+        #: Live subscriptions on sharded databases (no change log; deltas
+        #: route by shard fingerprint — see :mod:`repro.shard.subscription`).
+        self._shard_subscriptions: List[Any] = []
 
     # ------------------------------------------------------------- internals
     def _resolve(self, request: RequestLike) -> CountRequest:
@@ -280,9 +293,14 @@ class CountingService:
         resolved = [self._resolve(request) for request in requests]
         results: List[Optional[CountResult]] = [None] * len(resolved)
         tasks: List[CountTask] = []
-        task_meta: List[tuple] = []
+        #: One entry per cache-missing request that became executor task(s):
+        #: (request index, plan, plan_seconds, result_key, epsilon, delta,
+        #: task_seed, task slot positions).  Sharded local plans own several
+        #: slots; everything else exactly one.
+        groups: List[tuple] = []
         databases: Dict[int, Structure] = {}
         cache_hits = 0
+        inline_count = 0
 
         for index, request in enumerate(resolved):
             epsilon = request.epsilon if request.epsilon is not None else self.config.epsilon
@@ -330,29 +348,70 @@ class CountingService:
                 )
                 continue
 
-            token = request.database.structure_token
-            databases[token] = request.database
-            tasks.append(
-                CountTask(
-                    index=index,
-                    query=request.query,
-                    scheme=plan.scheme,
-                    engine=plan.engine,
-                    epsilon=epsilon,
-                    delta=delta,
-                    seed=task_seed,
-                    database_token=token,
+            if isinstance(request.database, ShardedStructure):
+                slots, strategy, inline = self._enqueue_sharded(
+                    request, plan, epsilon, delta, task_seed, tasks, databases
                 )
+                if inline is not None:
+                    # Union/merged strategy: computed inline just now.
+                    inline_count += 1
+                    estimate, execute_seconds = inline
+                    self.result_cache.put(result_key, estimate)
+                    results[index] = CountResult(
+                        index=index,
+                        estimate=estimate,
+                        scheme=plan.scheme,
+                        query_class=plan.query_class,
+                        plan=plan,
+                        seed=task_seed,
+                        epsilon=epsilon,
+                        delta=delta,
+                        cache="miss",
+                        plan_seconds=plan_seconds,
+                        execute_seconds=execute_seconds,
+                        shard_strategy=strategy,
+                    )
+                    continue
+            else:
+                strategy = None
+                token = request.database.structure_token
+                databases[token] = request.database
+                slots = [len(tasks)]
+                tasks.append(
+                    CountTask(
+                        index=len(tasks),
+                        query=request.query,
+                        scheme=plan.scheme,
+                        engine=plan.engine,
+                        epsilon=epsilon,
+                        delta=delta,
+                        seed=task_seed,
+                        database_token=token,
+                    )
+                )
+            groups.append(
+                (index, plan, plan_seconds, result_key, epsilon, delta, task_seed, slots, strategy)
             )
-            task_meta.append((plan, plan_seconds, result_key, epsilon, delta, task_seed))
 
         execution = run_tasks(tasks, databases, mode=mode, max_workers=workers)
-        for task, outcome, meta in zip(tasks, execution.outcomes, task_meta):
-            plan, plan_seconds, result_key, epsilon, delta, task_seed = meta
-            self.result_cache.put(result_key, outcome.estimate)
-            results[task.index] = CountResult(
-                index=task.index,
-                estimate=outcome.estimate,
+        for index, plan, plan_seconds, result_key, epsilon, delta, task_seed, slots, strategy in groups:
+            outcomes = [execution.outcomes[slot] for slot in slots]
+            if len(outcomes) == 1:
+                estimate = outcomes[0].estimate
+                widths: Optional[Dict[str, Any]] = outcomes[0].widths
+            else:
+                # Sharded local plan: per-component counts multiply (the
+                # components share no variables, so answer tuples factor).
+                from repro.shard.executor import combine_local_estimates
+
+                estimate = combine_local_estimates(
+                    [outcome.estimate for outcome in outcomes]
+                )
+                widths = {"components": [outcome.widths for outcome in outcomes]}
+            self.result_cache.put(result_key, estimate)
+            results[index] = CountResult(
+                index=index,
+                estimate=estimate,
                 scheme=plan.scheme,
                 query_class=plan.query_class,
                 plan=plan,
@@ -361,20 +420,83 @@ class CountingService:
                 delta=delta,
                 cache="miss",
                 plan_seconds=plan_seconds,
-                execute_seconds=outcome.seconds,
-                widths=outcome.widths,
+                execute_seconds=sum(outcome.seconds for outcome in outcomes),
+                widths=widths,
+                shard_strategy=strategy,
             )
 
+        if tasks:
+            executed = execution.executed_mode
+        elif inline_count:
+            executed = "inline"
+        else:
+            executed = "cache"
         assert all(result is not None for result in results)
         return BatchReport(
             results=[result for result in results if result is not None],
             wall_seconds=time.perf_counter() - started,
             requested_executor=mode,
-            executed_executor=execution.executed_mode if tasks else "cache",
+            executed_executor=executed,
             max_workers=workers,
             cache_hits=cache_hits,
-            cache_misses=len(tasks),
+            cache_misses=len(resolved) - cache_hits,
         )
+
+    def _enqueue_sharded(
+        self,
+        request: CountRequest,
+        plan: QueryPlan,
+        epsilon: float,
+        delta: float,
+        task_seed: Optional[int],
+        tasks: List[CountTask],
+        databases: Dict[int, Structure],
+    ) -> Tuple[List[int], str, Optional[Tuple[float, float]]]:
+        """Turn one sharded request into executor tasks.
+
+        Returns ``(slot positions, shard strategy, inline result)``:
+        single/local shard plans append one :class:`CountTask` per shard task
+        (over the per-shard structures, with pass-through or derived seeds)
+        and occupy slots; union/merged plans run inline through the
+        :class:`~repro.shard.executor.ShardExecutor` and return their
+        ``(estimate, wall seconds)`` directly.
+        """
+        from repro.shard.executor import ShardExecutor, shard_task_seed
+        from repro.shard.plan import plan_sharded_count
+
+        sharded = request.database
+        shard_plan = plan_sharded_count(request.query, sharded)
+        if shard_plan.strategy in ("single", "local"):
+            slots: List[int] = []
+            for shard_task in shard_plan.tasks:
+                shard_structure = sharded.shards[shard_task.shard]
+                databases[shard_structure.structure_token] = shard_structure
+                slots.append(len(tasks))
+                tasks.append(
+                    CountTask(
+                        index=len(tasks),
+                        query=shard_task.query,
+                        scheme=plan.scheme,
+                        engine=plan.engine,
+                        epsilon=epsilon,
+                        delta=delta,
+                        seed=shard_task_seed(task_seed, shard_task),
+                        database_token=shard_structure.structure_token,
+                    )
+                )
+            return slots, shard_plan.strategy, None
+
+        shard_result = ShardExecutor(mode="serial").count(
+            request.query,
+            sharded,
+            scheme=plan.scheme,
+            epsilon=epsilon,
+            delta=delta,
+            seed=task_seed,
+            engine=plan.engine,
+            plan=shard_plan,
+        )
+        return [], shard_plan.strategy, (shard_result.estimate, shard_result.wall_seconds)
 
     # ------------------------------------------------------------- streaming
     def subscribe(
@@ -398,6 +520,21 @@ class CountingService:
         from repro.stream.live import CountSubscription, _StreamState
 
         resolved = self._resolve(request)
+        if isinstance(resolved.database, ShardedStructure):
+            # Sharded databases have no change log; the subscription keeps one
+            # fingerprint per query component on its owning shard, so only
+            # touched shards recount (see repro.shard.subscription).
+            from repro.shard.subscription import ShardSubscription
+
+            subscription = ShardSubscription(
+                self,
+                resolved,
+                refresh=refresh,
+                debounce_ticks=debounce_ticks,
+                budget_seconds=budget_seconds,
+            )
+            self._shard_subscriptions.append(subscription)
+            return subscription
         token = resolved.database.structure_token
         state = self._streams.get(token)
         if state is None:
@@ -436,6 +573,13 @@ class CountingService:
         if state is not None and state.discard(subscription):
             del self._streams[token]
 
+    def _drop_shard_subscription(self, subscription) -> None:
+        """Called by :meth:`ShardSubscription.close` (idempotent)."""
+        try:
+            self._shard_subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
     def evict(self, database: Structure) -> int:
         """Drop every result-cache entry keyed to ``database`` (any
         fingerprint), returning how many were dropped.
@@ -466,5 +610,6 @@ class CountingService:
             "result_cache": self.result_cache.stats().to_dict(),
             "subscriptions": sum(
                 len(state.subscriptions) for state in self._streams.values()
-            ),
+            )
+            + len(self._shard_subscriptions),
         }

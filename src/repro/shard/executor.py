@@ -1,0 +1,234 @@
+"""The :class:`ShardExecutor`: run a :class:`ShardCountPlan` and combine.
+
+Single/local plans become :class:`~repro.service.executor.CountTask`s over
+the per-shard structures and fan out across the serial / thread / process
+back-ends of :func:`repro.service.executor.run_tasks` — the same pool
+machinery (databases shipped once per worker, keyed by structure token) the
+batch service uses, so shard structures ride the existing infrastructure
+unchanged.  Union plans run the Section-6 machinery over the tagged database
+(exactly via :func:`repro.unions.karp_luby.exact_count_union`, approximately
+via the registry's ``union_karp_luby`` scheme); merged plans count the
+reassembled monolith.
+
+Seeds: a single-strategy plan passes the request seed through (bit-identical
+to the unsharded run); local tasks get ``derive_seed(seed, shard, component)``
+so the fan-out is reproducible regardless of back-end or completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.queries.query import ConjunctiveQuery
+from repro.relational.csp import DEFAULT_ENGINE
+from repro.relational.structure import Structure
+from repro.service.executor import CountTask, run_tasks
+from repro.shard.plan import ShardCountPlan, ShardTask, plan_sharded_count
+from repro.shard.sharded import ShardedStructure
+from repro.util.rng import derive_seed
+
+#: Schemes whose results are error-free integer counts; products of these are
+#: bit-identical to the unsharded count.
+EXACT_SCHEMES = frozenset({"exact", "oracle_exact"})
+
+
+def shard_task_seed(seed: Optional[int], task: ShardTask) -> Optional[int]:
+    """The deterministic seed of one shard task (``None`` stays ``None``)."""
+    if seed is None or task.seed_path is None:
+        return seed
+    return derive_seed(seed, *task.seed_path)
+
+
+@dataclass(frozen=True)
+class ShardCountResult:
+    """A sharded count with its provenance."""
+
+    estimate: float
+    scheme: str
+    strategy: str
+    num_components: int
+    num_tasks: int
+    shards_involved: Tuple[int, ...]
+    executed_mode: str
+    wall_seconds: float
+    #: Per-task ``(shard, component, estimate, seconds)`` rows (single/local).
+    task_rows: Tuple[Tuple[int, int, float, float], ...] = ()
+    trace: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def count(self) -> int:
+        return int(round(self.estimate))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "estimate": self.estimate,
+            "count": self.count,
+            "scheme": self.scheme,
+            "strategy": self.strategy,
+            "num_components": self.num_components,
+            "num_tasks": self.num_tasks,
+            "shards_involved": list(self.shards_involved),
+            "executed_mode": self.executed_mode,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "trace": list(self.trace),
+        }
+
+
+def combine_local_estimates(estimates: List[float]) -> float:
+    """Product of per-component counts (components share no variables, so
+    answer tuples factor; integer inputs keep an exact integer product)."""
+    product: float = 1
+    for estimate in estimates:
+        product = product * estimate
+    return product
+
+
+class ShardExecutor:
+    """Plan and execute sharded counts over one :class:`ShardedStructure`."""
+
+    def __init__(
+        self,
+        mode: str = "process",
+        max_workers: Optional[int] = None,
+        union_exact_components: bool = True,
+    ) -> None:
+        self.mode = mode
+        self.max_workers = max_workers
+        #: Approximate union plans run Karp–Luby with exact per-restriction
+        #: counts and exactly uniform samples by default (the estimator's
+        #: only error is sampling error; each restriction is one shard's
+        #: slice, so exact per-component evaluation is cheap).  Set ``False``
+        #: to count the restrictions with the paper's FPTRAS/FPRAS schemes
+        #: at the tightened per-component ``(epsilon/3, delta/3m)`` — the
+        #: Section-6 construction verbatim, far slower.
+        self.union_exact_components = union_exact_components
+
+    def count(
+        self,
+        query: ConjunctiveQuery,
+        sharded: ShardedStructure,
+        scheme: str = "exact",
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        seed: Optional[int] = None,
+        engine: str = DEFAULT_ENGINE,
+        plan: Optional[ShardCountPlan] = None,
+    ) -> ShardCountResult:
+        """Count ``|Ans(query, sharded)|`` with the given scheme.
+
+        ``plan`` may be passed in when the caller already planned (the
+        service does); otherwise :func:`plan_sharded_count` runs here.
+        """
+        started = time.perf_counter()
+        if plan is None:
+            plan = plan_sharded_count(query, sharded)
+
+        if plan.strategy in ("single", "local"):
+            tasks: List[CountTask] = []
+            databases: Dict[int, Structure] = {}
+            for index, shard_task in enumerate(plan.tasks):
+                shard_structure = sharded.shards[shard_task.shard]
+                databases[shard_structure.structure_token] = shard_structure
+                tasks.append(
+                    CountTask(
+                        index=index,
+                        query=shard_task.query,
+                        scheme=scheme,
+                        engine=engine,
+                        epsilon=epsilon,
+                        delta=delta,
+                        seed=shard_task_seed(seed, shard_task),
+                        database_token=shard_structure.structure_token,
+                    )
+                )
+            report = run_tasks(tasks, databases, mode=self.mode, max_workers=self.max_workers)
+            estimate = combine_local_estimates([outcome.estimate for outcome in report.outcomes])
+            rows = tuple(
+                (shard_task.shard, shard_task.component, outcome.estimate, outcome.seconds)
+                for shard_task, outcome in zip(plan.tasks, report.outcomes)
+            )
+            return ShardCountResult(
+                estimate=estimate,
+                scheme=scheme,
+                strategy=plan.strategy,
+                num_components=plan.num_components,
+                num_tasks=len(tasks),
+                shards_involved=plan.shards_involved,
+                executed_mode=report.executed_mode,
+                wall_seconds=time.perf_counter() - started,
+                task_rows=rows,
+                trace=plan.trace,
+            )
+
+        if plan.strategy == "union":
+            estimate = self._count_union(
+                plan,
+                scheme,
+                epsilon=epsilon,
+                delta=delta,
+                seed=seed,
+                engine=engine,
+                exact_components=self.union_exact_components,
+            )
+            return ShardCountResult(
+                estimate=estimate,
+                scheme=scheme,
+                strategy="union",
+                num_components=plan.num_components,
+                num_tasks=len(plan.union.queries),
+                shards_involved=tuple(range(sharded.num_shards)),
+                executed_mode="union-inline",
+                wall_seconds=time.perf_counter() - started,
+                trace=plan.trace,
+            )
+
+        # Merged fallback: correct on any input, not shard-parallel.
+        from repro.core.registry import REGISTRY
+
+        estimate = REGISTRY.count(
+            scheme, query, sharded.merged(),
+            epsilon=epsilon, delta=delta, rng=seed, engine=engine,
+        ).estimate
+        return ShardCountResult(
+            estimate=estimate,
+            scheme=scheme,
+            strategy="merged",
+            num_components=plan.num_components,
+            num_tasks=1,
+            shards_involved=tuple(range(sharded.num_shards)),
+            executed_mode="merged-inline",
+            wall_seconds=time.perf_counter() - started,
+            trace=plan.trace,
+        )
+
+    @staticmethod
+    def _count_union(
+        plan: ShardCountPlan,
+        scheme: str,
+        epsilon: float,
+        delta: float,
+        seed: Optional[int],
+        engine: str,
+        exact_components: bool,
+    ) -> float:
+        decomposition = plan.union
+        if not decomposition.queries:
+            # Some positive atom's relation is empty everywhere: no answers.
+            return 0 if scheme in EXACT_SCHEMES else 0.0
+        if scheme in EXACT_SCHEMES:
+            from repro.unions.karp_luby import exact_count_union
+
+            return exact_count_union(decomposition.queries, decomposition.tagged, engine=engine)
+        from repro.core.registry import REGISTRY
+
+        return REGISTRY.count_union(
+            decomposition.queries,
+            decomposition.tagged,
+            epsilon=epsilon,
+            delta=delta,
+            rng=seed,
+            engine=engine,
+            exact_components=exact_components,
+        ).estimate

@@ -1,0 +1,127 @@
+"""Fact partitioners: deciding which shard owns which fact.
+
+A partitioner is a pure, deterministic function from ``(relation name, fact
+tuple)`` to a shard index in ``range(num_shards)``.  Determinism across
+*processes* matters — shard routing happens in the service front-end while
+counting may run in pool workers, and a re-built ``ShardedStructure`` must
+place every fact exactly where the original did — so the hash partitioners
+are built on :func:`stable_hash` (BLAKE2 over a ``repr`` serialisation)
+rather than Python's per-process-salted ``hash``.
+
+Two placement policies:
+
+* :class:`HashTuplePartitioner` spreads each relation's facts uniformly
+  across all shards (hash of relation name + tuple).  Best balance; queries
+  generally do not localise, so counts go through the union decomposition of
+  :mod:`repro.shard.plan`.
+* :class:`ByRelationPartitioner` keeps every relation whole on one shard
+  (explicit assignment, or hash of the relation name).  Queries whose
+  connected components each touch a single shard's relations localise and
+  decompose into exact per-shard counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+Fact = Tuple[Hashable, ...]
+
+
+def stable_hash(*parts: object) -> int:
+    """A process-stable 64-bit hash of ``parts``.
+
+    Keyed on the ``repr`` of the parts (facts hold primitive hashables —
+    ints, strings, tuples — whose reprs are stable), digested with BLAKE2;
+    unlike builtin ``hash``, the value survives interpreter restarts and
+    ``PYTHONHASHSEED`` salting, so shard placement is reproducible.
+    """
+    payload = repr(parts).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "big")
+
+
+class Partitioner:
+    """Base partitioner: maps facts to shards, deterministically."""
+
+    #: Short policy name, used by the CLI and the benches.
+    kind: str = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = int(num_shards)
+
+    def shard_of(self, name: str, fact: Sequence[Hashable]) -> int:
+        """The shard index owning ``(name, fact)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class HashTuplePartitioner(Partitioner):
+    """Hash-by-tuple placement: shard = ``stable_hash(name, fact) % N``.
+
+    Spreads every relation across all shards (good balance under skew);
+    queries over such shards are counted through the union decomposition.
+    """
+
+    kind = "tuple"
+
+    def shard_of(self, name: str, fact: Sequence[Hashable]) -> int:
+        return stable_hash(name, tuple(fact)) % self.num_shards
+
+
+class ByRelationPartitioner(Partitioner):
+    """By-relation placement: every fact of a relation lands on one shard.
+
+    The assignment is either explicit (``{relation name: shard index}``;
+    unknown relations fall back to the hash rule) or ``stable_hash(name) %
+    N``.  Whole relations per shard make single-relation queries — and more
+    generally queries whose connected components stay within one shard's
+    relations — localise, so they are counted exactly on their owning shard.
+    """
+
+    kind = "relation"
+
+    def __init__(
+        self,
+        num_shards: int,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(num_shards)
+        self.assignment: Dict[str, int] = dict(assignment or {})
+        for name, shard in self.assignment.items():
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"relation {name!r} assigned to shard {shard}, but there "
+                    f"are only {self.num_shards} shards"
+                )
+
+    def shard_of_relation(self, name: str) -> int:
+        shard = self.assignment.get(name)
+        if shard is None:
+            shard = stable_hash(name) % self.num_shards
+        return shard
+
+    def shard_of(self, name: str, fact: Sequence[Hashable]) -> int:
+        return self.shard_of_relation(name)
+
+
+#: Registered placement policies, by ``kind`` (the CLI's ``--partitioner``).
+PARTITIONER_KINDS = ("tuple", "relation")
+
+
+def make_partitioner(
+    kind: str,
+    num_shards: int,
+    assignment: Optional[Mapping[str, int]] = None,
+) -> Partitioner:
+    """Build a partitioner by policy name (``"tuple"`` or ``"relation"``)."""
+    if kind == "tuple":
+        if assignment:
+            raise ValueError("the tuple partitioner takes no relation assignment")
+        return HashTuplePartitioner(num_shards)
+    if kind == "relation":
+        return ByRelationPartitioner(num_shards, assignment=assignment)
+    raise ValueError(f"unknown partitioner kind {kind!r}; expected one of {PARTITIONER_KINDS}")

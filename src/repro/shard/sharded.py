@@ -1,0 +1,244 @@
+"""The :class:`ShardedStructure`: one logical database, ``N`` physical shards.
+
+Each shard is a full :class:`~repro.relational.structure.Structure` carrying
+the **complete signature and universe** but only the facts the partitioner
+routes to it.  Keeping the full universe on every shard is load-bearing:
+variables that occur only in negated atoms or disequalities range over the
+whole universe, so a per-shard count over a shrunken universe would be wrong.
+
+The sharded structure mirrors enough of the ``Structure`` read/mutation API
+(duck-typed, not subclassed) for the service layer to accept it wherever a
+database goes:
+
+* mutations (:meth:`add_fact` / :meth:`remove_fact`) route to the owning
+  shard — bumping only *that* shard's version counters — and keep every
+  shard's universe in sync;
+* :attr:`structure_token` / :meth:`version_fingerprint` preserve the cache-key
+  semantics of the monolithic structure: the token identifies the sharded
+  database as a whole, and the fingerprint aggregates the per-shard counters
+  (monotone, and restricted fingerprints stay insensitive to mutations of
+  unmentioned relations) so the service result cache invalidates exactly as
+  it would unsharded;
+* :meth:`owner_shards` answers the planner's localisation question: which
+  shards hold *every* fact of a given relation set.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.relational.signature import RelationSymbol, Signature
+from repro.relational.structure import _STRUCTURE_TOKENS, Fact, Structure
+from repro.shard.partition import Partitioner
+
+Element = Hashable
+
+
+class ShardedStructure:
+    """A horizontally sharded relational database.
+
+    Build one with :meth:`from_structure` (partitioning an existing database)
+    or incrementally via :meth:`add_fact`.  The per-shard structures are
+    exposed through :attr:`shards` — they are real ``Structure`` objects and
+    flow unchanged into the CSP engine, the scheme registry, and the process
+    pool of the service executor.
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        signature: Optional[Signature] = None,
+        universe: Iterable[Element] = (),
+    ) -> None:
+        self.partitioner = partitioner
+        self.num_shards = partitioner.num_shards
+        self.shards: Tuple[Structure, ...] = tuple(
+            Structure(signature=signature, universe=universe)
+            for _ in range(self.num_shards)
+        )
+        self._structure_token: int = next(_STRUCTURE_TOKENS)
+
+    # --------------------------------------------------------------- building
+    @classmethod
+    def from_structure(cls, database: Structure, partitioner: Partitioner) -> "ShardedStructure":
+        """Partition ``database``'s facts across shards; the signature and the
+        universe (including elements no fact mentions) are replicated."""
+        sharded = cls(
+            partitioner,
+            signature=database.signature,
+            universe=database.universe,
+        )
+        for name, fact in database.facts():
+            sharded.shards[partitioner.shard_of(name, fact)].add_fact(name, fact)
+        return sharded
+
+    # -------------------------------------------------------------- mutations
+    def add_element(self, element: Element) -> None:
+        """Add a universe element to every shard (universes stay in sync)."""
+        for shard in self.shards:
+            shard.add_element(element)
+
+    def add_relation(self, symbol: RelationSymbol) -> None:
+        """Declare a relation symbol on every shard."""
+        for shard in self.shards:
+            shard.add_relation(symbol)
+
+    def add_fact(self, name: str, fact: Sequence[Element]) -> Fact:
+        """Route a fact to its owning shard; other shards only grow their
+        universe (and, on first use of ``name``, their signature)."""
+        fact = tuple(fact)
+        owner = self.partitioner.shard_of(name, fact)
+        added = self.shards[owner].add_fact(name, fact)
+        symbol = self.shards[owner].signature.get(name)
+        for index, shard in enumerate(self.shards):
+            if index == owner:
+                continue
+            if name not in shard.signature and symbol is not None:
+                shard.add_relation(symbol)
+            for element in fact:
+                shard.add_element(element)
+        return added
+
+    def remove_fact(self, name: str, fact: Sequence[Element]) -> Fact:
+        """Remove a fact from its owning shard (``KeyError`` when absent,
+        exactly like :meth:`Structure.remove_fact`; universes never shrink)."""
+        fact = tuple(fact)
+        owner = self.partitioner.shard_of(name, fact)
+        return self.shards[owner].remove_fact(name, fact)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def signature(self) -> Signature:
+        return self.shards[0].signature
+
+    @property
+    def universe(self) -> FrozenSet[Element]:
+        return self.shards[0].universe
+
+    def canonical_universe(self) -> Tuple[Element, ...]:
+        return self.shards[0].canonical_universe()
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        """The *logical* relation: the union of the shards' slices."""
+        merged: Set[Fact] = set()
+        for shard in self.shards:
+            merged |= shard.relation(name)
+        return frozenset(merged)
+
+    def relations(self) -> Dict[str, FrozenSet[Fact]]:
+        return {symbol.name: self.relation(symbol.name) for symbol in self.signature}
+
+    def has_fact(self, name: str, fact: Sequence[Element]) -> bool:
+        fact = tuple(fact)
+        return self.shards[self.partitioner.shard_of(name, fact)].has_fact(name, fact)
+
+    def facts(self) -> Iterator[Tuple[str, Fact]]:
+        """All (relation name, tuple) facts, in the canonical order of
+        :meth:`Structure.facts` (shard boundaries are invisible)."""
+        for name in sorted(symbol.name for symbol in self.signature):
+            merged: Set[Fact] = set()
+            for shard in self.shards:
+                merged |= shard.relation(name)
+            for fact in sorted(merged, key=repr):
+                yield name, fact
+
+    def num_facts(self) -> int:
+        return sum(shard.num_facts() for shard in self.shards)
+
+    def arity(self) -> int:
+        return self.signature.arity()
+
+    def size(self) -> int:
+        """``||D||`` of the *logical* database (shards replicate the universe
+        and signature, so summing shard sizes would overcount)."""
+        relation_mass = sum(
+            len(self.relation(symbol.name)) * symbol.arity for symbol in self.signature
+        )
+        return len(self.signature) + len(self.universe) + relation_mass
+
+    # ------------------------------------------------------- identity / caching
+    @property
+    def structure_token(self) -> int:
+        """One token for the sharded database as a whole — the service result
+        cache keys on it, exactly as with a monolithic structure."""
+        return self._structure_token
+
+    def version_fingerprint(
+        self, relation_names: Optional[Iterable[str]] = None
+    ) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+        """Aggregate of the per-shard fingerprints, in the monolithic shape
+        ``(universe_version, ((name, relation_version), ...))``.
+
+        Versions are summed across shards: every shard counter is monotone,
+        so the aggregate changes whenever any shard's does, and restricting
+        to a query's relations keeps the key insensitive to mutations of
+        unrelated relations — the invariants the service cache relies on.
+        """
+        if relation_names is None:
+            names = sorted(symbol.name for symbol in self.signature)
+        else:
+            names = sorted(set(relation_names))
+        fingerprints = [shard.version_fingerprint(names) for shard in self.shards]
+        universe_version = sum(fp[0] for fp in fingerprints)
+        relation_versions = tuple(
+            (name, sum(fp[1][i][1] for fp in fingerprints))
+            for i, name in enumerate(names)
+        )
+        return (universe_version, relation_versions)
+
+    # ------------------------------------------------------------ shard queries
+    def shard_fact_counts(self) -> List[int]:
+        """Facts per shard (balance diagnostics for the CLI and benches)."""
+        return [shard.num_facts() for shard in self.shards]
+
+    def relation_shard_counts(self, name: str) -> List[int]:
+        """Per-shard fact counts of one relation."""
+        if name not in self.signature:
+            raise KeyError(f"unknown relation symbol {name!r}")
+        return [len(shard.relation(name)) for shard in self.shards]
+
+    def owner_shards(self, relation_names: Iterable[str]) -> FrozenSet[int]:
+        """The shards holding **every** fact of **every** named relation.
+
+        An empty relation is held by every shard; a relation split across
+        shards by nobody.  The planner localises a query component to a shard
+        in this set (and falls back to the union decomposition when the set
+        is empty).  Unknown relation names raise ``KeyError``.
+        """
+        owners: Set[int] = set(range(self.num_shards))
+        for name in relation_names:
+            counts = self.relation_shard_counts(name)
+            total = sum(counts)
+            if total == 0:
+                continue
+            owners &= {index for index, count in enumerate(counts) if count == total}
+            if not owners:
+                break
+        return frozenset(owners)
+
+    def merged(self) -> Structure:
+        """Rebuild the monolithic structure (verification and the union
+        planner's escape hatch; counts over it are by definition unsharded)."""
+        merged = Structure(signature=self.signature, universe=self.universe)
+        for name, fact in self.facts():
+            merged.add_fact(name, fact)
+        return merged
+
+    # ----------------------------------------------------------------- dunder
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStructure(shards={self.num_shards}, "
+            f"partitioner={self.partitioner.kind!r}, |U|={len(self.universe)}, "
+            f"facts={self.shard_fact_counts()})"
+        )

@@ -1,0 +1,345 @@
+"""Live counts over sharded databases: delta routing to the owning shard.
+
+``CountingService.subscribe`` on a :class:`ShardedStructure` returns a
+:class:`ShardSubscription` instead of the monolithic
+:class:`~repro.stream.live.CountSubscription`.  The subscription decomposes
+the query once (the same :func:`~repro.shard.plan.plan_sharded_count` the
+counting path uses) and then keeps **one fingerprint per component,
+restricted to the component's relations** (aggregated over all shards, so a
+fact landing on a shard that did not previously own the component is still
+seen):
+
+* a mutation routed to shard ``s`` bumps only shard ``s``'s counters for the
+  touched relation, so a read after it re-counts exactly the components
+  mentioning that relation — the others serve their cached counts for free;
+* mutations of relations no component mentions don't even make the handle
+  stale (the restriction the monolithic subscription also enjoys);
+* universe growth is folded in only for components with a variable outside
+  the positive atoms (the :func:`repro.stream.delta.delta_applicable`
+  criterion, per component);
+* stale reads **re-plan before recounting**: hash-by-tuple placement can
+  move a relation's owning shard, so recounts follow the fresh plan — and
+  when the decomposition stops localising entirely, the subscription
+  degrades to always-correct whole-query recomputes.
+
+Union/merged-strategy queries (answers span shards) have no per-shard
+locality to exploit: the subscription keeps one aggregate fingerprint and
+recomputes through the :class:`~repro.shard.executor.ShardExecutor` when it
+goes stale.
+
+Refresh policies (``eager`` / ``debounced`` / ``budget``) and the
+:class:`~repro.stream.live.LiveCount` read envelope match the monolithic
+subscription; ``mode`` is ``"initial"``, ``"shard-partial"`` (only touched
+shards recounted), ``"shard-recount"`` (every component), or ``"recount"``
+(union/merged recompute).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.queries.query import ConjunctiveQuery
+from repro.shard.executor import EXACT_SCHEMES, ShardExecutor, combine_local_estimates
+from repro.shard.plan import (
+    ShardCountPlan,
+    component_relation_names,
+    plan_sharded_count,
+)
+from repro.shard.sharded import ShardedStructure
+from repro.stream.delta import delta_applicable
+from repro.stream.live import REFRESH_POLICIES, LiveCount
+from repro.util.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from repro.service.service import CountingService, CountRequest
+
+
+@dataclass
+class _ComponentState:
+    """One component's cached count and the fingerprint backing it.
+
+    The fingerprint is the **aggregate** (all-shard) fingerprint restricted
+    to the component's relations: a fact of a watched relation landing on a
+    shard that did not previously own the component still makes the
+    component stale (hash-by-tuple routing can move a relation's ownership),
+    while mutations of other relations stay invisible — the restriction that
+    makes untouched-shard reads free.  ``shard`` is the owning shard of the
+    *current* plan; refreshes re-plan before recounting, so it tracks
+    ownership migrations.
+    """
+
+    shard: int
+    component: int
+    query: ConjunctiveQuery
+    relations: Tuple[str, ...]
+    universe_sensitive: bool
+    fingerprint: Tuple[int, Tuple[Tuple[str, int], ...]]
+    estimate: float
+    refreshes: int = 0
+
+    def pending_ticks(self, sharded: ShardedStructure) -> int:
+        old_universe, old_relations = self.fingerprint
+        new_universe, new_relations = sharded.version_fingerprint(self.relations)
+        ticks = sum(
+            new_version - old_version
+            for (_, old_version), (_, new_version) in zip(old_relations, new_relations)
+        )
+        if self.universe_sensitive:
+            ticks += new_universe - old_universe
+        return ticks
+
+
+class ShardSubscription:
+    """A live handle on one ``(query, sharded database)`` count.
+
+    Created by :meth:`repro.service.service.CountingService.subscribe`; not
+    instantiated directly.  The counting scheme and the shard decomposition
+    are pinned at subscribe time.
+    """
+
+    def __init__(
+        self,
+        service: "CountingService",
+        request: "CountRequest",
+        refresh: str = "eager",
+        debounce_ticks: int = 4,
+        budget_seconds: float = 1.0,
+    ) -> None:
+        if refresh not in REFRESH_POLICIES:
+            raise ValueError(
+                f"unknown refresh policy {refresh!r}; expected one of "
+                f"{REFRESH_POLICIES}"
+            )
+        if debounce_ticks < 1:
+            raise ValueError("debounce_ticks must be at least 1")
+        self._service = service
+        self._request = request
+        self._policy = refresh
+        self._debounce_ticks = int(debounce_ticks)
+        self._budget_seconds = float(budget_seconds)
+        self._spent_seconds = 0.0
+        self._closed = False
+
+        self.query = request.query
+        self.sharded: ShardedStructure = request.database
+        self.epsilon = request.epsilon if request.epsilon is not None else service.config.epsilon
+        self.delta = request.delta if request.delta is not None else service.config.delta
+        self._base_seed = request.seed
+
+        self.plan = service.planner.plan(request.query, self.sharded, override=request.method)
+        self.scheme = self.plan.scheme
+        self.query_class = self.plan.query_class
+        self.shard_plan: ShardCountPlan = plan_sharded_count(request.query, self.sharded)
+        self._executor = ShardExecutor(mode="serial")
+
+        self._refresh_count = 0
+        self._last_seed: Optional[int] = None
+        self._components: List[_ComponentState] = []
+        if self.shard_plan.strategy in ("single", "local"):
+            for task in self.shard_plan.tasks:
+                relations = component_relation_names(task.query)
+                state = _ComponentState(
+                    shard=task.shard,
+                    component=task.component,
+                    query=task.query,
+                    relations=relations,
+                    universe_sensitive=not delta_applicable(task.query, True),
+                    fingerprint=(0, ()),
+                    estimate=0.0,
+                )
+                self._recount_component(state, refresh_index=0)
+                self._components.append(state)
+            self._estimate = self._combined()
+        else:
+            relations = component_relation_names(request.query)
+            self._union_relations = relations
+            self._union_universe_sensitive = not delta_applicable(request.query, True)
+            self._union_fingerprint = self.sharded.version_fingerprint(relations)
+            self._estimate = self._recompute_union(refresh_index=0)
+        self._mode = "initial"
+
+    # -------------------------------------------------------------- internals
+    def _seed_for(self, refresh_index: int, component: int) -> Optional[int]:
+        if self.scheme in EXACT_SCHEMES or self._base_seed is None:
+            return None
+        return derive_seed(self._base_seed, refresh_index, component)
+
+    def _recount_component(self, state: _ComponentState, refresh_index: int) -> None:
+        from repro.core.registry import REGISTRY
+
+        shard = self.sharded.shards[state.shard]
+        seed = self._seed_for(refresh_index, state.component)
+        state.estimate = REGISTRY.count(
+            self.scheme,
+            state.query,
+            shard,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            rng=seed,
+            engine=self.plan.engine,
+        ).estimate
+        state.fingerprint = self.sharded.version_fingerprint(state.relations)
+        if refresh_index > 0:
+            state.refreshes += 1
+        self._last_seed = seed
+
+    def _recompute_union(self, refresh_index: int) -> float:
+        seed = self._seed_for(refresh_index, 0)
+        result = self._executor.count(
+            self.query,
+            self.sharded,
+            scheme=self.scheme,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            seed=seed,
+            engine=self.plan.engine,
+        )
+        self._union_fingerprint = self.sharded.version_fingerprint(self._union_relations)
+        self._last_seed = seed
+        return result.estimate
+
+    def _combined(self) -> float:
+        return combine_local_estimates([state.estimate for state in self._components])
+
+    def pending_ticks(self) -> int:
+        """Version bumps not yet folded into the served value — only bumps on
+        the owning shard of some component (or, for union plans, on any
+        shard) count."""
+        if self._components:
+            return sum(state.pending_ticks(self.sharded) for state in self._components)
+        old_universe, old_relations = self._union_fingerprint
+        new_universe, new_relations = self.sharded.version_fingerprint(self._union_relations)
+        ticks = sum(
+            new_version - old_version
+            for (_, old_version), (_, new_version) in zip(old_relations, new_relations)
+        )
+        if self._union_universe_sensitive:
+            ticks += new_universe - old_universe
+        return ticks
+
+    def _should_refresh(self, ticks: int) -> bool:
+        if ticks <= 0:
+            return False
+        if self._policy == "eager":
+            return True
+        if self._policy == "debounced":
+            return ticks >= self._debounce_ticks
+        return self._spent_seconds < self._budget_seconds
+
+    def _refresh(self) -> None:
+        started = time.perf_counter()
+        refresh_index = self._refresh_count + 1
+        if self._components:
+            stale = [state for state in self._components if state.pending_ticks(self.sharded) > 0]
+            if stale and not self._replan(stale, refresh_index):
+                # Ownership migrated beyond the pinned decomposition (e.g. a
+                # hash-by-tuple relation stopped localising): degrade to
+                # whole-query recomputes on an aggregate fingerprint —
+                # always correct, no per-shard routing anymore.
+                self._components = []
+                self._union_relations = component_relation_names(self.query)
+                self._union_universe_sensitive = not delta_applicable(self.query, True)
+                self._estimate = self._recompute_union(refresh_index)
+                self._mode = "recount"
+            else:
+                self._estimate = self._combined()
+                self._mode = (
+                    "shard-recount" if len(stale) == len(self._components) else "shard-partial"
+                )
+        else:
+            self._estimate = self._recompute_union(refresh_index)
+            self._mode = "recount"
+        self._refresh_count = refresh_index
+        self._spent_seconds += time.perf_counter() - started
+
+    def _replan(self, stale, refresh_index: int) -> bool:
+        """Re-plan before recounting stale components: mutations can move a
+        relation's owning shard (hash-by-tuple placement).  Returns ``False``
+        when the fresh plan no longer matches the pinned decomposition (the
+        caller then degrades to whole-query recomputes); otherwise updates
+        each component's owning shard and recounts the stale ones."""
+        fresh = plan_sharded_count(self.query, self.sharded)
+        self.shard_plan = fresh
+        if fresh.strategy not in ("single", "local"):
+            return False
+        if len(fresh.tasks) != len(self._components):
+            return False
+        for state, task in zip(self._components, fresh.tasks):
+            state.shard = task.shard
+        for state in stale:
+            self._recount_component(state, refresh_index)
+        return True
+
+    # ----------------------------------------------------------------- public
+    @property
+    def strategy(self) -> str:
+        return self.shard_plan.strategy
+
+    @property
+    def component_refreshes(self) -> Tuple[int, ...]:
+        """Per-component refresh counters, in component order (empty for
+        union/merged plans) — the observable behind "only touched shards
+        recount"."""
+        return tuple(state.refreshes for state in self._components)
+
+    def read(self, force: bool = False) -> LiveCount:
+        """The current value, refreshed first when the policy (or ``force``)
+        says so.  Reads after mutations on shards owning no component of this
+        query are served from the cached counts for free."""
+        if self._closed:
+            raise RuntimeError("subscription is closed")
+        ticks = self.pending_ticks()
+        refreshed = False
+        if force and ticks > 0 or not force and self._should_refresh(ticks):
+            self._refresh()
+            refreshed = True
+            ticks = 0
+        return LiveCount(
+            estimate=self._estimate,
+            scheme=self.scheme,
+            query_class=self.query_class,
+            fresh=ticks == 0,
+            refreshed=refreshed,
+            mode=self._mode,
+            pending_ticks=ticks,
+            refresh_count=self._refresh_count,
+            seed=self._last_seed,
+            epsilon=self.epsilon,
+            delta=self.delta,
+        )
+
+    def refresh(self) -> LiveCount:
+        """Fold every pending mutation in now, regardless of policy."""
+        return self.read(force=True)
+
+    def add_budget(self, seconds: float) -> None:
+        """Top up a ``refresh="budget"`` subscription's refresh account."""
+        self._budget_seconds += float(seconds)
+
+    @property
+    def spent_seconds(self) -> float:
+        return self._spent_seconds
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the subscription (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._service._drop_shard_subscription(self)
+
+    def __enter__(self) -> "ShardSubscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSubscription(strategy={self.strategy!r}, scheme={self.scheme!r}, "
+            f"estimate={self._estimate}, refreshes={self._refresh_count})"
+        )

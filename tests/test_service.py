@@ -238,6 +238,55 @@ class TestCountingService:
         assert pooled_report.executed_executor in ("process", "serial-fallback")
         assert serial_report.estimates() == pooled_report.estimates()
 
+    def test_process_pool_unavailable_falls_back_to_serial_with_warning(
+        self, database, monkeypatch
+    ):
+        """Sandboxed environments may have no usable multiprocessing start
+        method at all; the process back-end must warn and run serially
+        instead of raising (regression test for the get_context preflight)."""
+        import multiprocessing
+
+        from repro.service import executor as executor_module
+
+        def broken_get_context(method=None):
+            raise ValueError("cannot find context for 'fork'")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken_get_context)
+        queries = [parse_query(CQ), parse_query(DCQ)]
+        serial_report = CountingService(
+            database, ServiceConfig(executor="serial")
+        ).count_batch(queries, seed=9)
+        pooled = CountingService(
+            database, ServiceConfig(executor="process", max_workers=2)
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            pooled_report = pooled.count_batch(queries, seed=9)
+        assert pooled_report.executed_executor == "serial-fallback"
+        assert pooled_report.estimates() == serial_report.estimates()
+        # The preflight also guards the bare task runner (two tasks: a
+        # single-task batch short-circuits to serial before the pool).
+        tasks = [
+            executor_module.CountTask(
+                index=index,
+                query=parse_query(CQ),
+                scheme="exact",
+                engine="indexed",
+                epsilon=0.2,
+                delta=0.05,
+                seed=None,
+                database_token=database.structure_token,
+            )
+            for index in range(2)
+        ]
+        with pytest.warns(RuntimeWarning, match="process executor unavailable"):
+            report = executor_module.run_tasks(
+                tasks, {database.structure_token: database}, mode="process"
+            )
+        assert report.executed_mode == "serial-fallback"
+        assert report.outcomes[0].estimate == count_answers_exact(
+            parse_query(CQ), database
+        )
+
     def test_request_without_database_needs_a_default(self):
         service = CountingService()
         with pytest.raises(ValueError, match="no default"):
