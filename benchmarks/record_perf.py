@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Standalone performance recorder: writes ``BENCH_engine.json``,
-``BENCH_service.json``, ``BENCH_prepared.json``, ``BENCH_stream.json`` and
-``BENCH_shard.json``, and (with ``--check-against``) gates regressions
-against committed baselines.
+``BENCH_service.json``, ``BENCH_prepared.json``, ``BENCH_stream.json``,
+``BENCH_shard.json`` and ``BENCH_resilience.json``, and (with
+``--check-against``) gates regressions against committed baselines.
 
-Five suites, selected with ``--suite`` (default: all):
+Six suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -42,6 +42,12 @@ Five suites, selected with ``--suite`` (default: all):
   unsharded, verified bit-identical, and the shard-parallel speedup recorded;
   a hash-by-tuple union-decomposition count is verified bit-identical too.
   Appends to ``BENCH_shard.json``.
+* ``resilience`` — deterministic fault injection through
+  :mod:`repro.resilience`: a mixed batch run fault-free and again with every
+  task crashing once (retried under the same derived seed), verified
+  bit-identical, recording the faulted/clean ``throughput_retention`` ratio;
+  plus the recovery latency of a permanently dead shard falling back to a
+  merged-view recount.  Appends to ``BENCH_resilience.json``.
 
 Usage::
 
@@ -757,6 +763,138 @@ def run_shard_suite(smoke: bool, out_path: Path) -> tuple:
     return (1 if failures else 0), {"speedup": record["speedup"]}
 
 
+# ----------------------------------------------------------- resilience suite
+def run_resilience_suite(smoke: bool, out_path: Path) -> tuple:
+    """Fault-injection overhead and recovery: a mixed batch run fault-free
+    and again under a deterministic crash-every-task plan (each task fails
+    once and is retried under the same derived seed), verified bit-identical;
+    plus the recovery latency of a permanently dead shard falling back to the
+    merged view.  The gated metric is ``throughput_retention`` — faulted
+    throughput over clean throughput (machine-relative; crash-once-per-task
+    costs one extra counting attempt per task, so retention is floored near
+    0.5 when counting dominates and stays near 1.0 when planning does — a
+    collapse means the retry/injection path itself got expensive)."""
+    from repro.queries import parse_query
+    from repro.resilience.faults import FaultPlan, FaultRule, uniform_plan
+    from repro.resilience.retry import RetryPolicy
+    from repro.service import (
+        CountingService,
+        ServiceConfig,
+        mixed_query_workload,
+        workload_database,
+    )
+    from repro.shard import ByRelationPartitioner, ShardedStructure
+
+    failures = 0
+    seed = 2022
+    retry = RetryPolicy(max_attempts=3)
+    num_queries = 20 if smoke else 40
+    database = workload_database(
+        num_vertices=10 if smoke else 12, edge_probability=0.3, rng=29
+    )
+    queries = mixed_query_workload(
+        num_queries, num_variables=(3, 4) if smoke else (3, 5), rng=41
+    )
+
+    def run_batch(fault_plan=None):
+        # A fresh service per run: no cache hits, no shared breaker state.
+        service = CountingService(database, ServiceConfig(executor="serial"))
+        return service.count_batch(
+            queries, seed=seed, fault_plan=fault_plan, retry=retry
+        )
+
+    clean = min((run_batch() for _ in range(2)), key=lambda r: r.wall_seconds)
+    crash_all = uniform_plan(seed, rate=1.0, sites=("executor.task",))
+    faulted = min(
+        (run_batch(crash_all) for _ in range(2)), key=lambda r: r.wall_seconds
+    )
+
+    identical = clean.estimates() == faulted.estimates()
+    if not identical:
+        failures += 1
+        print("[record_perf] FAIL: faulted estimates diverged from fault-free run")
+    if faulted.retries < num_queries:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: expected >= {num_queries} retries, "
+            f"got {faulted.retries} (plan injected nothing?)"
+        )
+    retention = (
+        clean.wall_seconds / faulted.wall_seconds if faulted.wall_seconds > 0 else 0.0
+    )
+    print(
+        f"[record_perf] resilience batch: {num_queries} queries "
+        f"clean={clean.wall_seconds * 1000:.1f}ms "
+        f"faulted={faulted.wall_seconds * 1000:.1f}ms "
+        f"(crash-once-per-task, {faulted.retries} retries) "
+        f"retention={retention:.2f} identical={identical}"
+    )
+
+    # Recovery latency: shard 0 permanently down, the task recounts on the
+    # merged view — timed, and still bit-identical to the healthy run.
+    sharded = ShardedStructure.from_structure(
+        database, ByRelationPartitioner(2, assignment={"E": 0, "F": 1})
+    )
+    shard_queries = [parse_query("Ans(x) :- E(x, y), E(y, z)")]
+    healthy = CountingService(sharded, ServiceConfig(executor="serial")).count_batch(
+        shard_queries, seed=seed
+    )
+    dead_shard = FaultPlan(
+        seed=seed,
+        rules=(FaultRule(site="shard.count", kind="crash", times=99, match=(0,)),),
+    )
+    recovery_started = time.perf_counter()
+    recovered = CountingService(sharded, ServiceConfig(executor="serial")).count_batch(
+        shard_queries, seed=seed, fault_plan=dead_shard, retry=retry
+    )
+    recovery_seconds = time.perf_counter() - recovery_started
+    shard_identical = recovered.estimates() == healthy.estimates()
+    fell_back = any("merged view" in note for note in recovered.degradations)
+    if not (shard_identical and fell_back):
+        failures += 1
+        print(
+            f"[record_perf] FAIL: merged-view fallback identical={shard_identical} "
+            f"fell_back={fell_back}"
+        )
+    print(
+        f"[record_perf] resilience shard fallback: dead shard recovered in "
+        f"{recovery_seconds * 1000:.1f}ms via merged view "
+        f"(identical={shard_identical})"
+    )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "num_queries": num_queries,
+        "master_seed": seed,
+        "fault_plan": "crash-once per executor.task (rate 1.0)",
+        "retry_policy": "max_attempts=3, no backoff delay",
+        "clean_seconds": round(clean.wall_seconds, 4),
+        "faulted_seconds": round(faulted.wall_seconds, 4),
+        "faulted_retries": faulted.retries,
+        "faulted_degradations": len(faulted.degradations),
+        "throughput_retention": round(retention, 2),
+        "estimates_bit_identical": identical,
+        "merged_fallback_seconds": round(recovery_seconds, 4),
+        "merged_fallback_bit_identical": shard_identical,
+        "note": (
+            "throughput_retention = clean/faulted wall time with every task "
+            "crashing once and retrying under the same derived seed (floored "
+            "near 0.5 when counting dominates the batch; near 1.0 when "
+            "planning does); merged_fallback_seconds is the recovery latency "
+            "of a permanently dead shard recounting on the merged view"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(retention {retention:.2f}, fallback {recovery_seconds * 1000:.0f}ms)"
+    )
+    return (1 if failures else 0), {
+        "throughput_retention": record["throughput_retention"]
+    }
+
+
 # ------------------------------------------------------------------ perf gate
 def check_against(
     baseline_path: Path, observed: dict, tolerance_override: float = None
@@ -811,7 +949,7 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true", help="budgeted subset")
     parser.add_argument(
         "--suite",
-        choices=["engine", "service", "prepared", "stream", "shard", "all"],
+        choices=["engine", "service", "prepared", "stream", "shard", "resilience", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -834,6 +972,10 @@ def main() -> int:
     parser.add_argument(
         "--shard-out", type=Path, default=REPO_ROOT / "BENCH_shard.json",
         help="shard-suite output JSON file",
+    )
+    parser.add_argument(
+        "--resilience-out", type=Path, default=REPO_ROOT / "BENCH_resilience.json",
+        help="resilience-suite output JSON file",
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     parser.add_argument(
@@ -873,6 +1015,10 @@ def main() -> int:
         suite_status, metrics = run_shard_suite(args.smoke, args.shard_out)
         status |= suite_status
         observed["shard"] = metrics
+    if args.suite in ("resilience", "all"):
+        suite_status, metrics = run_resilience_suite(args.smoke, args.resilience_out)
+        status |= suite_status
+        observed["resilience"] = metrics
     if args.check_against is not None:
         status |= check_against(args.check_against, observed, args.check_tolerance)
     return status

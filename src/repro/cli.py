@@ -36,7 +36,43 @@ from repro.core import (
 )
 from repro.queries import parse_query
 from repro.relational.io import load_database_json, load_edge_list
+from repro.resilience.faults import FaultPlan, FaultPlanError
 from repro.sampling import sample_answers
+
+
+class CLIError(Exception):
+    """A user-facing CLI error: reported as one line on stderr, exit code 2.
+
+    Raised for bad invocations (conflicting flags, empty query files) and
+    joined in :func:`main` by the package's own user-input errors — query
+    parse failures, unknown schemes/partitioners, fault-plan config errors —
+    so none of them surface as tracebacks."""
+
+
+def _add_fault_plan_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-plan",
+        metavar="JSON",
+        default=None,
+        help="deterministic fault plan to inject (repro.resilience): inline "
+        'JSON like \'{"seed": 7, "rules": [{"site": "executor.task"}]}\' '
+        "or a path to a JSON file; faulted tasks are retried under the "
+        "default retry policy (chaos-run reproduction)",
+    )
+
+
+def _parse_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return None
+    text = spec
+    if not spec.lstrip().startswith("{"):
+        try:
+            with open(spec) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise CLIError(f"cannot read fault plan file {spec!r}: {error}")
+    return FaultPlan.from_json(text)
 
 
 def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,12 +91,12 @@ def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _load_database(args: argparse.Namespace):
     if args.database and args.edge_list:
-        raise SystemExit("use either --database or --edge-list, not both")
+        raise CLIError("use either --database or --edge-list, not both")
     if args.database:
         return load_database_json(args.database)
     if args.edge_list:
         return load_edge_list(args.edge_list, relation=args.relation)
-    raise SystemExit("a database is required (--database or --edge-list)")
+    raise CLIError("a database is required (--database or --edge-list)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="submit the batch this many times (demonstrates result-cache hits)",
     )
+    _add_fault_plan_argument(batch)
     batch.add_argument("--json", action="store_true", help="emit a JSON report")
 
     shard = subparsers.add_parser(
@@ -223,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also count unsharded and report agreement (slow on large inputs)",
     )
+    _add_fault_plan_argument(shard)
     shard.add_argument("--json", action="store_true", help="emit a JSON report")
 
     stream = subparsers.add_parser(
@@ -266,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check every fresh exact read against a from-scratch recount (slow)",
     )
+    _add_fault_plan_argument(stream)
     stream.add_argument("--json", action="store_true", help="emit a JSON report")
     return parser
 
@@ -366,7 +405,7 @@ def _load_batch_queries(path: str) -> List:
                 continue
             queries.append(parse_query(line))
     if not queries:
-        raise SystemExit(f"no queries found in {path!r}")
+        raise CLIError(f"no queries found in {path!r}")
     return queries
 
 
@@ -396,6 +435,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             delta=args.delta,
             executor=args.executor,
             max_workers=args.workers,
+            fault_plan=_parse_fault_plan(args),
         ),
     )
     requests = [CountRequest(query=query, method=args.method) for query in queries]
@@ -426,6 +466,13 @@ def _command_batch(args: argparse.Namespace) -> int:
             f"executor={report.executed_executor} "
             f"cache hits={report.cache_hits} misses={report.cache_misses}"
         )
+        if report.retries or report.degradations:
+            print(
+                f"        resilience: {report.retries} retries, "
+                f"{len(report.degradations)} degradations"
+            )
+            for note in report.degradations:
+                print(f"        - {note}")
     stats = service.stats()
     plan_stats, result_stats = stats["plan_cache"], stats["result_cache"]
     print(
@@ -442,11 +489,11 @@ def _parse_shard_assignment(spec: Optional[str]) -> Optional[dict]:
     for pair in spec.split(","):
         name, _, shard = pair.partition("=")
         if not name or not shard:
-            raise SystemExit(f"bad --assign entry {pair!r}; expected name=shard")
+            raise CLIError(f"bad --assign entry {pair!r}; expected name=shard")
         try:
             assignment[name.strip()] = int(shard)
         except ValueError:
-            raise SystemExit(f"bad shard index in --assign entry {pair!r}")
+            raise CLIError(f"bad shard index in --assign entry {pair!r}")
     return assignment
 
 
@@ -471,7 +518,7 @@ def _command_shard(args: argparse.Namespace) -> int:
         database = _load_database(args)
 
     if args.assign and args.partitioner != "relation":
-        raise SystemExit("--assign requires --partitioner relation")
+        raise CLIError("--assign requires --partitioner relation")
     partitioner = make_partitioner(
         args.partitioner, args.shards, assignment=_parse_shard_assignment(args.assign)
     )
@@ -483,6 +530,7 @@ def _command_shard(args: argparse.Namespace) -> int:
             delta=args.delta,
             executor=args.executor,
             max_workers=args.workers,
+            fault_plan=_parse_fault_plan(args),
         ),
     )
     requests = [CountRequest(query=query, method=args.method) for query in queries]
@@ -543,6 +591,13 @@ def _command_shard(args: argparse.Namespace) -> int:
         f"({report.throughput_qps:.1f} q/s) executor={report.executed_executor} "
         f"cache hits={report.cache_hits} misses={report.cache_misses}"
     )
+    if report.retries or report.degradations:
+        print(
+            f"resilience: {report.retries} retries, "
+            f"{len(report.degradations)} degradations"
+        )
+        for note in report.degradations:
+            print(f"  - {note}")
     if comparison is not None:
         equal = sum(1 for a, b in comparison if a == b)
         print(
@@ -569,7 +624,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         # negated ones (declared empty when absent, so ECQs stay valid).
         binary = [s.name for s in database.signature if s.arity == 2]
         if not binary:
-            raise SystemExit(
+            raise CLIError(
                 "stream needs a database with at least one binary relation"
             )
         relation = binary[0]
@@ -595,7 +650,12 @@ def _command_stream(args: argparse.Namespace) -> int:
     )
     service = CountingService(
         database,
-        ServiceConfig(epsilon=args.epsilon, delta=args.delta, executor="serial"),
+        ServiceConfig(
+            epsilon=args.epsilon,
+            delta=args.delta,
+            executor="serial",
+            fault_plan=_parse_fault_plan(args),
+        ),
     )
     report, subscriptions = run_stream(
         service,
@@ -642,25 +702,34 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "count": _command_count,
+    "classify": _command_classify,
+    "sample": _command_sample,
+    "plan": _command_plan,
+    "batch": _command_batch,
+    "shard": _command_shard,
+    "stream": _command_stream,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "count":
-        return _command_count(args)
-    if args.command == "classify":
-        return _command_classify(args)
-    if args.command == "sample":
-        return _command_sample(args)
-    if args.command == "plan":
-        return _command_plan(args)
-    if args.command == "batch":
-        return _command_batch(args)
-    if args.command == "shard":
-        return _command_shard(args)
-    if args.command == "stream":
-        return _command_stream(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    command = _COMMANDS.get(args.command)
+    if command is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return command(args)
+    except (CLIError, ValueError, OSError) as error:
+        # One line, exit 2, for every user-input failure: bad invocations
+        # (CLIError), query parse errors and unknown schemes/partitioners and
+        # fault-plan config errors (all ValueError subclasses, incl.
+        # QueryParseError/FaultPlanError/json.JSONDecodeError), and unreadable
+        # files (OSError).  Genuine bugs still traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

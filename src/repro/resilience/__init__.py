@@ -1,0 +1,73 @@
+"""repro.resilience — the failure model: deterministic fault injection,
+bounded retries with deadlines, and circuit-breaker degradation ladders.
+
+Three pillars (see DESIGN.md "Failure model & degradation ladder"):
+
+* :mod:`repro.resilience.faults` — seeded, stateless :class:`FaultPlan`
+  injecting crashes / errors / latency / hangs at named sites,
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` + deadlines; retried
+  tasks re-run under the *same* derived seed, so recovery is bit-identical,
+* :mod:`repro.resilience.breaker` — per-back-end :class:`CircuitBreaker`
+  driving the process → thread → serial executor ladder.
+
+The chaos harness lives in :mod:`repro.resilience.chaos` and is *not*
+imported here: it drives :class:`repro.service.CountingService`, whose
+executor imports this package — importing chaos from the package root would
+close that cycle.  ``python -m repro.resilience.chaos`` runs it directly.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    EXECUTOR_LADDER,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedCrash,
+    InjectedError,
+    InjectedTimeout,
+    uniform_plan,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+    RetryTrace,
+    describe_sites,
+    run_with_retry,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULT_KINDS",
+    "FaultPlanError",
+    "FaultError",
+    "InjectedCrash",
+    "InjectedError",
+    "InjectedTimeout",
+    "FaultRule",
+    "FaultPlan",
+    "uniform_plan",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "RetryTrace",
+    "DEFAULT_RETRY_POLICY",
+    "run_with_retry",
+    "describe_sites",
+    "EXECUTOR_LADDER",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+]

@@ -1,0 +1,167 @@
+"""Circuit breakers and the executor degradation ladder.
+
+PR 5 taught :func:`repro.service.executor.run_tasks` one ad-hoc degradation:
+preflight ``multiprocessing.get_context`` and fall back to serial when the
+process back-end cannot start.  This module generalises that into a
+per-back-end **circuit breaker** with the classic three states:
+
+``closed``
+    The back-end is healthy; use it.
+``open``
+    The back-end tripped (``failure_threshold`` consecutive failures) and is
+    skipped outright until ``reset_seconds`` elapse.
+``half-open``
+    The cool-down elapsed; the next batch is allowed one probe.  Success
+    closes the breaker, failure re-opens it (and restarts the cool-down).
+
+The **ladder** orders back-ends by how much can go wrong with them —
+``process`` (workers can die) → ``thread`` (no worker death, still
+parallel) → ``serial`` (always works).  :meth:`CircuitBreaker.plan_modes`
+returns the rungs to try for a requested mode, skipping open breakers; the
+last rung (``serial``) is never skipped, so a batch always has somewhere to
+run.  Because every rung executes tasks with the same derived seeds,
+degrading is invisible to the estimates — only latency and the
+``degradations`` provenance change.
+
+The breaker also owns the warn-once registry (satellite: the process-pool
+unavailable warning fired once per *batch*; now once per breaker, i.e. once
+per service instance).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Callable, Dict, Optional, Set, Tuple
+
+#: The degradation ladder, most-capable (and most fragile) rung first.
+EXECUTOR_LADDER: Tuple[str, ...] = ("process", "thread", "serial")
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass
+class _Rung:
+    consecutive_failures: int = 0
+    opened_at: Optional[float] = None
+    total_failures: int = 0
+    total_successes: int = 0
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-back-end trip wire shared by every batch of one service instance.
+
+    Thread-safe: the service runs batches from multiple threads against one
+    breaker.  ``clock`` is injectable so tests can force cool-down expiry
+    without sleeping.
+    """
+
+    failure_threshold: int = 2
+    reset_seconds: float = 30.0
+    ladder: Tuple[str, ...] = EXECUTOR_LADDER
+    clock: Callable[[], float] = time.monotonic
+    _rungs: Dict[str, _Rung] = field(default_factory=dict, repr=False)
+    _warned: Set[str] = field(default_factory=set, repr=False)
+    _lock: Lock = field(default_factory=Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.reset_seconds < 0:
+            raise ValueError("reset_seconds must be non-negative")
+        if not self.ladder:
+            raise ValueError("ladder must name at least one back-end")
+
+    def _rung(self, mode: str) -> _Rung:
+        return self._rungs.setdefault(mode, _Rung())
+
+    # ------------------------------------------------------------------ state
+    def state(self, mode: str) -> str:
+        with self._lock:
+            return self._state_locked(self._rung(mode))
+
+    def _state_locked(self, rung: _Rung) -> str:
+        if rung.opened_at is None:
+            return CLOSED
+        if self.clock() - rung.opened_at >= self.reset_seconds:
+            return HALF_OPEN
+        return OPEN
+
+    def record_success(self, mode: str) -> None:
+        """A batch ran cleanly on ``mode``: close its breaker."""
+        with self._lock:
+            rung = self._rung(mode)
+            rung.consecutive_failures = 0
+            rung.opened_at = None
+            rung.total_successes += 1
+
+    def record_failure(self, mode: str) -> bool:
+        """A batch failed on ``mode``; returns ``True`` if the breaker
+        tripped open (threshold reached, or a half-open probe failed)."""
+        with self._lock:
+            rung = self._rung(mode)
+            probe_failed = rung.opened_at is not None
+            rung.consecutive_failures += 1
+            rung.total_failures += 1
+            if probe_failed or rung.consecutive_failures >= self.failure_threshold:
+                rung.opened_at = self.clock()
+                return True
+            return False
+
+    # ----------------------------------------------------------------- ladder
+    def plan_modes(self, requested: str) -> Tuple[str, ...]:
+        """The rungs to try for ``requested``, healthiest-first.
+
+        Starts at the requested rung and walks down the ladder, skipping
+        back-ends whose breaker is open (half-open rungs get their probe).
+        The bottom rung is always included — serial execution has no failure
+        mode to trip on, so the batch always has a floor.  A requested mode
+        outside the ladder (a future back-end) is tried as-is first.
+        """
+        if requested in self.ladder:
+            rungs = self.ladder[self.ladder.index(requested):]
+        else:
+            rungs = (requested,) + self.ladder
+        with self._lock:
+            planned = tuple(
+                mode
+                for index, mode in enumerate(rungs)
+                if index == len(rungs) - 1
+                or self._state_locked(self._rung(mode)) != OPEN
+            )
+        return planned
+
+    # -------------------------------------------------------------- warn-once
+    def should_warn(self, token: str) -> bool:
+        """``True`` exactly once per ``token`` for this breaker's lifetime —
+        the once-per-service-instance warning dedupe."""
+        with self._lock:
+            if token in self._warned:
+                return False
+            self._warned.add(token)
+            return True
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {
+                mode: {
+                    "state": self._state_locked(rung),
+                    "consecutive_failures": rung.consecutive_failures,
+                    "total_failures": rung.total_failures,
+                    "total_successes": rung.total_successes,
+                }
+                for mode, rung in sorted(self._rungs.items())
+            }
+
+
+__all__ = [
+    "EXECUTOR_LADDER",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+]

@@ -1,0 +1,327 @@
+"""Deterministic fault injection: the :class:`FaultPlan`.
+
+Every prior layer of the repo assumes workers never die, tasks never hang,
+and counting calls never error.  Before shards live on other nodes and
+requests arrive over a wire (ROADMAP #2/#3), the repo needs a failure model
+it can *test* — and the package-wide correctness oracle is bit-identity
+under equal seeds, so the failure model must be deterministic too.
+
+A :class:`FaultPlan` is a seeded, **stateless** description of which
+operations fail and how.  Each injection point in the codebase is a named
+*site*:
+
+* ``"executor.task"`` — one counting task inside
+  :func:`repro.service.executor.run_tasks` (any back-end, key =
+  ``(task index,)``),
+* ``"shard.count"`` — one shard task of a sharded count (key =
+  ``(shard, component)``; union/merged strategies use symbolic keys),
+* ``"stream.refresh"`` — one refresh of a live subscription (key =
+  ``(subscription ordinal, refresh index)``),
+* ``"cache.get"`` — one service result-cache lookup (key =
+  ``(request index,)``).
+
+Whether a given ``(site, key)`` operation is selected is a pure function of
+the plan seed, the rule, the site, and the key — computed through the same
+process-stable BLAKE2 hash the shard partitioners use — so a worker process
+re-evaluating the plan reaches exactly the same verdict as the parent, and
+replaying a chaos run with the same plan replays the same faults.  A
+selected operation faults on its first ``times`` attempts and then succeeds,
+which is what lets the retry layer (:mod:`repro.resilience.retry`) recover
+bit-identical results: the retried attempt re-runs under the *same* derived
+seed.
+
+Four fault kinds:
+
+``"crash"``
+    The operation dies mid-flight (:class:`InjectedCrash`) — a worker
+    process being OOM-killed, a task raising from a dying interpreter.
+``"error"``
+    The operation raises an ordinary transient error
+    (:class:`InjectedError`) — a flaky downstream dependency.
+``"latency"``
+    The operation is delayed by ``latency_seconds`` and then succeeds —
+    a slow disk, a GC pause.
+``"hang"``
+    The operation stalls; the injector sleeps until the caller's timeout
+    (or ``latency_seconds``, whichever is smaller) and raises
+    :class:`InjectedTimeout` — a hang cut down by the watchdog.
+
+Plans serialise to/from JSON (``--fault-plan`` on the CLI) so a chaos run
+can be reproduced from its command line alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.util.hashing import stable_fraction
+
+#: The named injection points threaded through the codebase.
+FAULT_SITES = ("executor.task", "shard.count", "stream.refresh", "cache.get")
+
+#: The supported failure modes.
+FAULT_KINDS = ("crash", "error", "latency", "hang")
+
+#: Key prefix type: a tuple of primitives identifying one operation at a site.
+FaultKey = Tuple[Any, ...]
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan configuration is invalid (bad site/kind/rate/JSON)."""
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected failure.
+
+    The retry layer treats exactly this hierarchy as transient/retryable;
+    genuine task errors (bad queries, missing relations) propagate unchanged.
+    """
+
+    def __init__(self, site: str, key: FaultKey, attempt: int, kind: str) -> None:
+        super().__init__(
+            f"injected {kind} at {site}{list(key)} (attempt {attempt})"
+        )
+        self.site = site
+        self.key = tuple(key)
+        self.attempt = attempt
+        self.kind = kind
+
+
+class InjectedCrash(FaultError):
+    """The operation crashed mid-flight (simulated worker death)."""
+
+
+class InjectedError(FaultError):
+    """The operation raised a transient error."""
+
+
+class InjectedTimeout(FaultError):
+    """The operation hung and was cut down at the timeout."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *where* (site, optional key prefix), *what*
+    (kind), *how often* (rate) and *how persistently* (times).
+
+    ``rate`` selects operations: each ``(site, key)`` pair is independently
+    selected with this probability, deterministically (the coin is a hash of
+    the plan seed, the rule and the key — not global mutable state, so
+    worker processes agree with the parent).  ``match`` restricts the rule
+    to keys with the given prefix (e.g. ``match=(0,)`` on
+    ``"executor.task"`` faults exactly task 0).  A selected operation faults
+    on attempts ``0 .. times-1`` and succeeds from attempt ``times`` on;
+    ``times`` at or above the retry budget makes the fault permanent, which
+    is what drives the degradation ladders.
+    """
+
+    site: str
+    kind: str = "crash"
+    rate: float = 1.0
+    times: int = 1
+    latency_seconds: float = 0.0
+    match: Optional[Tuple[Any, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; expected one of {FAULT_SITES}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.times < 1:
+            raise FaultPlanError(f"times must be at least 1, got {self.times}")
+        if self.latency_seconds < 0:
+            raise FaultPlanError("latency_seconds must be non-negative")
+        if self.match is not None:
+            object.__setattr__(self, "match", tuple(self.match))
+
+    def matches_key(self, key: FaultKey) -> bool:
+        return self.match is None or tuple(key)[: len(self.match)] == self.match
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "site": self.site,
+            "kind": self.kind,
+            "rate": self.rate,
+            "times": self.times,
+        }
+        if self.latency_seconds:
+            payload["latency_seconds"] = self.latency_seconds
+        if self.match is not None:
+            payload["match"] = list(self.match)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"fault rule must be an object, got {payload!r}")
+        known = {"site", "kind", "rate", "times", "latency_seconds", "match"}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault rule field(s) {sorted(unknown)}; expected {sorted(known)}"
+            )
+        if "site" not in payload:
+            raise FaultPlanError("fault rule needs a 'site'")
+        match = payload.get("match")
+        return cls(
+            site=payload["site"],
+            kind=payload.get("kind", "crash"),
+            rate=float(payload.get("rate", 1.0)),
+            times=int(payload.get("times", 1)),
+            latency_seconds=float(payload.get("latency_seconds", 0.0)),
+            match=None if match is None else tuple(match),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable, stateless chaos schedule.
+
+    Frozen and built from primitives so it pickles into process-pool task
+    payloads unchanged; every decision is recomputed from the seed, never
+    remembered — two copies of the plan in two processes always agree.
+    """
+
+    seed: int
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    # -------------------------------------------------------------- decisions
+    def selection_fraction(self, rule_index: int, site: str, key: FaultKey) -> float:
+        """The deterministic uniform-[0,1) coin of one (rule, operation)."""
+        return stable_fraction(int(self.seed), int(rule_index), site, tuple(key))
+
+    def decide(self, site: str, key: FaultKey, attempt: int) -> Optional[FaultRule]:
+        """The first rule injecting a fault into attempt ``attempt`` of
+        operation ``(site, key)``, or ``None``.  Pure: no state is consumed."""
+        for rule_index, rule in enumerate(self.rules):
+            if rule.site != site or not rule.matches_key(key):
+                continue
+            if attempt >= rule.times:
+                continue
+            if self.selection_fraction(rule_index, site, key) < rule.rate:
+                return rule
+        return None
+
+    def apply(
+        self,
+        site: str,
+        key: FaultKey,
+        attempt: int,
+        timeout_hint: Optional[float] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> Optional[str]:
+        """Inject the planned fault for this attempt, if any.
+
+        Raises the matching :class:`FaultError` subclass for ``crash`` /
+        ``error`` / ``hang``; sleeps and returns a provenance note for
+        ``latency``; returns ``None`` when the operation is clean.
+        ``timeout_hint`` caps how long a ``hang`` stalls before the
+        simulated watchdog cuts it (the retry layer passes its per-attempt
+        timeout / remaining deadline)."""
+        rule = self.decide(site, key, attempt)
+        if rule is None:
+            return None
+        if rule.kind == "latency":
+            if rule.latency_seconds > 0:
+                sleeper(rule.latency_seconds)
+            return (
+                f"{site}{list(key)}: injected latency "
+                f"{rule.latency_seconds:.3f}s (attempt {attempt})"
+            )
+        if rule.kind == "crash":
+            raise InjectedCrash(site, key, attempt, "crash")
+        if rule.kind == "error":
+            raise InjectedError(site, key, attempt, "error")
+        # hang: stall until the watchdog (timeout hint) cuts us down.
+        stall = rule.latency_seconds
+        if timeout_hint is not None:
+            stall = min(stall, max(0.0, timeout_hint))
+        if stall > 0:
+            sleeper(stall)
+        raise InjectedTimeout(site, key, attempt, "hang")
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {payload!r}")
+        unknown = set(payload) - {"seed", "rules"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault plan field(s) {sorted(unknown)}; expected ['rules', 'seed']"
+            )
+        if "seed" not in payload:
+            raise FaultPlanError("fault plan needs an integer 'seed'")
+        try:
+            seed = int(payload["seed"])
+        except (TypeError, ValueError):
+            raise FaultPlanError(f"fault plan seed must be an integer, got {payload['seed']!r}")
+        rules = payload.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise FaultPlanError("fault plan 'rules' must be a list")
+        return cls(seed=seed, rules=tuple(FaultRule.from_dict(rule) for rule in rules))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}")
+        return cls.from_dict(payload)
+
+
+def uniform_plan(
+    seed: int,
+    rate: float,
+    sites: Tuple[str, ...] = FAULT_SITES,
+    kind: str = "crash",
+    times: int = 1,
+    latency_seconds: float = 0.0,
+) -> FaultPlan:
+    """One rule per site at a common rate — the chaos harness's escalation
+    unit (``rate`` is the knob the chaos suite turns up)."""
+    return FaultPlan(
+        seed=seed,
+        rules=tuple(
+            FaultRule(
+                site=site,
+                kind=kind,
+                rate=rate,
+                times=times,
+                latency_seconds=latency_seconds,
+            )
+            for site in sites
+        ),
+    )
+
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULT_KINDS",
+    "FaultPlanError",
+    "FaultError",
+    "InjectedCrash",
+    "InjectedError",
+    "InjectedTimeout",
+    "FaultRule",
+    "FaultPlan",
+    "uniform_plan",
+]

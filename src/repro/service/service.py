@@ -39,6 +39,9 @@ from repro.queries.prepared import prepare
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.structure import Structure
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultError, FaultPlan
+from repro.resilience.retry import Deadline, RetryPolicy
 from repro.service.cache import LRUCache
 
 # Imported as a submodule (not the repro.shard package __init__) to stay
@@ -67,6 +70,12 @@ class ServiceConfig:
     plan_cache_size: int = 256
     result_cache_size: int = 4096
     planner: PlannerConfig = field(default_factory=PlannerConfig)
+    #: The failure model (all optional): a deterministic chaos schedule to
+    #: inject, the retry budget tasks run under, and a wall-clock budget
+    #: (seconds) every batch's tasks must finish within.
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_epsilon_delta(self.epsilon, self.delta)
@@ -119,6 +128,10 @@ class CountResult:
     #: ``"merged"``) when the request's database was sharded and the count
     #: actually ran; ``None`` for monolithic databases and cache hits.
     shard_strategy: Optional[str] = None
+    #: Resilience provenance: one note per injected fault absorbed, retry
+    #: taken, cache lookup degraded, or shard recounted on the merged view.
+    #: Empty for clean runs.
+    degradations: Tuple[str, ...] = ()
 
     @property
     def count(self) -> int:
@@ -141,6 +154,7 @@ class CountResult:
             "execute_seconds": round(self.execute_seconds, 6),
             "widths": self.widths,
             "shard_strategy": self.shard_strategy,
+            "degradations": list(self.degradations),
         }
 
 
@@ -156,6 +170,10 @@ class BatchReport:
     max_workers: int
     cache_hits: int
     cache_misses: int
+    #: Batch-level resilience summary: executor-ladder degradations plus
+    #: every per-result note, and the total retry attempts tasks consumed.
+    degradations: List[str] = field(default_factory=list)
+    retries: int = 0
 
     @property
     def throughput_qps(self) -> float:
@@ -174,6 +192,8 @@ class BatchReport:
             "max_workers": self.max_workers,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "degradations": list(self.degradations),
+            "retries": self.retries,
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -198,6 +218,10 @@ class CountingService:
             cache_size=self.config.plan_cache_size,
         )
         self.result_cache = LRUCache(self.config.result_cache_size)
+        #: One circuit breaker per service instance: executor-rung trips are
+        #: remembered across batches, and the "back-end unavailable" warning
+        #: fires once per instance rather than once per batch.
+        self.breaker = CircuitBreaker()
         #: Per-database streaming state (change log + live subscriptions),
         #: keyed by structure token; populated by :meth:`subscribe`.
         self._streams: Dict[int, Any] = {}
@@ -253,8 +277,13 @@ class CountingService:
         delta: Optional[float] = None,
         seed: Optional[int] = None,
         method: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> CountResult:
-        """Count one query synchronously (plan + cache + serial execution)."""
+        """Count one query synchronously (plan + cache + serial execution).
+
+        ``deadline_seconds`` bounds the call: the deadline propagates into
+        the task (and its shard tasks) and expiry raises
+        :class:`~repro.resilience.retry.DeadlineExceeded`."""
         report = self.count_batch(
             [
                 CountRequest(
@@ -267,6 +296,7 @@ class CountingService:
                 )
             ],
             executor="serial",
+            deadline_seconds=deadline_seconds,
         )
         return report.results[0]
 
@@ -276,29 +306,44 @@ class CountingService:
         seed: Optional[int] = None,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> BatchReport:
         """Count a batch of independent queries, concurrently.
 
         ``seed`` is the batch master seed: request ``i`` without its own seed
         is counted with ``derive_seed(seed, i)``.  Requests with an explicit
         seed keep it.  Execution back-end and worker count default to the
-        service config.
+        service config, as do the failure-model knobs: ``fault_plan``
+        injects deterministic chaos, ``retry`` sets the per-task budget, and
+        ``deadline_seconds`` stamps an absolute deadline that propagates
+        into every task (shard tasks included) — expiry raises
+        :class:`~repro.resilience.retry.DeadlineExceeded`.
         """
         started = time.perf_counter()
         mode = executor if executor is not None else self.config.executor
         workers = (
             max(1, int(max_workers)) if max_workers else self.config.resolved_workers()
         )
+        fault_plan = fault_plan if fault_plan is not None else self.config.fault_plan
+        retry = retry if retry is not None else self.config.retry
+        deadline = Deadline.after(
+            deadline_seconds if deadline_seconds is not None else self.config.deadline_seconds
+        )
+        deadline_at = None if deadline is None else deadline.expires_at
 
         resolved = [self._resolve(request) for request in requests]
         results: List[Optional[CountResult]] = [None] * len(resolved)
         tasks: List[CountTask] = []
         #: One entry per cache-missing request that became executor task(s):
         #: (request index, plan, plan_seconds, result_key, epsilon, delta,
-        #: task_seed, task slot positions).  Sharded local plans own several
+        #: task_seed, task slot positions, shard strategy, shard context,
+        #: request-level degradation notes).  Sharded local plans own several
         #: slots; everything else exactly one.
         groups: List[tuple] = []
         databases: Dict[int, Structure] = {}
+        batch_degradations: List[str] = []
         cache_hits = 0
         inline_count = 0
 
@@ -330,9 +375,26 @@ class CountingService:
             result_key = self._result_key(
                 query_key, request, plan, epsilon, delta, task_seed
             )
-            cached_estimate = self.result_cache.get(result_key)
+            request_notes: List[str] = []
+            # The cache is best-effort under the failure model: a fault at
+            # the ``cache.get`` site degrades this lookup to a miss (the
+            # count re-runs with the same derived seed, so only latency is
+            # lost) rather than being retried.
+            cached_estimate = None
+            cache_faulted = False
+            if fault_plan is not None:
+                try:
+                    note = fault_plan.apply("cache.get", (index,), 0)
+                    if note is not None:
+                        request_notes.append(note)
+                except FaultError as error:
+                    cache_faulted = True
+                    request_notes.append(f"cache.get[{index}]: degraded to miss ({error})")
+            if not cache_faulted:
+                cached_estimate = self.result_cache.get(result_key)
             if cached_estimate is not None:
                 cache_hits += 1
+                batch_degradations.extend(request_notes)
                 results[index] = CountResult(
                     index=index,
                     estimate=cached_estimate,
@@ -345,17 +407,30 @@ class CountingService:
                     cache="hit",
                     plan_seconds=plan_seconds,
                     execute_seconds=0.0,
+                    degradations=tuple(request_notes),
                 )
                 continue
 
+            shard_context: Optional[tuple] = None
             if isinstance(request.database, ShardedStructure):
-                slots, strategy, inline = self._enqueue_sharded(
-                    request, plan, epsilon, delta, task_seed, tasks, databases
+                slots, strategy, shard_plan, inline = self._enqueue_sharded(
+                    request,
+                    plan,
+                    epsilon,
+                    delta,
+                    task_seed,
+                    tasks,
+                    databases,
+                    fault_plan=fault_plan,
+                    retry=retry,
+                    deadline_at=deadline_at,
                 )
                 if inline is not None:
                     # Union/merged strategy: computed inline just now.
                     inline_count += 1
-                    estimate, execute_seconds = inline
+                    estimate, execute_seconds, inline_notes = inline
+                    request_notes.extend(inline_notes)
+                    batch_degradations.extend(request_notes)
                     self.result_cache.put(result_key, estimate)
                     results[index] = CountResult(
                         index=index,
@@ -370,8 +445,10 @@ class CountingService:
                         plan_seconds=plan_seconds,
                         execute_seconds=execute_seconds,
                         shard_strategy=strategy,
+                        degradations=tuple(request_notes),
                     )
                     continue
+                shard_context = (request.database, shard_plan)
             else:
                 strategy = None
                 token = request.database.structure_token
@@ -387,15 +464,56 @@ class CountingService:
                         delta=delta,
                         seed=task_seed,
                         database_token=token,
+                        fault_sites=(("executor.task", (index,)),),
+                        fault_plan=fault_plan,
+                        retry=retry,
+                        deadline_at=deadline_at,
                     )
                 )
             groups.append(
-                (index, plan, plan_seconds, result_key, epsilon, delta, task_seed, slots, strategy)
+                (
+                    index, plan, plan_seconds, result_key, epsilon, delta,
+                    task_seed, slots, strategy, shard_context, request_notes,
+                )
             )
 
-        execution = run_tasks(tasks, databases, mode=mode, max_workers=workers)
-        for index, plan, plan_seconds, result_key, epsilon, delta, task_seed, slots, strategy in groups:
+        execution = run_tasks(
+            tasks, databases, mode=mode, max_workers=workers, breaker=self.breaker
+        )
+        batch_degradations.extend(execution.degradations)
+        for (
+            index, plan, plan_seconds, result_key, epsilon, delta,
+            task_seed, slots, strategy, shard_context, request_notes,
+        ) in groups:
             outcomes = [execution.outcomes[slot] for slot in slots]
+            repaired = []
+            for position, outcome in enumerate(outcomes):
+                if outcome.failed:
+                    if shard_context is None:
+                        raise RuntimeError(
+                            f"count of request {index} failed after retries: {outcome.error}"
+                        )
+                    # Shard-level degradation of last resort: recount the
+                    # failed component on the merged view with the same
+                    # derived seed (bit-identical, not shard-parallel).
+                    from repro.shard.executor import shard_fallback_outcome
+
+                    sharded, shard_plan = shard_context
+                    outcome, note = shard_fallback_outcome(
+                        shard_plan.tasks[position],
+                        outcome,
+                        sharded,
+                        plan.scheme,
+                        plan.engine,
+                        epsilon,
+                        delta,
+                        task_seed,
+                    )
+                    request_notes.append(note)
+                else:
+                    request_notes.extend(outcome.degradations)
+                repaired.append(outcome)
+            outcomes = repaired
             if len(outcomes) == 1:
                 estimate = outcomes[0].estimate
                 widths: Optional[Dict[str, Any]] = outcomes[0].widths
@@ -408,6 +526,7 @@ class CountingService:
                     [outcome.estimate for outcome in outcomes]
                 )
                 widths = {"components": [outcome.widths for outcome in outcomes]}
+            batch_degradations.extend(request_notes)
             self.result_cache.put(result_key, estimate)
             results[index] = CountResult(
                 index=index,
@@ -423,6 +542,7 @@ class CountingService:
                 execute_seconds=sum(outcome.seconds for outcome in outcomes),
                 widths=widths,
                 shard_strategy=strategy,
+                degradations=tuple(request_notes),
             )
 
         if tasks:
@@ -440,6 +560,8 @@ class CountingService:
             max_workers=workers,
             cache_hits=cache_hits,
             cache_misses=len(resolved) - cache_hits,
+            degradations=batch_degradations,
+            retries=execution.retries,
         )
 
     def _enqueue_sharded(
@@ -451,15 +573,19 @@ class CountingService:
         task_seed: Optional[int],
         tasks: List[CountTask],
         databases: Dict[int, Structure],
-    ) -> Tuple[List[int], str, Optional[Tuple[float, float]]]:
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_at: Optional[float] = None,
+    ) -> Tuple[List[int], str, Any, Optional[Tuple[float, float, Tuple[str, ...]]]]:
         """Turn one sharded request into executor tasks.
 
-        Returns ``(slot positions, shard strategy, inline result)``:
-        single/local shard plans append one :class:`CountTask` per shard task
-        (over the per-shard structures, with pass-through or derived seeds)
-        and occupy slots; union/merged plans run inline through the
+        Returns ``(slot positions, shard strategy, shard plan, inline
+        result)``: single/local shard plans append one :class:`CountTask`
+        per shard task (over the per-shard structures, with pass-through or
+        derived seeds, faultable at ``shard.count``) and occupy slots;
+        union/merged plans run inline through the
         :class:`~repro.shard.executor.ShardExecutor` and return their
-        ``(estimate, wall seconds)`` directly.
+        ``(estimate, wall seconds, degradation notes)`` directly.
         """
         from repro.shard.executor import ShardExecutor, shard_task_seed
         from repro.shard.plan import plan_sharded_count
@@ -482,11 +608,19 @@ class CountingService:
                         delta=delta,
                         seed=shard_task_seed(task_seed, shard_task),
                         database_token=shard_structure.structure_token,
+                        fault_sites=(
+                            ("shard.count", (shard_task.shard, shard_task.component)),
+                        ),
+                        fault_plan=fault_plan,
+                        retry=retry,
+                        deadline_at=deadline_at,
                     )
                 )
-            return slots, shard_plan.strategy, None
+            return slots, shard_plan.strategy, shard_plan, None
 
-        shard_result = ShardExecutor(mode="serial").count(
+        shard_result = ShardExecutor(
+            mode="serial", fault_plan=fault_plan, retry=retry, breaker=self.breaker
+        ).count(
             request.query,
             sharded,
             scheme=plan.scheme,
@@ -495,8 +629,14 @@ class CountingService:
             seed=task_seed,
             engine=plan.engine,
             plan=shard_plan,
+            deadline_at=deadline_at,
         )
-        return [], shard_plan.strategy, (shard_result.estimate, shard_result.wall_seconds)
+        return (
+            [],
+            shard_plan.strategy,
+            shard_plan,
+            (shard_result.estimate, shard_result.wall_seconds, shard_result.degradations),
+        )
 
     # ------------------------------------------------------------- streaming
     def subscribe(
@@ -608,6 +748,7 @@ class CountingService:
         return {
             "plan_cache": self.planner.cache.stats().to_dict(),
             "result_cache": self.result_cache.stats().to_dict(),
+            "breaker": self.breaker.stats(),
             "subscriptions": sum(
                 len(state.subscriptions) for state in self._streams.values()
             )

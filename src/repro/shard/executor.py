@@ -24,7 +24,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
-from repro.service.executor import CountTask, run_tasks
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy, run_with_retry
+from repro.service.executor import CountTask, TaskOutcome, execute_scheme_result, run_tasks
 from repro.shard.plan import ShardCountPlan, ShardTask, plan_sharded_count
 from repro.shard.sharded import ShardedStructure
 from repro.util.rng import derive_seed
@@ -56,6 +59,10 @@ class ShardCountResult:
     #: Per-task ``(shard, component, estimate, seconds)`` rows (single/local).
     task_rows: Tuple[Tuple[int, int, float, float], ...] = ()
     trace: Tuple[str, ...] = field(default_factory=tuple)
+    #: Resilience provenance: injected faults absorbed by retries, executor
+    #: rungs degraded, shard tasks recounted on the merged view.
+    degradations: Tuple[str, ...] = ()
+    retries: int = 0
 
     @property
     def count(self) -> int:
@@ -73,6 +80,8 @@ class ShardCountResult:
             "executed_mode": self.executed_mode,
             "wall_seconds": round(self.wall_seconds, 6),
             "trace": list(self.trace),
+            "degradations": list(self.degradations),
+            "retries": self.retries,
         }
 
 
@@ -85,6 +94,52 @@ def combine_local_estimates(estimates: List[float]) -> float:
     return product
 
 
+def shard_fallback_outcome(
+    shard_task: ShardTask,
+    failed: TaskOutcome,
+    sharded: ShardedStructure,
+    scheme: str,
+    engine: str,
+    epsilon: float,
+    delta: float,
+    seed: Optional[int],
+) -> Tuple[TaskOutcome, str]:
+    """Recount one failed shard task's component on the ``merged()`` view.
+
+    The degradation of last resort: a shard task that exhausted its retries
+    (its shard is "down") re-runs against the reassembled monolith with the
+    *same* derived seed.  Shards keep the full universe and whole relations
+    of their components, so the component's query sees identical relation
+    contents on the merged view — the recount is bit-identical to the
+    healthy shard's answer, just not shard-parallel.  Returns the repaired
+    outcome and a provenance note."""
+    started = time.perf_counter()
+    result = execute_scheme_result(
+        scheme,
+        shard_task.query,
+        sharded.merged(),
+        epsilon=epsilon,
+        delta=delta,
+        seed=shard_task_seed(seed, shard_task),
+        engine=engine,
+    )
+    note = (
+        f"shard.count[{shard_task.shard}, {shard_task.component}]: "
+        f"retries exhausted ({failed.error}); recounted component on merged view"
+    )
+    return (
+        TaskOutcome(
+            index=failed.index,
+            estimate=result.estimate,
+            seconds=time.perf_counter() - started,
+            widths=result.widths,
+            attempts=failed.attempts,
+            degradations=failed.degradations + (note,),
+        ),
+        note,
+    )
+
+
 class ShardExecutor:
     """Plan and execute sharded counts over one :class:`ShardedStructure`."""
 
@@ -93,9 +148,17 @@ class ShardExecutor:
         mode: str = "process",
         max_workers: Optional[int] = None,
         union_exact_components: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.mode = mode
         self.max_workers = max_workers
+        #: The failure model (usually handed down by the service): injected
+        #: faults, the retry budget, and the shared executor circuit breaker.
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.breaker = breaker
         #: Approximate union plans run Karp–Luby with exact per-restriction
         #: counts and exactly uniform samples by default (the estimator's
         #: only error is sampling error; each restriction is one shard's
@@ -115,11 +178,13 @@ class ShardExecutor:
         seed: Optional[int] = None,
         engine: str = DEFAULT_ENGINE,
         plan: Optional[ShardCountPlan] = None,
+        deadline_at: Optional[float] = None,
     ) -> ShardCountResult:
         """Count ``|Ans(query, sharded)|`` with the given scheme.
 
         ``plan`` may be passed in when the caller already planned (the
         service does); otherwise :func:`plan_sharded_count` runs here.
+        ``deadline_at`` (absolute monotonic) rides into every shard task.
         """
         started = time.perf_counter()
         if plan is None:
@@ -141,13 +206,36 @@ class ShardExecutor:
                         delta=delta,
                         seed=shard_task_seed(seed, shard_task),
                         database_token=shard_structure.structure_token,
+                        fault_sites=(
+                            ("shard.count", (shard_task.shard, shard_task.component)),
+                        ),
+                        fault_plan=self.fault_plan,
+                        retry=self.retry,
+                        deadline_at=deadline_at,
                     )
                 )
-            report = run_tasks(tasks, databases, mode=self.mode, max_workers=self.max_workers)
-            estimate = combine_local_estimates([outcome.estimate for outcome in report.outcomes])
+            report = run_tasks(
+                tasks,
+                databases,
+                mode=self.mode,
+                max_workers=self.max_workers,
+                breaker=self.breaker,
+            )
+            degradations: List[str] = list(report.degradations)
+            outcomes: List[TaskOutcome] = []
+            for shard_task, outcome in zip(plan.tasks, report.outcomes):
+                if outcome.failed:
+                    outcome, note = shard_fallback_outcome(
+                        shard_task, outcome, sharded, scheme, engine, epsilon, delta, seed
+                    )
+                    degradations.append(note)
+                else:
+                    degradations.extend(outcome.degradations)
+                outcomes.append(outcome)
+            estimate = combine_local_estimates([outcome.estimate for outcome in outcomes])
             rows = tuple(
                 (shard_task.shard, shard_task.component, outcome.estimate, outcome.seconds)
-                for shard_task, outcome in zip(plan.tasks, report.outcomes)
+                for shard_task, outcome in zip(plan.tasks, outcomes)
             )
             return ShardCountResult(
                 estimate=estimate,
@@ -160,17 +248,24 @@ class ShardExecutor:
                 wall_seconds=time.perf_counter() - started,
                 task_rows=rows,
                 trace=plan.trace,
+                degradations=tuple(degradations),
+                retries=report.retries,
             )
 
         if plan.strategy == "union":
-            estimate = self._count_union(
-                plan,
-                scheme,
-                epsilon=epsilon,
-                delta=delta,
-                seed=seed,
-                engine=engine,
-                exact_components=self.union_exact_components,
+            estimate, trace = run_with_retry(
+                lambda: self._count_union(
+                    plan,
+                    scheme,
+                    epsilon=epsilon,
+                    delta=delta,
+                    seed=seed,
+                    engine=engine,
+                    exact_components=self.union_exact_components,
+                ),
+                sites=(("shard.count", ("union",)),),
+                policy=self.retry,
+                plan=self.fault_plan,
             )
             return ShardCountResult(
                 estimate=estimate,
@@ -182,15 +277,22 @@ class ShardExecutor:
                 executed_mode="union-inline",
                 wall_seconds=time.perf_counter() - started,
                 trace=plan.trace,
+                degradations=tuple(trace.notes),
+                retries=trace.attempts - 1,
             )
 
         # Merged fallback: correct on any input, not shard-parallel.
         from repro.core.registry import REGISTRY
 
-        estimate = REGISTRY.count(
-            scheme, query, sharded.merged(),
-            epsilon=epsilon, delta=delta, rng=seed, engine=engine,
-        ).estimate
+        estimate, trace = run_with_retry(
+            lambda: REGISTRY.count(
+                scheme, query, sharded.merged(),
+                epsilon=epsilon, delta=delta, rng=seed, engine=engine,
+            ).estimate,
+            sites=(("shard.count", ("merged",)),),
+            policy=self.retry,
+            plan=self.fault_plan,
+        )
         return ShardCountResult(
             estimate=estimate,
             scheme=scheme,
@@ -201,6 +303,8 @@ class ShardExecutor:
             executed_mode="merged-inline",
             wall_seconds=time.perf_counter() - started,
             trace=plan.trace,
+            degradations=tuple(trace.notes),
+            retries=trace.attempts - 1,
         )
 
     @staticmethod

@@ -22,22 +22,11 @@ Two placement policies:
 
 from __future__ import annotations
 
-import hashlib
 from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
+from repro.util.hashing import stable_hash
+
 Fact = Tuple[Hashable, ...]
-
-
-def stable_hash(*parts: object) -> int:
-    """A process-stable 64-bit hash of ``parts``.
-
-    Keyed on the ``repr`` of the parts (facts hold primitive hashables —
-    ints, strings, tuples — whose reprs are stable), digested with BLAKE2;
-    unlike builtin ``hash``, the value survives interpreter restarts and
-    ``PYTHONHASHSEED`` salting, so shard placement is reproducible.
-    """
-    payload = repr(parts).encode("utf-8")
-    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "big")
 
 
 class Partitioner:

@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.queries.canonical import query_relation_names
 from repro.relational.changelog import ChangeLog, ChangeLogGap, rewind
+from repro.resilience.retry import RetriesExhausted, run_with_retry
 from repro.stream.delta import delta_applicable, delta_count_exact
 from repro.util.rng import derive_seed
 
@@ -93,6 +94,12 @@ class LiveCount:
     seed: Optional[int]
     epsilon: float
     delta: float
+    #: Resilience provenance of the last refresh attempt: injected faults
+    #: absorbed by retries, or the stale-serve note when retries ran out.
+    degradations: Tuple[str, ...] = ()
+    #: Change-log gaps survived so far: each one forced a full recount, after
+    #: which the fingerprint re-anchors so later refreshes delta-patch again.
+    gap_recounts: int = 0
 
     @property
     def count(self) -> int:
@@ -227,6 +234,12 @@ class CountSubscription:
 
         # Initial compute, through the service (plans, caches, registry).
         self._refresh_count = 0
+        #: Position among the state's subscriptions at creation — the stable
+        #: half of this subscription's ``stream.refresh`` fault key.
+        self._ordinal = len(state.subscriptions)
+        self._degradations: Tuple[str, ...] = ()
+        self._gap_recounts = 0
+        self._gap_note: Optional[str] = None
         self._last_seed = self._seed_for(0)
         result = service.submit(
             request.query,
@@ -282,30 +295,66 @@ class CountSubscription:
         )
 
     def _refresh(self) -> None:
+        """Fold pending mutations in, under the service's failure model.
+
+        The refresh body is one retryable operation at the
+        ``stream.refresh`` fault site (key = subscription ordinal + refresh
+        index); a retried refresh re-runs with the same derived seed, so
+        recovery is bit-identical.  When retries run out the subscription
+        *serves stale*: the stored value, fingerprint, and refresh index all
+        stay put, so the next read simply tries this refresh again."""
         started = time.perf_counter()
         seed = self._seed_for(self._refresh_count + 1)
-        key = self._result_cache_key(seed)
-        cached = self._service.result_cache.get(key)
-        if cached is not None:
-            self._estimate = cached
-            self._mode = "cached"
-        elif self.scheme in EXACT_SCHEMES and self._try_delta_patch():
-            self._service.result_cache.put(key, self._estimate)
-        else:
-            result = self._service.submit(
-                self.query,
-                self._database,
-                epsilon=self.epsilon,
-                delta=self.delta,
-                seed=seed,
-                method=self.scheme,
+        self._gap_note = None
+
+        def work() -> None:
+            key = self._result_cache_key(seed)
+            cached = self._service.result_cache.get(key)
+            if cached is not None:
+                self._estimate = cached
+                self._mode = "cached"
+            elif self.scheme in EXACT_SCHEMES and self._try_delta_patch():
+                self._service.result_cache.put(key, self._estimate)
+            else:
+                result = self._service.submit(
+                    self.query,
+                    self._database,
+                    epsilon=self.epsilon,
+                    delta=self.delta,
+                    seed=seed,
+                    method=self.scheme,
+                )
+                self._estimate = result.estimate
+                self._mode = (
+                    "recount" if self.scheme in EXACT_SCHEMES else "reestimate"
+                )
+
+        site_key = (self._ordinal, self._refresh_count + 1)
+        try:
+            _, trace = run_with_retry(
+                work,
+                sites=(("stream.refresh", site_key),),
+                policy=self._service.config.retry,
+                plan=self._service.config.fault_plan,
             )
-            self._estimate = result.estimate
-            self._mode = (
-                "recount" if self.scheme in EXACT_SCHEMES else "reestimate"
+        except RetriesExhausted as error:
+            self._degradations = (
+                f"stream.refresh{list(site_key)}: retries exhausted; "
+                f"serving stale value ({error})",
             )
+            self._spent_seconds += time.perf_counter() - started
+            return
+        notes = list(trace.notes)
+        if self._gap_note is not None:
+            self._gap_recounts += 1
+            notes.append(self._gap_note)
+        self._degradations = tuple(notes)
         self._refresh_count += 1
         self._last_seed = seed
+        # Re-anchor: the new fingerprint is taken *after* the refresh folded
+        # everything in, and trim() below floors the shared log at the
+        # subscriptions' new minima — so even a gap-forced recount leaves the
+        # log able to delta-patch the next refresh.
         self._fingerprint = self._current_fingerprint()
         self._spent_seconds += time.perf_counter() - started
         self._state.trim()
@@ -321,7 +370,11 @@ class CountSubscription:
         changelog = self._state.changelog
         try:
             delta = changelog.delta_since(self._fingerprint)
-        except ChangeLogGap:
+        except ChangeLogGap as gap:
+            self._gap_note = (
+                f"stream.refresh[{self._ordinal}]: change-log gap ({gap}); "
+                "full recount, fingerprint re-anchored"
+            )
             return False
         if delta:
             old_database = rewind(self._database, delta)
@@ -343,8 +396,10 @@ class CountSubscription:
         refreshed = False
         if force and ticks > 0 or not force and self._should_refresh(ticks):
             self._refresh()
-            refreshed = True
-            ticks = 0
+            # A refresh that exhausted its retries serves stale: the
+            # fingerprint did not advance, so the ticks stay pending.
+            ticks = self.pending_ticks()
+            refreshed = ticks == 0
         return LiveCount(
             estimate=self._estimate,
             scheme=self.scheme,
@@ -357,6 +412,8 @@ class CountSubscription:
             seed=self._last_seed,
             epsilon=self.epsilon,
             delta=self.delta,
+            degradations=self._degradations,
+            gap_recounts=self._gap_recounts,
         )
 
     def refresh(self) -> LiveCount:

@@ -1,0 +1,38 @@
+"""Process-stable hashing.
+
+Python's builtin ``hash`` is salted per interpreter (``PYTHONHASHSEED``), so
+any decision keyed on it silently diverges between the service front-end and
+its pool workers.  Everything in this package that must agree *across
+processes* — shard placement of facts, the fault plan's selection coins,
+deterministic backoff jitter — hashes through :func:`stable_hash` instead.
+
+Lives in :mod:`repro.util` so both the shard layer and the resilience layer
+can use it without importing each other (:mod:`repro.shard.partition`
+re-exports it under its historical name).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(*parts: object) -> int:
+    """A process-stable 64-bit hash of ``parts``.
+
+    Keyed on the ``repr`` of the parts (facts hold primitive hashables —
+    ints, strings, tuples — whose reprs are stable), digested with BLAKE2;
+    unlike builtin ``hash``, the value survives interpreter restarts and
+    ``PYTHONHASHSEED`` salting, so shard placement is reproducible.
+    """
+    payload = repr(parts).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "big")
+
+
+def stable_fraction(*parts: object) -> float:
+    """A deterministic uniform-looking value in ``[0, 1)`` keyed on
+    ``parts`` — the coin the fault plan flips and the jitter source the
+    retry policy spreads backoff with.  53 bits so the float is exact."""
+    return (stable_hash(*parts) % (2**53)) / float(2**53)
+
+
+__all__ = ["stable_hash", "stable_fraction"]

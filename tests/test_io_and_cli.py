@@ -212,14 +212,16 @@ class TestCLI:
         assert code == 0
         assert "exact:       3" in capsys.readouterr().out
 
-    def test_both_database_sources_rejected(self, tmp_path):
+    def test_both_database_sources_rejected(self, tmp_path, capsys):
         path = self._write_db(tmp_path)
-        with pytest.raises(SystemExit):
-            main(
-                ["count", "--query", "Ans(x) :- E(x, y)", "--database", str(path),
-                 "--edge-list", str(path)]
-            )
+        code = main(
+            ["count", "--query", "Ans(x) :- E(x, y)", "--database", str(path),
+             "--edge-list", str(path)]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
 
-    def test_missing_database_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["count", "--query", "Ans(x) :- E(x, y)"])
+    def test_missing_database_rejected(self, capsys):
+        code = main(["count", "--query", "Ans(x) :- E(x, y)"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -235,15 +235,20 @@ class TestCountingService:
         )
         serial_report = serial.count_batch(queries, seed=9)
         pooled_report = pooled.count_batch(queries, seed=9)
-        assert pooled_report.executed_executor in ("process", "serial-fallback")
+        assert pooled_report.executed_executor in (
+            "process",
+            "thread-fallback",
+            "serial-fallback",
+        )
         assert serial_report.estimates() == pooled_report.estimates()
 
-    def test_process_pool_unavailable_falls_back_to_serial_with_warning(
+    def test_process_pool_unavailable_falls_back_down_the_ladder(
         self, database, monkeypatch
     ):
         """Sandboxed environments may have no usable multiprocessing start
-        method at all; the process back-end must warn and run serially
-        instead of raising (regression test for the get_context preflight)."""
+        method at all; the process back-end must warn and degrade to the
+        next executor rung (thread) instead of raising (regression test for
+        the get_context preflight + degradation ladder)."""
         import multiprocessing
 
         from repro.service import executor as executor_module
@@ -259,10 +264,11 @@ class TestCountingService:
         pooled = CountingService(
             database, ServiceConfig(executor="process", max_workers=2)
         )
-        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        with pytest.warns(RuntimeWarning, match="falling back to thread"):
             pooled_report = pooled.count_batch(queries, seed=9)
-        assert pooled_report.executed_executor == "serial-fallback"
+        assert pooled_report.executed_executor == "thread-fallback"
         assert pooled_report.estimates() == serial_report.estimates()
+        assert any("degrading to thread" in note for note in pooled_report.degradations)
         # The preflight also guards the bare task runner (two tasks: a
         # single-task batch short-circuits to serial before the pool).
         tasks = [
@@ -282,7 +288,7 @@ class TestCountingService:
             report = executor_module.run_tasks(
                 tasks, {database.structure_token: database}, mode="process"
             )
-        assert report.executed_mode == "serial-fallback"
+        assert report.executed_mode == "thread-fallback"
         assert report.outcomes[0].estimate == count_answers_exact(
             parse_query(CQ), database
         )
@@ -296,7 +302,7 @@ class TestCountingService:
         service = CountingService(database, ServiceConfig(executor="serial"))
         service.submit(parse_query(CQ), seed=1)
         stats = service.stats()
-        assert set(stats) == {"plan_cache", "result_cache", "subscriptions"}
+        assert set(stats) == {"plan_cache", "result_cache", "subscriptions", "breaker"}
         assert stats["result_cache"]["misses"] == 1
         assert stats["subscriptions"] == 0
 

@@ -509,6 +509,34 @@ class TestLiveSubscriptions:
         assert live.mode in ("recount", "cached")
         first.close()
 
+    def test_gap_recount_reanchors_so_next_refresh_delta_patches(self):
+        """Regression: a change-log-gap recount must re-anchor the
+        subscription's fingerprint (and trim the log) so the *next* refresh
+        goes back to delta-patching instead of recounting forever."""
+        database = database_from_graph(erdos_renyi_graph(8, 0.3, rng=4))
+        service = service_for(database)
+        subscription = service.subscribe(parse_query("Ans(x, y) :- E(x, y)"))
+        # Force a one-time gap: mutate, then trim the (still attached) log
+        # past this subscription's anchor fingerprint.
+        state = service._streams[database.structure_token]
+        database.add_fact("E", (70, 71))
+        state.changelog.trim(database.version_fingerprint(["E"]))
+        gapped = subscription.read()
+        assert gapped.mode in ("recount", "cached")
+        assert gapped.gap_recounts == 1
+        assert any("change-log gap" in note for note in gapped.degradations)
+        assert gapped.estimate == count_answers_exact(subscription.query, database)
+        # The recount re-anchored: this mutation is covered by the (re-
+        # attached) log, so the following refresh delta-patches again.
+        database.add_fact("E", (72, 73))
+        patched = subscription.read()
+        assert patched.mode == "delta"
+        assert patched.gap_recounts == 1  # no new gap
+        assert patched.estimate == count_answers_exact(subscription.query, database)
+        # The re-anchor also trimmed the log back down to this watermark.
+        assert state.changelog.num_events() == 0
+        subscription.close()
+
     def test_closed_subscription_refuses_reads(self):
         database = database_from_graph(erdos_renyi_graph(6, 0.4, rng=1))
         service = service_for(database)
