@@ -128,6 +128,42 @@ def _append_record(out_path: Path, record: dict) -> None:
     out_path.write_text(json.dumps(existing, indent=2) + "\n")
 
 
+def _append_trajectory(
+    out_path: Path, observed: dict, timestamp: str, mode: str
+) -> None:
+    """Append one JSON line per suite to the cumulative trajectory log.
+
+    Each suite contributes its single headline metric (a machine-relative
+    speedup/retention ratio), so the file stays a flat, greppable history of
+    how the repo's performance evolved across runs:
+
+        {"suite": "stream", "metric": "touched_speedup", "speedup": 12.4,
+         "timestamp": "...", "mode": "smoke"}
+    """
+    lines = []
+    for suite, metrics in sorted(observed.items()):
+        for metric, value in sorted(metrics.items()):
+            lines.append(
+                json.dumps(
+                    {
+                        "suite": suite,
+                        "metric": metric,
+                        "speedup": value,
+                        "timestamp": timestamp,
+                        "mode": mode,
+                    },
+                    sort_keys=True,
+                )
+            )
+    if not lines:
+        return
+    with out_path.open("a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(
+        f"[record_perf] appended {len(lines)} trajectory line(s) to {out_path}"
+    )
+
+
 def run_engine(smoke: bool, out_path: Path, repeats: int, budget_seconds: float) -> tuple:
     started = time.perf_counter()
     results = []
@@ -977,6 +1013,15 @@ def main() -> int:
         "--resilience-out", type=Path, default=REPO_ROOT / "BENCH_resilience.json",
         help="resilience-suite output JSON file",
     )
+    parser.add_argument(
+        "--trajectory-out", type=Path, default=REPO_ROOT / "BENCH_trajectory.jsonl",
+        help="cumulative one-line-per-suite trajectory log (JSON lines)",
+    )
+    parser.add_argument(
+        "--timestamp", default=None, metavar="ISO8601",
+        help="timestamp recorded in trajectory lines (default: now, UTC); "
+        "CI passes the workflow-run timestamp so retries dedupe",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
     parser.add_argument(
         "--budget-seconds", type=float, default=30.0, help="smoke-mode time budget"
@@ -1019,6 +1064,12 @@ def main() -> int:
         suite_status, metrics = run_resilience_suite(args.smoke, args.resilience_out)
         status |= suite_status
         observed["resilience"] = metrics
+    timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    _append_trajectory(
+        args.trajectory_out, observed, timestamp, "smoke" if args.smoke else "full"
+    )
     if args.check_against is not None:
         status |= check_against(args.check_against, observed, args.check_tolerance)
     return status

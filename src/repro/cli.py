@@ -75,6 +75,46 @@ def _parse_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
     return FaultPlan.from_json(text)
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a span trace of the run and write it to PATH as JSON "
+        "lines (one root span tree per line); tracing never affects "
+        "estimates or seeds",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus-style text snapshot of the service metrics "
+        "(cache hit rates, executor modes, per-scheme latency histograms) "
+        "to PATH after the run",
+    )
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A Tracer when ``--trace`` was given, else None (tracing off)."""
+    if getattr(args, "trace", None):
+        from repro.obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _write_telemetry(args: argparse.Namespace, tracer, service) -> None:
+    """Write the ``--trace`` JSON-lines dump and/or the ``--metrics``
+    Prometheus snapshot, as requested."""
+    if tracer is not None and getattr(args, "trace", None):
+        with open(args.trace, "w") as handle:
+            text = tracer.to_jsonl()
+            handle.write(text + "\n" if text else "")
+    if getattr(args, "metrics", None):
+        with open(args.metrics, "w") as handle:
+            handle.write(service.metrics.render_prometheus())
+
+
 def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--database", help="path to a JSON database file")
     parser.add_argument(
@@ -203,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit the batch this many times (demonstrates result-cache hits)",
     )
     _add_fault_plan_argument(batch)
+    _add_obs_arguments(batch)
     batch.add_argument("--json", action="store_true", help="emit a JSON report")
 
     shard = subparsers.add_parser(
@@ -261,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also count unsharded and report agreement (slow on large inputs)",
     )
     _add_fault_plan_argument(shard)
+    _add_obs_arguments(shard)
     shard.add_argument("--json", action="store_true", help="emit a JSON report")
 
     stream = subparsers.add_parser(
@@ -305,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every fresh exact read against a from-scratch recount (slow)",
     )
     _add_fault_plan_argument(stream)
+    _add_obs_arguments(stream)
     stream.add_argument("--json", action="store_true", help="emit a JSON report")
     return parser
 
@@ -428,6 +471,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         queries = _load_batch_queries(args.queries)
         database = _load_database(args)
 
+    tracer = _make_tracer(args)
     service = CountingService(
         database,
         ServiceConfig(
@@ -436,6 +480,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             executor=args.executor,
             max_workers=args.workers,
             fault_plan=_parse_fault_plan(args),
+            tracer=tracer,
         ),
     )
     requests = [CountRequest(query=query, method=args.method) for query in queries]
@@ -443,6 +488,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         service.count_batch(requests, seed=args.seed)
         for _ in range(max(1, args.repeat))
     ]
+    _write_telemetry(args, tracer, service)
 
     if args.json:
         payload = {
@@ -474,7 +520,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             for note in report.degradations:
                 print(f"        - {note}")
     stats = service.stats()
-    plan_stats, result_stats = stats["plan_cache"], stats["result_cache"]
+    plan_stats, result_stats = stats["caches"]["plan"], stats["caches"]["result"]
     print(
         f"caches: plan {plan_stats['hits']}/{plan_stats['hits'] + plan_stats['misses']} hits, "
         f"result {result_stats['hits']}/{result_stats['hits'] + result_stats['misses']} hits"
@@ -523,6 +569,7 @@ def _command_shard(args: argparse.Namespace) -> int:
         args.partitioner, args.shards, assignment=_parse_shard_assignment(args.assign)
     )
     sharded = ShardedStructure.from_structure(database, partitioner)
+    tracer = _make_tracer(args)
     service = CountingService(
         sharded,
         ServiceConfig(
@@ -531,10 +578,12 @@ def _command_shard(args: argparse.Namespace) -> int:
             executor=args.executor,
             max_workers=args.workers,
             fault_plan=_parse_fault_plan(args),
+            tracer=tracer,
         ),
     )
     requests = [CountRequest(query=query, method=args.method) for query in queries]
     report = service.count_batch(requests, seed=args.seed)
+    _write_telemetry(args, tracer, service)
     # The batch already planned every query; "hit" marks cache-served results
     # (which skip the shard planner entirely).
     strategies = [result.shard_strategy or "hit" for result in report.results]
@@ -648,6 +697,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         args.events, database, len(queries), rng=args.seed,
         relations=(relation, negated),
     )
+    tracer = _make_tracer(args)
     service = CountingService(
         database,
         ServiceConfig(
@@ -655,6 +705,7 @@ def _command_stream(args: argparse.Namespace) -> int:
             delta=args.delta,
             executor="serial",
             fault_plan=_parse_fault_plan(args),
+            tracer=tracer,
         ),
     )
     report, subscriptions = run_stream(
@@ -668,6 +719,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         seed=args.seed,
         verify=args.verify,
     )
+    _write_telemetry(args, tracer, service)
     if args.json:
         payload = report.to_dict()
         payload["refresh_policy"] = args.refresh

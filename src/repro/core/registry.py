@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
+from repro.obs.trace import span
 from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.relational.csp import DEFAULT_ENGINE
@@ -196,16 +197,22 @@ class SchemeRegistry:
             prepared = prepare(query)
         query_class = query.query_class()
         self.validate(scheme, query_class)
-        estimate, widths, statistics, trace = spec.runner(
-            prepared,
-            query,
-            database,
-            epsilon=epsilon,
-            delta=delta,
-            rng=rng,
+        with span(
+            "scheme.count",
+            scheme=scheme,
+            query_class=query_class.value,
             engine=engine,
-            **kwargs,
-        )
+        ):
+            estimate, widths, statistics, trace = spec.runner(
+                prepared,
+                query,
+                database,
+                epsilon=epsilon,
+                delta=delta,
+                rng=rng,
+                engine=engine,
+                **kwargs,
+            )
         return CountResult(
             # Exact schemes return ints, kept unconverted (float() would lose
             # precision beyond 2**53 — exact counts must stay exact).

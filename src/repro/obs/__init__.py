@@ -1,0 +1,68 @@
+"""`repro.obs`: observability for the counting pipeline.
+
+Three stdlib-only building blocks (no imports from the rest of the package,
+so every layer can instrument itself cycle-free):
+
+* :mod:`repro.obs.trace` — lightweight span tracing.  ``with span("..."):``
+  blocks build a tree on the context's active :class:`~repro.obs.trace.Tracer`;
+  spans are pickle-friendly, survive process-pool workers, and dump as JSON
+  lines (the CLI's ``--trace``).  A shared no-op span makes disabled tracing
+  near-free.
+* :mod:`repro.obs.metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters, gauges and fixed-bucket histograms (interpolated p50/p95/p99),
+  plus pull-collectors absorbing the scattered cache/breaker/subscription
+  ``stats()`` behind one ``snapshot()`` and one Prometheus-style text
+  exposition (the CLI's ``--metrics``).
+* :mod:`repro.obs.profile` — per-(canonical form, fingerprint class, scheme)
+  latency/size sketches recorded on every execution: the observed-cost feed
+  for the adaptive planner (ROADMAP item 4), surfaced in
+  ``QueryPlan.explain()``'s "observed" section and persisted via
+  ``to_json``/``from_json``.
+
+The telemetry contract (enforced by ``tests/test_obs.py``): recording spans,
+metrics or profiles never touches seeds or RNG state — estimates are
+bit-identical with telemetry on or off, across serial/thread/process
+back-ends and under fault injection.
+
+See DESIGN.md ("Telemetry") for the span taxonomy and metric names.
+"""
+
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import ProfileStore, SchemeProfile, fingerprint_class
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    activate,
+    attach,
+    current_span,
+    current_tracer,
+    span,
+    tracing_active,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "activate",
+    "attach",
+    "current_span",
+    "current_tracer",
+    "tracing_active",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "ProfileStore",
+    "SchemeProfile",
+    "fingerprint_class",
+]

@@ -1,0 +1,230 @@
+"""Per-(canonical form, fingerprint class, scheme) cost profiles.
+
+ROADMAP item 4 — the observed-cost adaptive planner — needs a durable,
+structured record of what each scheme *actually* cost on each query shape at
+each database scale, next to the Figure-1 dichotomy's prediction.  This
+module is that data feed:
+
+* a **fingerprint class** buckets database sizes logarithmically
+  (``size.bit_length()``), so runs over same-order-of-magnitude databases
+  share one profile while 1k vs 1M stay separate — the granularity at which
+  the exact-vs-approximate tradeoff actually moves;
+* a :class:`SchemeProfile` is a constant-memory latency/size sketch — run
+  count, latency histogram (p50/p95/p99 via
+  :class:`~repro.obs.metrics.Histogram`), mean database size and mean
+  estimate magnitude — recorded on **every** execution by the service;
+* a :class:`ProfileStore` holds the sketches keyed by
+  ``(canonical_key, fingerprint_class, scheme)``, serves the planner's
+  ``QueryPlan.observed`` section (:meth:`summary`), and persists via
+  :meth:`to_json`/:meth:`from_json` so observations survive process
+  restarts.
+
+Recording takes no locks beyond the histograms' own and never touches RNG
+state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["SchemeProfile", "ProfileStore", "fingerprint_class"]
+
+#: Histogram edges for scheme latencies inside a profile sketch (10us–30s).
+_PROFILE_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 30.0,
+)
+
+
+def fingerprint_class(database_size: int) -> int:
+    """The log2 size bucket a database falls in (0 for empty databases)."""
+    return max(0, int(database_size)).bit_length()
+
+
+@dataclass
+class SchemeProfile:
+    """The latency/size sketch of one (canonical form, size bucket, scheme)."""
+
+    runs: int = 0
+    latency: Histogram = field(default_factory=lambda: Histogram(_PROFILE_BUCKETS))
+    total_database_size: float = 0.0
+    total_estimate_magnitude: float = 0.0
+
+    def record(
+        self, seconds: float, database_size: int, estimate: Optional[float] = None
+    ) -> None:
+        self.runs += 1
+        self.latency.observe(seconds)
+        self.total_database_size += float(database_size)
+        if estimate is not None:
+            self.total_estimate_magnitude += abs(float(estimate))
+
+    def summary(self) -> Dict[str, Any]:
+        runs = max(1, self.runs)
+        return {
+            "runs": self.runs,
+            "mean_seconds": round(self.latency.mean, 9),
+            "p50_seconds": round(self.latency.quantile(0.50), 9),
+            "p95_seconds": round(self.latency.quantile(0.95), 9),
+            "p99_seconds": round(self.latency.quantile(0.99), 9),
+            "max_seconds": round(self.latency.maximum or 0.0, 9),
+            "mean_database_size": round(self.total_database_size / runs, 2),
+            "mean_estimate_magnitude": round(self.total_estimate_magnitude / runs, 4),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "total_database_size": self.total_database_size,
+            "total_estimate_magnitude": self.total_estimate_magnitude,
+            "latency": {
+                "boundaries": list(self.latency.boundaries),
+                "bucket_counts": list(self.latency.bucket_counts),
+                "count": self.latency.count,
+                "sum": self.latency.total,
+                "min": self.latency.minimum,
+                "max": self.latency.maximum,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SchemeProfile":
+        sketch = payload.get("latency", {})
+        histogram = Histogram(tuple(sketch.get("boundaries", _PROFILE_BUCKETS)))
+        counts = sketch.get("bucket_counts")
+        if counts and len(counts) == len(histogram.bucket_counts):
+            histogram.bucket_counts = [int(value) for value in counts]
+        histogram.count = int(sketch.get("count", 0))
+        histogram.total = float(sketch.get("sum", 0.0))
+        histogram.minimum = sketch.get("min")
+        histogram.maximum = sketch.get("max")
+        profile = cls(
+            runs=int(payload.get("runs", 0)),
+            latency=histogram,
+            total_database_size=float(payload.get("total_database_size", 0.0)),
+            total_estimate_magnitude=float(payload.get("total_estimate_magnitude", 0.0)),
+        )
+        return profile
+
+
+class ProfileStore:
+    """All profile sketches of one service (or one persisted snapshot)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._profiles: Dict[Tuple[str, int, str], SchemeProfile] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def record(
+        self,
+        canonical_key: str,
+        database_size: int,
+        scheme: str,
+        seconds: float,
+        estimate: Optional[float] = None,
+    ) -> None:
+        """Fold one execution into the matching sketch (creating it)."""
+        key = (canonical_key, fingerprint_class(database_size), scheme)
+        with self._lock:
+            profile = self._profiles.get(key)
+            if profile is None:
+                profile = self._profiles[key] = SchemeProfile()
+        profile.record(seconds, database_size, estimate)
+
+    def get(
+        self, canonical_key: str, database_size: int, scheme: str
+    ) -> Optional[SchemeProfile]:
+        return self._profiles.get(
+            (canonical_key, fingerprint_class(database_size), scheme)
+        )
+
+    def summary(self, canonical_key: str, database_size: int) -> Dict[str, Any]:
+        """Every scheme's observed costs for this canonical form in this
+        size bucket — the payload ``QueryPlan.observed`` carries into
+        ``explain()``.  Empty dict when nothing was observed yet."""
+        bucket = fingerprint_class(database_size)
+        with self._lock:
+            matching = {
+                scheme: profile
+                for (key, klass, scheme), profile in self._profiles.items()
+                if key == canonical_key and klass == bucket
+            }
+        if not matching:
+            return {}
+        return {
+            "fingerprint_class": bucket,
+            "schemes": {
+                scheme: profile.summary() for scheme, profile in sorted(matching.items())
+            },
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate store statistics for ``CountingService.stats()``."""
+        with self._lock:
+            profiles = dict(self._profiles)
+        return {
+            "entries": len(profiles),
+            "runs": sum(profile.runs for profile in profiles.values()),
+            "canonical_forms": len({key for key, _, _ in profiles}),
+            "schemes": sorted({scheme for _, _, scheme in profiles}),
+        }
+
+    # ----------------------------------------------------------- persistence
+    def to_json(self, indent: Optional[int] = None) -> str:
+        with self._lock:
+            rows: List[Dict[str, Any]] = [
+                {
+                    "canonical_key": key,
+                    "fingerprint_class": klass,
+                    "scheme": scheme,
+                    "profile": profile.to_dict(),
+                }
+                for (key, klass, scheme), profile in sorted(self._profiles.items())
+            ]
+        return json.dumps({"version": 1, "profiles": rows}, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileStore":
+        payload = json.loads(text)
+        store = cls()
+        for row in payload.get("profiles", []):
+            key = (
+                str(row["canonical_key"]),
+                int(row["fingerprint_class"]),
+                str(row["scheme"]),
+            )
+            store._profiles[key] = SchemeProfile.from_dict(row.get("profile", {}))
+        return store
+
+    def merge(self, other: "ProfileStore") -> None:
+        """Fold another store's sketches in (persisted history + live runs).
+        Existing sketches are merged bucket-by-bucket."""
+        with self._lock:
+            for key, profile in other._profiles.items():
+                mine = self._profiles.get(key)
+                if mine is None:
+                    self._profiles[key] = SchemeProfile.from_dict(profile.to_dict())
+                    continue
+                if mine.latency.boundaries == profile.latency.boundaries:
+                    for position, count in enumerate(profile.latency.bucket_counts):
+                        mine.latency.bucket_counts[position] += count
+                    mine.latency.count += profile.latency.count
+                    mine.latency.total += profile.latency.total
+                    for bound in ("minimum", "maximum"):
+                        theirs = getattr(profile.latency, bound)
+                        ours = getattr(mine.latency, bound)
+                        if theirs is not None and (
+                            ours is None
+                            or (bound == "minimum" and theirs < ours)
+                            or (bound == "maximum" and theirs > ours)
+                        ):
+                            setattr(mine.latency, bound, theirs)
+                mine.runs += profile.runs
+                mine.total_database_size += profile.total_database_size
+                mine.total_estimate_magnitude += profile.total_estimate_magnitude

@@ -1,0 +1,271 @@
+"""Lightweight span tracing for the counting pipeline.
+
+A :class:`Span` is a named, timed tree node with free-form attributes and
+point-in-time events; a :class:`Tracer` collects root spans.  The pieces are
+deliberately tiny and dependency-free (this module imports nothing from the
+rest of the package, so every layer — registry, executor, shard, stream —
+can instrument itself without import cycles):
+
+* **Context propagation.**  The active tracer and the current span live in
+  :mod:`contextvars`, so nested ``with span("..."):`` blocks build the tree
+  without threading a handle through every call signature.  Thread-pool and
+  process-pool workers start with an empty context; tasks that should be
+  traced carry a ``traced`` flag instead, run under a worker-local tracer,
+  and their finished span rides back on the task outcome (see
+  :meth:`Span.attach` / :func:`attach`).
+* **No-op fast path.**  :func:`span` returns a shared immutable no-op
+  context manager when no tracer is active — one ``ContextVar.get`` and an
+  attribute-free ``with`` block.  Telemetry off means near-zero cost, and
+  tracing never touches seeds or RNG state, so estimates are bit-identical
+  with tracing on or off (``tests/test_obs.py`` enforces this
+  differentially).
+* **Pickle-friendly.**  :class:`Span` is a plain dataclass of primitives,
+  lists and dicts; it survives the process-pool boundary unchanged and
+  reattaches to the parent span on return.
+* **Injectable clock.**  ``Tracer(clock=...)`` takes any zero-argument
+  monotonic float source (``time.perf_counter`` by default), so tests can
+  pin timestamps.
+
+Span dumps are JSON lines — one root span tree per line
+(:meth:`Tracer.to_jsonl`) — written by the CLI's ``--trace`` flag and the
+chaos harness's artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "activate",
+    "attach",
+    "current_span",
+    "current_tracer",
+    "tracing_active",
+]
+
+
+@dataclass
+class Span:
+    """One timed operation: name, attributes, events, children.
+
+    ``start``/``end`` are clock readings from the tracer that opened the
+    span (monotonic seconds; readings from different processes share no
+    epoch, so cross-process trees are ordered by structure, not by
+    timestamp).  ``status`` is ``"ok"`` unless the block raised.
+    """
+
+    name: str
+    start: float = 0.0
+    end: Optional[float] = None
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """The span's duration (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Merge attributes into the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, note: str, **attrs: Any) -> None:
+        """Record a point-in-time note (retry taken, fault absorbed, ...)."""
+        entry: Dict[str, Any] = {"note": str(note)}
+        if attrs:
+            entry.update(attrs)
+        self.events.append(entry)
+
+    def attach(self, child: Optional["Span"]) -> None:
+        """Adopt ``child`` (e.g. a span unpickled from a pool worker)."""
+        if child is not None:
+            self.children.append(child)
+
+    def find(self, name: str) -> List["Span"]:
+        """Every descendant span (self included) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "end": None if self.end is None else round(self.end, 9),
+            "seconds": round(self.seconds, 9),
+            "status": self.status,
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        if self.events:
+            payload["events"] = self.events
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is inactive.
+
+    Supports the full :class:`Span` surface the instrumentation points use
+    (``set``/``event``/``attach``) so call sites never branch on whether
+    tracing is on."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def event(self, note: str, **attrs: Any) -> None:
+        return None
+
+    def attach(self, child: Optional[Span]) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+#: The active tracer of the current context (None = tracing off).
+_ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar("repro_obs_tracer", default=None)
+#: The innermost open span of the current context.
+_CURRENT: ContextVar[Optional[Span]] = ContextVar("repro_obs_span", default=None)
+
+
+class _LiveSpan:
+    """Context manager that opens a real span under the active tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        opened = Span(name=self._name, start=self._tracer.clock(), attrs=self._attrs)
+        parent = _CURRENT.get()
+        if parent is None:
+            self._tracer.roots.append(opened)
+        else:
+            parent.children.append(opened)
+        self._token = _CURRENT.set(opened)
+        self._span = opened
+        return opened
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        opened = self._span
+        opened.end = self._tracer.clock()
+        if exc_type is not None:
+            opened.status = "error"
+            opened.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        _CURRENT.reset(self._token)
+        return False
+
+
+class Tracer:
+    """Collects root spans for one request path (service, worker, CLI run)."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        """Open a span under *this* tracer regardless of the context."""
+        return _LiveSpan(self, name, attrs)
+
+    def clear(self) -> None:
+        self.roots = []
+
+    def find(self, name: str) -> List[Span]:
+        found: List[Span] = []
+        for root in self.roots:
+            found.extend(root.find(name))
+        return found
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, one line per root span tree."""
+        return "\n".join(json.dumps(root.to_dict(), default=str) for root in self.roots)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the context's active tracer.
+
+    The disabled fast path — no active tracer — allocates nothing and
+    returns the shared :data:`NOOP_SPAN`."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return NOOP_SPAN
+    return _LiveSpan(tracer, name, attrs)
+
+
+@contextmanager
+def activate(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Make ``tracer`` the context's active tracer for the block.
+
+    ``None`` deactivates nothing and costs nothing (so call sites can pass
+    an optional tracer through unconditionally).  Re-activating the tracer
+    that is already active keeps the current span — nested service calls
+    (e.g. a stream refresh submitting through ``count_batch``) nest under
+    the caller's span instead of starting a new root."""
+    if tracer is None or _ACTIVE.get() is tracer:
+        yield tracer
+        return
+    active_token = _ACTIVE.set(tracer)
+    span_token = _CURRENT.set(None)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(active_token)
+        _CURRENT.reset(span_token)
+
+
+def attach(child: Optional[Span]) -> None:
+    """Adopt a finished span (typically unpickled from a pool worker) under
+    the current span, or as a tracer root when no span is open.  A no-op
+    while tracing is inactive."""
+    if child is None:
+        return
+    parent = _CURRENT.get()
+    if parent is not None:
+        parent.children.append(child)
+        return
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.roots.append(child)
+
+
+def current_span():
+    """The innermost open span, or the shared no-op span when none is."""
+    opened = _CURRENT.get()
+    return NOOP_SPAN if opened is None else opened
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _ACTIVE.get()
+
+
+def tracing_active() -> bool:
+    """Whether a tracer is active in this context (the flag task builders
+    copy onto :class:`~repro.service.executor.CountTask` so pool workers —
+    which start with an empty context — know to trace themselves)."""
+    return _ACTIVE.get() is not None

@@ -261,12 +261,88 @@ def run_chaos_stream(seed: int, rate: float, num_events: int = 30) -> ChaosCase:
     return case
 
 
+def run_telemetry_probe(
+    seed: int,
+    rate: float,
+    num_queries: int = 4,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> ChaosCase:
+    """Telemetry under chaos: a traced + metriced faulted batch must be
+    bit-identical to its untraced faulted twin, the span dump must record
+    the request path, and the metrics snapshot must expose the core
+    executor/cache/breaker series.
+
+    Optionally writes the JSON-lines span dump and the Prometheus snapshot
+    to ``trace_path``/``metrics_path`` (the CI chaos job uploads both as
+    artifacts)."""
+    from repro.obs import Tracer
+    from repro.service import CountingService, ServiceConfig
+
+    case = ChaosCase(scenario="telemetry", rate=rate)
+    started = time.perf_counter()
+    database, queries = _batch_workload(seed, num_queries)
+    plan = uniform_plan(seed, rate, sites=("executor.task", "cache.get"))
+
+    untraced = CountingService(database, ServiceConfig(executor="serial"))
+    baseline = untraced.count_batch(queries, seed=seed, fault_plan=plan, retry=CHAOS_RETRY)
+
+    tracer = Tracer()
+    traced_service = CountingService(
+        database, ServiceConfig(executor="serial", tracer=tracer)
+    )
+    traced = traced_service.count_batch(
+        queries, seed=seed, fault_plan=plan, retry=CHAOS_RETRY
+    )
+    case.retries += traced.retries
+    case.degradations += len(traced.degradations)
+    for baseline_result, traced_result in zip(baseline.results, traced.results):
+        case.compare(
+            f"telemetry query {baseline_result.index} ({baseline_result.scheme})",
+            baseline_result.estimate,
+            traced_result.estimate,
+        )
+
+    # The span tree must actually record the request path ...
+    for name in ("service.count_batch", "service.request", "executor.task", "scheme.count"):
+        found = tracer.find(name)
+        case.checks += 1
+        if not found:
+            case.mismatches.append(f"telemetry: no {name!r} span recorded")
+    # ... and the metrics exposition must carry the core series.
+    rendered = traced_service.metrics.render_prometheus()
+    for series in (
+        "repro_service_requests",
+        "repro_executor_batches",
+        "repro_scheme_latency_seconds",
+        "repro_cache_result_hit_rate",
+        "repro_breaker",
+    ):
+        case.checks += 1
+        if series not in rendered:
+            case.mismatches.append(f"telemetry: metrics snapshot lacks {series!r}")
+
+    if trace_path:
+        with open(trace_path, "w") as handle:
+            text = tracer.to_jsonl()
+            handle.write(text + "\n" if text else "")
+    if metrics_path:
+        with open(metrics_path, "w") as handle:
+            handle.write(rendered)
+    case.seconds = time.perf_counter() - started
+    return case
+
+
 def run_chaos(
     seed: int = 2022,
     rates: Sequence[float] = (0.1, 0.5, 1.0),
     smoke: bool = False,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> ChaosReport:
-    """The full harness: every scenario at every escalating fault rate."""
+    """The full harness: every scenario at every escalating fault rate, plus
+    one telemetry probe at the highest rate (which writes the span/metrics
+    artifacts when paths are given)."""
     if smoke:
         rates = rates[:1] or (0.1,)
     report = ChaosReport(seed=seed)
@@ -280,6 +356,15 @@ def run_chaos(
         report.cases.append(
             run_chaos_stream(seed, rate, num_events=15 if smoke else 30)
         )
+    report.cases.append(
+        run_telemetry_probe(
+            seed,
+            rates[-1],
+            num_queries=3 if smoke else 4,
+            trace_path=trace_path,
+            metrics_path=metrics_path,
+        )
+    )
     return report
 
 
@@ -300,8 +385,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="one rate, smaller workloads"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry probe's span dump to PATH as JSON lines "
+        "(uploaded as a CI artifact by the chaos job)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry probe's Prometheus-style metrics snapshot "
+        "to PATH",
+    )
     args = parser.parse_args(argv)
-    report = run_chaos(seed=args.seed, rates=tuple(args.rates), smoke=args.smoke)
+    report = run_chaos(
+        seed=args.seed,
+        rates=tuple(args.rates),
+        smoke=args.smoke,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+    )
     for case in report.cases:
         status = "ok" if case.ok else "MISMATCH"
         print(

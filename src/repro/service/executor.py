@@ -36,10 +36,11 @@ import multiprocessing
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.registry import REGISTRY, CountResult as SchemeCountResult
+from repro.obs.trace import Span, Tracer, activate, span
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.structure import Structure
 from repro.resilience.breaker import EXECUTOR_LADDER, CircuitBreaker
@@ -79,6 +80,11 @@ class CountTask:
     fault_plan: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
     deadline_at: Optional[float] = None
+    #: Whether the submitting context had tracing active.  Pool workers start
+    #: with an empty context, so the flag (not a context variable) tells them
+    #: to run under a worker-local tracer; the finished span rides back on
+    #: the outcome and is reattached to the request span by the service.
+    traced: bool = False
 
     def resolved_sites(self) -> FaultSites:
         return self.fault_sites or (("executor.task", (self.index,)),)
@@ -99,6 +105,10 @@ class TaskOutcome:
     attempts: int = 1
     degradations: Tuple[str, ...] = ()
     error: Optional[str] = None
+    #: The task's ``executor.task`` span tree (only when the task was
+    #: ``traced``): recorded by a worker-local tracer, pickled home with the
+    #: outcome, and reattached under the request span by the service.
+    span: Optional[Span] = None
 
     @property
     def failed(self) -> bool:
@@ -154,7 +164,34 @@ def _run_task(task: CountTask, database: Structure) -> TaskOutcome:
     exception: the caller (service or shard executor) decides per task
     whether a fallback exists (shard merged-view recount) or the batch
     fails.  An expired deadline, by contrast, *raises* — there is no point
-    finishing a batch nobody is waiting for."""
+    finishing a batch nobody is waiting for.
+
+    Traced tasks run under a worker-local tracer (pool workers have no
+    context to inherit); the finished ``executor.task`` span — scheme run,
+    retry/fault events, attempt count — is shipped home on the outcome."""
+    if not task.traced:
+        return _run_task_untraced(task, database)
+    tracer = Tracer()
+    with activate(tracer):
+        with span(
+            "executor.task",
+            index=task.index,
+            scheme=task.scheme,
+            engine=task.engine,
+            seed=task.seed,
+        ) as task_span:
+            outcome = _run_task_untraced(task, database)
+            task_span.set(
+                attempts=outcome.attempts,
+                seconds=round(outcome.seconds, 9),
+                failed=outcome.failed,
+            )
+            for note in outcome.degradations:
+                task_span.event(note)
+    return replace(outcome, span=tracer.roots[0] if tracer.roots else None)
+
+
+def _run_task_untraced(task: CountTask, database: Structure) -> TaskOutcome:
     started = time.perf_counter()
     deadline = (
         None if task.deadline_at is None else Deadline(expires_at=task.deadline_at)
@@ -305,6 +342,25 @@ def run_tasks(
     if mode not in EXECUTOR_MODES:
         raise ValueError(f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}")
     workers = max(1, int(max_workers)) if max_workers else 2
+    with span("executor.run_tasks", mode=mode, tasks=len(tasks)) as batch_span:
+        report = _run_tasks_inner(tasks, databases, mode, workers, breaker)
+        batch_span.set(
+            executed_mode=report.executed_mode,
+            retries=report.retries,
+            degradations=len(report.degradations),
+        )
+        for note in report.degradations:
+            batch_span.event(note)
+    return report
+
+
+def _run_tasks_inner(
+    tasks: Sequence[CountTask],
+    databases: Dict[int, Structure],
+    mode: str,
+    workers: int,
+    breaker: Optional[CircuitBreaker],
+) -> ExecutionReport:
     started = time.perf_counter()
     degradations: List[str] = []
     executed_mode = mode

@@ -92,6 +92,11 @@ class QueryPlan:
     reference: str
     override: Optional[str]
     trace: Tuple[str, ...] = field(default_factory=tuple)
+    #: Observed per-scheme cost summaries for this canonical form in this
+    #: database-size bucket — ``ProfileStore.summary()`` output, attached by
+    #: the service *after* the plan-cache fetch (so cached plans never carry
+    #: stale observations).  ``None`` when nothing was observed yet.
+    observed: Optional[Dict[str, Any]] = None
 
     def explain(self) -> str:
         """Human-readable plan summary (one decision per line).  Each width
@@ -116,6 +121,19 @@ class QueryPlan:
             lines.append("widths:      " + " ".join(width_parts))
         lines.append("decision:")
         lines.extend(f"  - {step}" for step in self.trace)
+        if self.observed and self.observed.get("schemes"):
+            lines.append(
+                "observed:    (recorded costs, size bucket "
+                f"2^{self.observed.get('fingerprint_class', '?')})"
+            )
+            for scheme, summary in self.observed["schemes"].items():
+                marker = "*" if scheme == self.scheme else "-"
+                lines.append(
+                    f"  {marker} {scheme}: runs={summary['runs']} "
+                    f"p50={summary['p50_seconds']:.6f}s "
+                    f"p95={summary['p95_seconds']:.6f}s "
+                    f"mean={summary['mean_seconds']:.6f}s"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -132,6 +150,7 @@ class QueryPlan:
             "arity": self.arity,
             "override": self.override,
             "trace": list(self.trace),
+            "observed": self.observed,
         }
 
 

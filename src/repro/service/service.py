@@ -35,6 +35,9 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileStore
+from repro.obs.trace import Tracer, activate, span, tracing_active
 from repro.queries.prepared import prepare
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
@@ -76,6 +79,13 @@ class ServiceConfig:
     fault_plan: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
     deadline_seconds: Optional[float] = None
+    #: Telemetry (both optional and both zero-RNG — estimates are
+    #: bit-identical with telemetry on or off): a tracer to record span trees
+    #: onto (None = tracing off, the no-op fast path), and a shared metrics
+    #: registry (None = the service creates a private one, isolating tests
+    #: and twin services; pass ``repro.obs.METRICS`` to aggregate).
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         check_epsilon_delta(self.epsilon, self.delta)
@@ -228,6 +238,33 @@ class CountingService:
         #: Live subscriptions on sharded databases (no change log; deltas
         #: route by shard fingerprint — see :mod:`repro.shard.subscription`).
         self._shard_subscriptions: List[Any] = []
+        #: Telemetry: the (optional) tracer spans record onto, the metrics
+        #: registry every counter/histogram lands in, and the per-(canonical
+        #: form, size bucket, scheme) cost profiles fed on every execution.
+        self.tracer = self.config.tracer
+        self.metrics = self.config.metrics or MetricsRegistry()
+        self.profiles = ProfileStore()
+        self.metrics.register_collector(
+            "cache.plan", lambda: self.planner.cache.stats().to_dict()
+        )
+        self.metrics.register_collector(
+            "cache.result", lambda: self.result_cache.stats().to_dict()
+        )
+        # The breaker tracks rungs lazily; the tracked_rungs leaf keeps the
+        # series present (and scrapable) even before any rung is touched.
+        self.metrics.register_collector(
+            "breaker",
+            lambda: {"tracked_rungs": len(self.breaker.stats()), **self.breaker.stats()},
+        )
+        self.metrics.register_collector(
+            "stream", lambda: {"subscriptions": self._subscription_count()}
+        )
+        self.metrics.register_collector("profiles", self.profiles.stats)
+
+    def _subscription_count(self) -> int:
+        return sum(
+            len(state.subscriptions) for state in self._streams.values()
+        ) + len(self._shard_subscriptions)
 
     # ------------------------------------------------------------- internals
     def _resolve(self, request: RequestLike) -> CountRequest:
@@ -258,6 +295,28 @@ class CountingService:
             epsilon,
             delta,
             seed,
+        )
+
+    def _record_execution(
+        self,
+        query_key: str,
+        request: CountRequest,
+        plan: QueryPlan,
+        seconds: float,
+        estimate: float,
+    ) -> None:
+        """Fold one executed count into the telemetry sinks: the per-scheme
+        latency histogram and the (canonical form, size bucket, scheme) cost
+        profile the adaptive planner will read.  Zero-RNG by construction."""
+        self.metrics.histogram(
+            "scheme.latency_seconds", scheme=plan.scheme
+        ).observe(seconds)
+        self.profiles.record(
+            query_key,
+            request.database.size(),
+            plan.scheme,
+            seconds,
+            estimate=estimate,
         )
 
     # ---------------------------------------------------------------- public
@@ -320,7 +379,46 @@ class CountingService:
         ``deadline_seconds`` stamps an absolute deadline that propagates
         into every task (shard tasks included) — expiry raises
         :class:`~repro.resilience.retry.DeadlineExceeded`.
+
+        When the service has a tracer the whole batch records a
+        ``service.count_batch`` span tree (per-request plan/cache-lookup
+        children, executor rungs, per-task scheme spans shipped home from
+        pool workers); metrics and cost profiles are recorded always.
+        Telemetry never touches seeds or RNG state — estimates are
+        bit-identical with tracing on or off.
         """
+        with activate(self.tracer):
+            with span("service.count_batch") as batch_span:
+                report = self._count_batch_inner(
+                    requests,
+                    seed=seed,
+                    executor=executor,
+                    max_workers=max_workers,
+                    fault_plan=fault_plan,
+                    retry=retry,
+                    deadline_seconds=deadline_seconds,
+                )
+                batch_span.set(
+                    requests=len(report.results),
+                    executor=report.requested_executor,
+                    executed=report.executed_executor,
+                    cache_hits=report.cache_hits,
+                    cache_misses=report.cache_misses,
+                    retries=report.retries,
+                )
+        self.metrics.histogram("service.batch_seconds").observe(report.wall_seconds)
+        return report
+
+    def _count_batch_inner(
+        self,
+        requests: Iterable[RequestLike],
+        seed: Optional[int] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> BatchReport:
         started = time.perf_counter()
         mode = executor if executor is not None else self.config.executor
         workers = (
@@ -339,13 +437,19 @@ class CountingService:
         #: One entry per cache-missing request that became executor task(s):
         #: (request index, plan, plan_seconds, result_key, epsilon, delta,
         #: task_seed, task slot positions, shard strategy, shard context,
-        #: request-level degradation notes).  Sharded local plans own several
-        #: slots; everything else exactly one.
+        #: request-level degradation notes, canonical query key).  Sharded
+        #: local plans own several slots; everything else exactly one.
         groups: List[tuple] = []
         databases: Dict[int, Structure] = {}
         batch_degradations: List[str] = []
         cache_hits = 0
         inline_count = 0
+
+        #: Per-request spans (index-aligned; the shared no-op span when
+        #: tracing is off).  Request spans close before the batch executes,
+        #: so worker task spans are reattached to them afterwards.
+        request_spans: List[Any] = []
+        traced = tracing_active()
 
         for index, request in enumerate(resolved):
             epsilon = request.epsilon if request.epsilon is not None else self.config.epsilon
@@ -358,134 +462,176 @@ class CountingService:
             else:
                 task_seed = None
 
-            plan_started = time.perf_counter()
-            # Compile once: the prepared query carries the canonical form and
-            # the width/decomposition artifacts the planner and the scheme run
-            # both read (shared process-wide across alpha-renamed shapes).
-            prepared = prepare(request.query)
-            query_key = prepared.canonical_key
-            plan = self.planner.plan(
-                request.query,
-                request.database,
-                override=request.method,
-                prepared=prepared,
-            )
-            plan_seconds = time.perf_counter() - plan_started
+            with span("service.request", index=index) as request_span:
+                request_spans.append(request_span)
+                with span("service.plan") as plan_span:
+                    plan_started = time.perf_counter()
+                    # Compile once: the prepared query carries the canonical
+                    # form and the width/decomposition artifacts the planner
+                    # and the scheme run both read (shared process-wide
+                    # across alpha-renamed shapes).
+                    prepared = prepare(request.query)
+                    query_key = prepared.canonical_key
+                    plan = self.planner.plan(
+                        request.query,
+                        request.database,
+                        override=request.method,
+                        prepared=prepared,
+                    )
+                    plan_seconds = time.perf_counter() - plan_started
+                    # Attach observed per-scheme costs after the plan-cache
+                    # fetch, so cached plans never carry stale observations.
+                    observed = self.profiles.summary(
+                        query_key, request.database.size()
+                    )
+                    if observed:
+                        plan = replace(plan, observed=observed)
+                    plan_span.set(
+                        scheme=plan.scheme,
+                        query_class=plan.query_class,
+                        size_class=plan.size_class,
+                    )
 
-            result_key = self._result_key(
-                query_key, request, plan, epsilon, delta, task_seed
-            )
-            request_notes: List[str] = []
-            # The cache is best-effort under the failure model: a fault at
-            # the ``cache.get`` site degrades this lookup to a miss (the
-            # count re-runs with the same derived seed, so only latency is
-            # lost) rather than being retried.
-            cached_estimate = None
-            cache_faulted = False
-            if fault_plan is not None:
-                try:
-                    note = fault_plan.apply("cache.get", (index,), 0)
-                    if note is not None:
-                        request_notes.append(note)
-                except FaultError as error:
-                    cache_faulted = True
-                    request_notes.append(f"cache.get[{index}]: degraded to miss ({error})")
-            if not cache_faulted:
-                cached_estimate = self.result_cache.get(result_key)
-            if cached_estimate is not None:
-                cache_hits += 1
-                batch_degradations.extend(request_notes)
-                results[index] = CountResult(
-                    index=index,
-                    estimate=cached_estimate,
-                    scheme=plan.scheme,
-                    query_class=plan.query_class,
-                    plan=plan,
-                    seed=task_seed,
-                    epsilon=epsilon,
-                    delta=delta,
-                    cache="hit",
-                    plan_seconds=plan_seconds,
-                    execute_seconds=0.0,
-                    degradations=tuple(request_notes),
+                result_key = self._result_key(
+                    query_key, request, plan, epsilon, delta, task_seed
                 )
-                continue
-
-            shard_context: Optional[tuple] = None
-            if isinstance(request.database, ShardedStructure):
-                slots, strategy, shard_plan, inline = self._enqueue_sharded(
-                    request,
-                    plan,
-                    epsilon,
-                    delta,
-                    task_seed,
-                    tasks,
-                    databases,
-                    fault_plan=fault_plan,
-                    retry=retry,
-                    deadline_at=deadline_at,
-                )
-                if inline is not None:
-                    # Union/merged strategy: computed inline just now.
-                    inline_count += 1
-                    estimate, execute_seconds, inline_notes = inline
-                    request_notes.extend(inline_notes)
+                request_notes: List[str] = []
+                # The cache is best-effort under the failure model: a fault
+                # at the ``cache.get`` site degrades this lookup to a miss
+                # (the count re-runs with the same derived seed, so only
+                # latency is lost) rather than being retried.
+                cached_estimate = None
+                cache_faulted = False
+                with span("cache.lookup") as cache_span:
+                    if fault_plan is not None:
+                        try:
+                            note = fault_plan.apply("cache.get", (index,), 0)
+                            if note is not None:
+                                request_notes.append(note)
+                        except FaultError as error:
+                            cache_faulted = True
+                            request_notes.append(
+                                f"cache.get[{index}]: degraded to miss ({error})"
+                            )
+                            cache_span.event("degraded to miss", error=str(error))
+                    if not cache_faulted:
+                        cached_estimate = self.result_cache.get(result_key)
+                    cache_span.set(
+                        outcome="hit" if cached_estimate is not None else "miss"
+                    )
+                if cached_estimate is not None:
+                    cache_hits += 1
+                    self.metrics.counter("service.requests", cache="hit").inc()
+                    request_span.set(scheme=plan.scheme, cache="hit")
                     batch_degradations.extend(request_notes)
-                    self.result_cache.put(result_key, estimate)
                     results[index] = CountResult(
                         index=index,
-                        estimate=estimate,
+                        estimate=cached_estimate,
                         scheme=plan.scheme,
                         query_class=plan.query_class,
                         plan=plan,
                         seed=task_seed,
                         epsilon=epsilon,
                         delta=delta,
-                        cache="miss",
+                        cache="hit",
                         plan_seconds=plan_seconds,
-                        execute_seconds=execute_seconds,
-                        shard_strategy=strategy,
+                        execute_seconds=0.0,
                         degradations=tuple(request_notes),
                     )
                     continue
-                shard_context = (request.database, shard_plan)
-            else:
-                strategy = None
-                token = request.database.structure_token
-                databases[token] = request.database
-                slots = [len(tasks)]
-                tasks.append(
-                    CountTask(
-                        index=len(tasks),
-                        query=request.query,
-                        scheme=plan.scheme,
-                        engine=plan.engine,
-                        epsilon=epsilon,
-                        delta=delta,
-                        seed=task_seed,
-                        database_token=token,
-                        fault_sites=(("executor.task", (index,)),),
+                self.metrics.counter("service.requests", cache="miss").inc()
+                request_span.set(scheme=plan.scheme, cache="miss")
+
+                shard_context: Optional[tuple] = None
+                if isinstance(request.database, ShardedStructure):
+                    slots, strategy, shard_plan, inline = self._enqueue_sharded(
+                        request,
+                        plan,
+                        epsilon,
+                        delta,
+                        task_seed,
+                        tasks,
+                        databases,
                         fault_plan=fault_plan,
                         retry=retry,
                         deadline_at=deadline_at,
                     )
+                    if inline is not None:
+                        # Union/merged strategy: computed inline just now.
+                        inline_count += 1
+                        estimate, execute_seconds, inline_notes = inline
+                        request_notes.extend(inline_notes)
+                        batch_degradations.extend(request_notes)
+                        self.result_cache.put(result_key, estimate)
+                        self._record_execution(
+                            query_key, request, plan, execute_seconds, estimate
+                        )
+                        results[index] = CountResult(
+                            index=index,
+                            estimate=estimate,
+                            scheme=plan.scheme,
+                            query_class=plan.query_class,
+                            plan=plan,
+                            seed=task_seed,
+                            epsilon=epsilon,
+                            delta=delta,
+                            cache="miss",
+                            plan_seconds=plan_seconds,
+                            execute_seconds=execute_seconds,
+                            shard_strategy=strategy,
+                            degradations=tuple(request_notes),
+                        )
+                        continue
+                    shard_context = (request.database, shard_plan)
+                else:
+                    strategy = None
+                    token = request.database.structure_token
+                    databases[token] = request.database
+                    slots = [len(tasks)]
+                    tasks.append(
+                        CountTask(
+                            index=len(tasks),
+                            query=request.query,
+                            scheme=plan.scheme,
+                            engine=plan.engine,
+                            epsilon=epsilon,
+                            delta=delta,
+                            seed=task_seed,
+                            database_token=token,
+                            fault_sites=(("executor.task", (index,)),),
+                            fault_plan=fault_plan,
+                            retry=retry,
+                            deadline_at=deadline_at,
+                            traced=traced,
+                        )
+                    )
+                groups.append(
+                    (
+                        index, plan, plan_seconds, result_key, epsilon, delta,
+                        task_seed, slots, strategy, shard_context, request_notes,
+                        query_key,
+                    )
                 )
-            groups.append(
-                (
-                    index, plan, plan_seconds, result_key, epsilon, delta,
-                    task_seed, slots, strategy, shard_context, request_notes,
-                )
-            )
 
         execution = run_tasks(
             tasks, databases, mode=mode, max_workers=workers, breaker=self.breaker
         )
+        if tasks:
+            self.metrics.counter(
+                "executor.batches", mode=execution.executed_mode
+            ).inc()
+            self.metrics.counter("executor.retries").inc(execution.retries)
         batch_degradations.extend(execution.degradations)
         for (
             index, plan, plan_seconds, result_key, epsilon, delta,
             task_seed, slots, strategy, shard_context, request_notes,
+            query_key,
         ) in groups:
             outcomes = [execution.outcomes[slot] for slot in slots]
+            # Reattach the workers' ``executor.task`` span trees (pickled
+            # home on the outcomes) under this request's span.
+            for outcome in outcomes:
+                request_spans[index].attach(outcome.span)
             repaired = []
             for position, outcome in enumerate(outcomes):
                 if outcome.failed:
@@ -528,6 +674,13 @@ class CountingService:
                 widths = {"components": [outcome.widths for outcome in outcomes]}
             batch_degradations.extend(request_notes)
             self.result_cache.put(result_key, estimate)
+            self._record_execution(
+                query_key,
+                resolved[index],
+                plan,
+                sum(outcome.seconds for outcome in outcomes),
+                estimate,
+            )
             results[index] = CountResult(
                 index=index,
                 estimate=estimate,
@@ -614,6 +767,7 @@ class CountingService:
                         fault_plan=fault_plan,
                         retry=retry,
                         deadline_at=deadline_at,
+                        traced=tracing_active(),
                     )
                 )
             return slots, shard_plan.strategy, shard_plan, None
@@ -743,14 +897,38 @@ class CountingService:
         return self.result_cache.invalidate_where(keyed_to_database)
 
     def stats(self) -> Dict[str, Any]:
-        """Hit/miss/eviction statistics of both caches, plus streaming
-        state."""
+        """One nested snapshot keyed by subsystem, rebuilt on the metrics
+        registry: cache hit/miss/eviction statistics, executor mode tallies
+        and breaker state, per-scheme latency sketches, stream subscription
+        counts, and the cost-profile store's aggregates."""
+        snapshot = self.metrics.snapshot()
+
+        def label_value(label_text: str) -> str:
+            # Series label texts look like "mode=process" / "scheme=exact".
+            return label_text.partition("=")[2] if "=" in label_text else label_text
+
+        batches = {
+            label_value(label): value
+            for label, value in snapshot["counters"].get("executor.batches", {}).items()
+        }
+        retries = snapshot["counters"].get("executor.retries", {}).get("", 0.0)
+        schemes = {
+            label_value(label): sketch
+            for label, sketch in snapshot["histograms"]
+            .get("scheme.latency_seconds", {})
+            .items()
+        }
         return {
-            "plan_cache": self.planner.cache.stats().to_dict(),
-            "result_cache": self.result_cache.stats().to_dict(),
-            "breaker": self.breaker.stats(),
-            "subscriptions": sum(
-                len(state.subscriptions) for state in self._streams.values()
-            )
-            + len(self._shard_subscriptions),
+            "caches": {
+                "plan": self.planner.cache.stats().to_dict(),
+                "result": self.result_cache.stats().to_dict(),
+            },
+            "executor": {
+                "breaker": self.breaker.stats(),
+                "batches": batches,
+                "retries": int(retries),
+            },
+            "schemes": schemes,
+            "stream": {"subscriptions": self._subscription_count()},
+            "profiles": self.profiles.stats(),
         }

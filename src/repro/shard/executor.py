@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.trace import attach, span, tracing_active
 from repro.queries.query import ConjunctiveQuery
 from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
@@ -185,7 +186,38 @@ class ShardExecutor:
         ``plan`` may be passed in when the caller already planned (the
         service does); otherwise :func:`plan_sharded_count` runs here.
         ``deadline_at`` (absolute monotonic) rides into every shard task.
+
+        With tracing active the fan-out records a ``shard.count`` span:
+        strategy, per-task spans shipped home from pool workers, and one
+        event per degradation (retry absorbed, merged-view recount).
         """
+        with span("shard.count", scheme=scheme) as shard_span:
+            result = self._count_inner(
+                query, sharded, scheme, epsilon, delta, seed, engine, plan, deadline_at
+            )
+            shard_span.set(
+                strategy=result.strategy,
+                components=result.num_components,
+                tasks=result.num_tasks,
+                executed_mode=result.executed_mode,
+                retries=result.retries,
+            )
+            for note in result.degradations:
+                shard_span.event(note)
+        return result
+
+    def _count_inner(
+        self,
+        query: ConjunctiveQuery,
+        sharded: ShardedStructure,
+        scheme: str,
+        epsilon: float,
+        delta: float,
+        seed: Optional[int],
+        engine: str,
+        plan: Optional[ShardCountPlan],
+        deadline_at: Optional[float],
+    ) -> ShardCountResult:
         started = time.perf_counter()
         if plan is None:
             plan = plan_sharded_count(query, sharded)
@@ -212,6 +244,7 @@ class ShardExecutor:
                         fault_plan=self.fault_plan,
                         retry=self.retry,
                         deadline_at=deadline_at,
+                        traced=tracing_active(),
                     )
                 )
             report = run_tasks(
@@ -224,6 +257,8 @@ class ShardExecutor:
             degradations: List[str] = list(report.degradations)
             outcomes: List[TaskOutcome] = []
             for shard_task, outcome in zip(plan.tasks, report.outcomes):
+                # Reattach the worker's task span under the open shard span.
+                attach(outcome.span)
                 if outcome.failed:
                     outcome, note = shard_fallback_outcome(
                         shard_task, outcome, sharded, scheme, engine, epsilon, delta, seed

@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.obs.trace import activate, span
 from repro.queries.canonical import query_relation_names
 from repro.relational.changelog import ChangeLog, ChangeLogGap, rewind
 from repro.resilience.retry import RetriesExhausted, run_with_retry
@@ -302,7 +303,35 @@ class CountSubscription:
         index); a retried refresh re-runs with the same derived seed, so
         recovery is bit-identical.  When retries run out the subscription
         *serves stale*: the stored value, fingerprint, and refresh index all
-        stay put, so the next read simply tries this refresh again."""
+        stay put, so the next read simply tries this refresh again.
+
+        Telemetry: each refresh records a ``stream.refresh`` span on the
+        service's tracer (a nested ``submit`` nests under it thanks to
+        tracer re-activation being a no-op), a per-mode refresh counter and
+        a refresh-latency histogram on the service's metrics registry."""
+        spent_before = self._spent_seconds
+        refreshes_before = self._refresh_count
+        with activate(self._service.tracer):
+            with span(
+                "stream.refresh",
+                ordinal=self._ordinal,
+                refresh_index=self._refresh_count + 1,
+                scheme=self.scheme,
+            ) as refresh_span:
+                self._refresh_inner()
+                # A refresh that did not advance the counter exhausted its
+                # retries and the subscription is serving stale.
+                mode = self._mode if self._refresh_count > refreshes_before else "stale"
+                refresh_span.set(mode=mode)
+                for note in self._degradations:
+                    refresh_span.event(note)
+        metrics = self._service.metrics
+        metrics.counter("stream.refreshes", mode=mode).inc()
+        metrics.histogram("stream.refresh_seconds").observe(
+            self._spent_seconds - spent_before
+        )
+
+    def _refresh_inner(self) -> None:
         started = time.perf_counter()
         seed = self._seed_for(self._refresh_count + 1)
         self._gap_note = None

@@ -158,6 +158,10 @@ class StreamReport:
     #: Refresh modes observed, e.g. ``{"delta": 12, "reestimate": 3}``.
     modes: Dict[str, int]
     wall_seconds: float
+    #: Wall-clock seconds the subscriptions spent inside refreshes (summed
+    #: ``CountSubscription.spent_seconds`` — the refresh-timing share of
+    #: ``wall_seconds``).
+    refresh_seconds: float = 0.0
     #: Final per-subscription estimates, by query index.
     final_estimates: List[float] = field(default_factory=list)
     verified_reads: int = 0
@@ -177,6 +181,7 @@ class StreamReport:
             "stale_serves": self.stale_serves,
             "modes": dict(self.modes),
             "wall_seconds": round(self.wall_seconds, 6),
+            "refresh_seconds": round(self.refresh_seconds, 6),
             "events_per_second": round(self.events_per_second, 2),
             "final_estimates": list(self.final_estimates),
             "verified_reads": self.verified_reads,
@@ -263,6 +268,9 @@ def run_stream(
             raise ValueError(f"unknown stream event kind {event.kind!r}")
     wall = time.perf_counter() - started
 
+    # The final forced reads happen before the report so their refresh time
+    # is included in ``refresh_seconds``.
+    final_estimates = [sub.read(force=True).estimate for sub in subscriptions]
     report = StreamReport(
         num_events=len(schedule),
         inserts=inserts,
@@ -273,7 +281,8 @@ def run_stream(
         stale_serves=stale_serves,
         modes=modes,
         wall_seconds=wall,
-        final_estimates=[sub.read(force=True).estimate for sub in subscriptions],
+        refresh_seconds=sum(sub.spent_seconds for sub in subscriptions),
+        final_estimates=final_estimates,
         verified_reads=verified,
     )
     return report, subscriptions

@@ -302,9 +302,10 @@ class TestCountingService:
         service = CountingService(database, ServiceConfig(executor="serial"))
         service.submit(parse_query(CQ), seed=1)
         stats = service.stats()
-        assert set(stats) == {"plan_cache", "result_cache", "subscriptions", "breaker"}
-        assert stats["result_cache"]["misses"] == 1
-        assert stats["subscriptions"] == 0
+        assert set(stats) == {"caches", "executor", "schemes", "stream", "profiles"}
+        assert set(stats["caches"]) == {"plan", "result"}
+        assert stats["caches"]["result"]["misses"] == 1
+        assert stats["stream"]["subscriptions"] == 0
 
 
 # ------------------------------------------------------------------ workload

@@ -512,10 +512,10 @@ class TestShardSubscription:
 
     def test_close_and_stats(self):
         service, sharded, subscription = self.make_subscribed()
-        assert service.stats()["subscriptions"] == 1
+        assert service.stats()["stream"]["subscriptions"] == 1
         subscription.close()
         subscription.close()
-        assert service.stats()["subscriptions"] == 0
+        assert service.stats()["stream"]["subscriptions"] == 0
         with pytest.raises(RuntimeError, match="closed"):
             subscription.read()
 

@@ -381,7 +381,7 @@ class TestLiveSubscriptions:
                 subscription.query, database
             )
             subscription.close()
-        assert service.stats()["subscriptions"] == 0
+        assert service.stats()["stream"]["subscriptions"] == 0
 
     def test_untouched_relation_updates_are_served_fresh_without_refresh(self):
         database = database_from_graph(erdos_renyi_graph(8, 0.3, rng=2))
