@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Standalone performance recorder: writes ``BENCH_engine.json``,
 ``BENCH_service.json``, ``BENCH_prepared.json``, ``BENCH_stream.json``,
-``BENCH_shard.json`` and ``BENCH_resilience.json``, and (with
-``--check-against``) gates regressions against committed baselines.
+``BENCH_shard.json``, ``BENCH_resilience.json`` and ``BENCH_columnar.json``,
+and (with ``--check-against``) gates regressions against committed baselines.
 
-Six suites, selected with ``--suite`` (default: all):
+Seven suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -48,6 +48,16 @@ Six suites, selected with ``--suite`` (default: all):
   bit-identical, recording the faulted/clean ``throughput_retention`` ratio;
   plus the recovery latency of a permanently dead shard falling back to a
   merged-view recount.  Appends to ``BENCH_resilience.json``.
+* ``columnar`` — the vectorized NumPy engine (``engine="columnar"``) against
+  the pure-Python indexed engine on its two bulk kernels: the generalized-
+  arc-consistency propagation fixpoint over Erdős–Rényi databases (the
+  propagated domains must be identical set-for-set) and the column-wise
+  join pipeline behind ``bag_solutions`` (the solution sets must be
+  identical).  Exact counts are additionally verified identical across all
+  three engines on smaller instances.  The gated headline is the minimum
+  propagation speedup.  Appends to ``BENCH_columnar.json``; skipped with a
+  notice when NumPy is unavailable (the columnar engine then falls back to
+  indexed, so there is nothing to measure).
 
 Usage::
 
@@ -931,6 +941,146 @@ def run_resilience_suite(smoke: bool, out_path: Path) -> tuple:
     }
 
 
+# ------------------------------------------------------------- columnar suite
+def run_columnar(smoke: bool, out_path: Path, repeats: int) -> tuple:
+    """Columnar-vs-indexed on the two vectorized bulk kernels.
+
+    The headline is the minimum GAC propagation speedup: the fixpoint loop is
+    where the columnar engine does whole-column NumPy work (support-count
+    arithmetic over int32 code columns) instead of per-tuple Python dict
+    probes, so it is the honest place to claim the vectorization win.  Each
+    timed run rebuilds the CSP from the shared database caches — identical
+    work for both engines — and the propagated domains are compared
+    set-for-set.  The join pipeline and exact counts are verified identical
+    and timed as secondary, ungated numbers (search-bound counting is only
+    modestly faster: the backtracking recursion itself stays in Python).
+    """
+    from repro.core import count_answers_exact as _exact
+    from repro.core.bag_solutions import bag_solutions
+    from repro.core.exact import _solution_csp
+    from repro.relational import columnar
+
+    if not columnar.columnar_available():
+        print("[record_perf] columnar suite skipped: NumPy unavailable")
+        return 0, {}
+
+    failures = 0
+    three_path = path_query(3)
+
+    # -- propagation fixpoint (gated headline) --
+    if smoke:
+        gac_sizes = [(100, 0.3), (150, 0.15)]
+    else:
+        gac_sizes = [(100, 0.3), (200, 0.1), (400, 0.05)]
+    gac_results = []
+    for size, prob in gac_sizes:
+        database = database_from_graph(erdos_renyi_graph(size, prob, rng=size))
+        for label, query in (("two-hop", TWO_HOP), ("three-path", three_path)):
+            name = f"gac|{label}|U={size} p={prob}"
+            fixpoints = {
+                engine: _solution_csp(query, database, engine=engine).propagate()
+                for engine in ("indexed", "columnar")
+            }
+            identical = fixpoints["indexed"] == fixpoints["columnar"]
+            if not identical:
+                failures += 1
+                print(f"[record_perf] FAIL: {name} propagated domains diverged")
+            indexed_time = _best_of(
+                lambda: _solution_csp(query, database, engine="indexed").propagate(),
+                repeats,
+            )
+            columnar_time = _best_of(
+                lambda: _solution_csp(query, database, engine="columnar").propagate(),
+                repeats,
+            )
+            speedup = indexed_time / columnar_time if columnar_time > 0 else float("inf")
+            gac_results.append(
+                {
+                    "config": name,
+                    "fixpoint_identical": identical,
+                    "indexed_seconds": round(indexed_time, 6),
+                    "columnar_seconds": round(columnar_time, 6),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            print(
+                f"[record_perf] {name}: indexed={indexed_time * 1000:.1f}ms "
+                f"columnar={columnar_time * 1000:.1f}ms speedup={speedup:.1f}x "
+                f"fixpoint_identical={identical}"
+            )
+
+    # -- join pipeline (verified + timed, not gated) --
+    join_size, join_prob = (60, 0.15) if smoke else (200, 0.1)
+    join_db = database_from_graph(erdos_renyi_graph(join_size, join_prob, rng=join_size))
+    join_bag = set(three_path.variables)
+    join_sets = {
+        engine: bag_solutions(three_path, join_db, join_bag, engine=engine)
+        for engine in ("indexed", "columnar")
+    }
+    join_identical = join_sets["indexed"] == join_sets["columnar"]
+    if not join_identical:
+        failures += 1
+        print("[record_perf] FAIL: join-pipeline solution sets diverged")
+    join_indexed = _best_of(
+        lambda: bag_solutions(three_path, join_db, join_bag, engine="indexed"), repeats
+    )
+    join_columnar = _best_of(
+        lambda: bag_solutions(three_path, join_db, join_bag, engine="columnar"), repeats
+    )
+    join_speedup = join_indexed / join_columnar if join_columnar > 0 else float("inf")
+    print(
+        f"[record_perf] join|three-path|U={join_size}: "
+        f"|solutions|={len(join_sets['indexed'])} "
+        f"indexed={join_indexed:.2f}s columnar={join_columnar:.2f}s "
+        f"speedup={join_speedup:.1f}x identical={join_identical}"
+    )
+
+    # -- exact counts, all three engines (verified, untimed) --
+    count_checks = []
+    for size, prob, query, label in (
+        (60, 0.3, TWO_HOP, "two-hop"),
+        (40, 0.2, three_path, "three-path"),
+    ):
+        database = database_from_graph(erdos_renyi_graph(size, prob, rng=size))
+        counts = {
+            engine: _exact(query, database, engine=engine)
+            for engine in ("naive", "indexed", "columnar")
+        }
+        match = len(set(counts.values())) == 1
+        if not match:
+            failures += 1
+            print(f"[record_perf] FAIL: count|{label}|U={size} counts diverged: {counts}")
+        count_checks.append(
+            {"config": f"count|{label}|U={size}", "count": counts["indexed"], "counts_match": match}
+        )
+        print(f"[record_perf] count|{label}|U={size}: count={counts['indexed']} match={match}")
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "engine": "columnar",
+        "baseline": "indexed",
+        "configs": gac_results,
+        "join": {
+            "config": f"join|three-path|U={join_size} p={join_prob}",
+            "solutions": len(join_sets["indexed"]),
+            "sets_identical": join_identical,
+            "indexed_seconds": round(join_indexed, 4),
+            "columnar_seconds": round(join_columnar, 4),
+            "speedup": round(join_speedup, 2),
+        },
+        "count_checks": count_checks,
+        "min_speedup": round(min((r["speedup"] for r in gac_results), default=0.0), 2),
+        "all_counts_match": failures == 0,
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(min GAC speedup {record['min_speedup']}x)"
+    )
+    return (1 if failures else 0), {"min_speedup": record["min_speedup"]}
+
+
 # ------------------------------------------------------------------ perf gate
 def check_against(
     baseline_path: Path, observed: dict, tolerance_override: float = None
@@ -985,7 +1135,10 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true", help="budgeted subset")
     parser.add_argument(
         "--suite",
-        choices=["engine", "service", "prepared", "stream", "shard", "resilience", "all"],
+        choices=[
+            "engine", "service", "prepared", "stream", "shard", "resilience",
+            "columnar", "all",
+        ],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -1012,6 +1165,10 @@ def main() -> int:
     parser.add_argument(
         "--resilience-out", type=Path, default=REPO_ROOT / "BENCH_resilience.json",
         help="resilience-suite output JSON file",
+    )
+    parser.add_argument(
+        "--columnar-out", type=Path, default=REPO_ROOT / "BENCH_columnar.json",
+        help="columnar-suite output JSON file",
     )
     parser.add_argument(
         "--trajectory-out", type=Path, default=REPO_ROOT / "BENCH_trajectory.jsonl",
@@ -1064,6 +1221,13 @@ def main() -> int:
         suite_status, metrics = run_resilience_suite(args.smoke, args.resilience_out)
         status |= suite_status
         observed["resilience"] = metrics
+    if args.suite in ("columnar", "all"):
+        suite_status, metrics = run_columnar(
+            args.smoke, args.columnar_out, max(1, args.repeats)
+        )
+        status |= suite_status
+        if metrics:
+            observed["columnar"] = metrics
     timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
         timespec="seconds"
     )

@@ -9,6 +9,11 @@ The ``bench`` extra pulls in the pytest-benchmark harness used by the
 modules under ``benchmarks/``; the engine speedup recorder
 (``python benchmarks/record_perf.py [--smoke]``, which appends to
 ``BENCH_engine.json``) needs no extras.
+
+The ``fast`` extra pulls in NumPy, which unlocks the vectorized columnar CSP
+engine (``engine="columnar"``).  Everything works without it — the columnar
+engine silently falls back to the pure-Python indexed engine, with identical
+results — so NumPy stays optional rather than a hard dependency.
 """
 
 from setuptools import setup
@@ -16,5 +21,6 @@ from setuptools import setup
 setup(
     extras_require={
         "bench": ["pytest-benchmark"],
+        "fast": ["numpy"],
     },
 )

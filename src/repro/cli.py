@@ -35,6 +35,7 @@ from repro.core import (
     count_answers_exact,
 )
 from repro.queries import parse_query
+from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.io import load_database_json, load_edge_list
 from repro.resilience.faults import FaultPlan, FaultPlanError
 from repro.sampling import sample_answers
@@ -115,6 +116,18 @@ def _write_telemetry(args: argparse.Namespace, tracer, service) -> None:
             handle.write(service.metrics.render_prometheus())
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default=DEFAULT_ENGINE,
+        help="CSP engine the schemes solve with: indexed (default), naive "
+        "(differential oracle), or columnar (vectorized NumPy; falls back "
+        "to indexed when NumPy is unavailable); estimates are bit-identical "
+        "across engines under equal seeds",
+    )
+
+
 def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--database", help="path to a JSON database file")
     parser.add_argument(
@@ -169,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compute the exact count for comparison (slow on large inputs)",
     )
+    _add_engine_argument(count)
 
     classify = subparsers.add_parser(
         "classify", help="report the Figure-1 classification of a query"
@@ -202,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a scheme instead of letting the planner choose",
     )
     plan.add_argument("--json", action="store_true", help="emit JSON")
+    _add_engine_argument(plan)
 
     batch = subparsers.add_parser(
         "batch",
@@ -244,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_plan_argument(batch)
     _add_obs_arguments(batch)
+    _add_engine_argument(batch)
     batch.add_argument("--json", action="store_true", help="emit a JSON report")
 
     shard = subparsers.add_parser(
@@ -303,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_plan_argument(shard)
     _add_obs_arguments(shard)
+    _add_engine_argument(shard)
     shard.add_argument("--json", action="store_true", help="emit a JSON report")
 
     stream = subparsers.add_parser(
@@ -348,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_plan_argument(stream)
     _add_obs_arguments(stream)
+    _add_engine_argument(stream)
     stream.add_argument("--json", action="store_true", help="emit a JSON report")
     return parser
 
@@ -362,11 +380,12 @@ def _command_count(args: argparse.Namespace) -> int:
         delta=args.delta,
         seed=args.seed,
         method=args.method,
+        engine=args.engine,
     )
     print(f"query class: {query.query_class().value}")
     print(f"estimate:    {estimate}")
     if args.exact and args.method != "exact":
-        print(f"exact:       {count_answers_exact(query, database)}")
+        print(f"exact:       {count_answers_exact(query, database, engine=args.engine)}")
     return 0
 
 
@@ -426,11 +445,11 @@ def _command_sample(args: argparse.Namespace) -> int:
 
 
 def _command_plan(args: argparse.Namespace) -> int:
-    from repro.service import CountingService
+    from repro.service import CountingService, ServiceConfig
 
     query = parse_query(args.query)
     database = _load_database(args)
-    service = CountingService(database)
+    service = CountingService(database, ServiceConfig(engine=args.engine))
     plan = service.plan(query, method=args.method)
     if args.json:
         print(json.dumps(plan.to_dict(), indent=2))
@@ -479,6 +498,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             delta=args.delta,
             executor=args.executor,
             max_workers=args.workers,
+            engine=args.engine,
             fault_plan=_parse_fault_plan(args),
             tracer=tracer,
         ),
@@ -577,6 +597,7 @@ def _command_shard(args: argparse.Namespace) -> int:
             delta=args.delta,
             executor=args.executor,
             max_workers=args.workers,
+            engine=args.engine,
             fault_plan=_parse_fault_plan(args),
             tracer=tracer,
         ),
@@ -597,6 +618,7 @@ def _command_shard(args: argparse.Namespace) -> int:
                 delta=args.delta,
                 executor=args.executor,
                 max_workers=args.workers,
+                engine=args.engine,
             ),
         )
         plain_report = plain.count_batch(requests, seed=args.seed)
@@ -704,6 +726,7 @@ def _command_stream(args: argparse.Namespace) -> int:
             epsilon=args.epsilon,
             delta=args.delta,
             executor="serial",
+            engine=args.engine,
             fault_plan=_parse_fault_plan(args),
             tracer=tracer,
         ),

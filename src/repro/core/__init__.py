@@ -73,6 +73,7 @@ from repro.core.registry import (
 from repro.core.tree_automaton import RootedTree, TreeAutomaton
 from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike
 
@@ -84,6 +85,7 @@ def approx_count_answers(
     delta: float = 0.05,
     seed: RNGLike = None,
     method: str = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> int:
     """Approximately count ``|Ans(query, database)|`` and return the estimate
     rounded to the nearest integer.
@@ -92,7 +94,10 @@ def approx_count_answers(
     ``"fpras"`` (force Theorem 16; CQs only), ``"fptras"`` (force the
     Lemma-22 engine of Theorems 5/13), ``"exact"``, or any registered scheme
     name (``exact`` / ``oracle_exact`` / ``fpras_cq`` / ``fptras_dcq`` /
-    ``fptras_ecq``).  Dispatch goes through :data:`REGISTRY`.
+    ``fptras_ecq``).  Dispatch goes through :data:`REGISTRY`.  ``engine``
+    selects the CSP engine every scheme solves with (``"indexed"`` /
+    ``"naive"`` / ``"columnar"``); estimates are bit-identical across
+    engines under equal seeds.
     """
     query_class = query.query_class()
     if method == "auto":
@@ -106,7 +111,7 @@ def approx_count_answers(
     else:
         raise ValueError(f"unknown method {method!r}")
     result = REGISTRY.count(
-        scheme, query, database, epsilon=epsilon, delta=delta, rng=seed
+        scheme, query, database, epsilon=epsilon, delta=delta, rng=seed, engine=engine
     )
     return result.count
 

@@ -93,11 +93,17 @@ class DirectEdgeFreeOracle:
         self.calls = 0
         # The constraint set does not depend on the queried subsets, only the
         # free-variable domains do — build it once, sharing the database's
-        # per-relation tuple indexes across all calls.
+        # per-relation tuple indexes (and columnar column arrays) across all
+        # calls.
+        columnar = engine == "columnar"
         self._constraints: List[object] = []
         for atom in query.atoms:
             self._constraints.append(
-                Constraint.trusted(atom.args, index=database.relation_index(atom.relation))
+                Constraint.trusted(
+                    atom.args,
+                    index=database.relation_index(atom.relation),
+                    table=database.columnar_relation(atom.relation) if columnar else None,
+                )
             )
         for atom in query.negated_atoms:
             forbidden = (
@@ -122,12 +128,15 @@ class DirectEdgeFreeOracle:
         return self._database
 
     def _build_csp(self, free_domains: Sequence[Set[Element]]) -> CSPInstance:
-        domains: Dict[str, Set[Element]] = {}
+        domains: Dict[str, Iterable[Element]] = {}
         for index, variable in enumerate(self._order):
             if index < self._num_free:
                 domains[variable] = set(free_domains[index])
             else:
-                domains[variable] = set(self._universe)
+                # Hand the shared canonical tuple through unchanged: the CSP
+                # copies it into a set, and the columnar engine recognises it
+                # by identity as the full interned universe.
+                domains[variable] = self._universe
         csp = CSPInstance(
             domains,
             self._constraints,

@@ -30,6 +30,8 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence
 
 from repro.queries.atoms import Atom, Variable
 from repro.queries.query import ConjunctiveQuery
+from repro.relational import columnar as _columnar
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 
 Element = Hashable
@@ -198,13 +200,140 @@ def _hash_join(
     return joined
 
 
+def _atom_base_columnar(atom: Atom, database: Structure):
+    """Columnar twin of :func:`_atom_base`: the atom's internally-consistent
+    rows as an ``(n, len(distinct))`` int32 code matrix over the database's
+    interned universe, memoised on the version-keyed scratch cache.  Returns
+    ``None`` when the database has no columnar mirror (NumPy absent or int32
+    overflow) — callers then fall back to the Python path."""
+    cache = database.derived_cache()
+    key = ("atom_base_columnar", atom.relation, atom.args)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    rel = database.columnar_relation(atom.relation)
+    if rel is None:
+        return None
+    np = _columnar.np
+    distinct: List[Variable] = []
+    positions: List[int] = []
+    seen: Dict[Variable, int] = {}
+    checks: List[Tuple[int, int]] = []
+    for position, variable in enumerate(atom.args):
+        first = seen.get(variable)
+        if first is None:
+            seen[variable] = position
+            distinct.append(variable)
+            positions.append(position)
+        else:
+            checks.append((position, first))
+    if checks:
+        live = np.ones(rel.num_rows, dtype=bool)
+        for position, first in checks:
+            live &= rel.columns[position] == rel.columns[first]
+        live_idx = np.flatnonzero(live)
+        columns = [rel.columns[position][live_idx] for position in positions]
+    else:
+        columns = [rel.columns[position] for position in positions]
+    if columns:
+        matrix = np.stack(columns, axis=1)
+    else:
+        matrix = np.zeros((rel.num_rows, 0), dtype=np.int32)
+    result = (tuple(distinct), matrix)
+    cache[key] = result
+    return result
+
+
+def _bag_solutions_columnar(
+    query: ConjunctiveQuery, database: Structure, bag_set: FrozenSet[Variable]
+) -> Optional[Set[AssignmentKey]]:
+    """The vectorized join pipeline behind ``engine="columnar"``: per-atom
+    bases and projections are int32 code matrices, every pairwise join is a
+    sort/merge on integer group ids (:func:`repro.relational.columnar.
+    matching_pairs`), and codes are decoded to canonical assignment keys only
+    once at the end.  Returns ``None`` when columnar storage is unavailable
+    (caller falls back to the Python hash joins); otherwise the result is
+    set-identical to theirs.
+    """
+    encoder = database.universe_encoder()
+    if encoder is None:
+        return None
+    np = _columnar.np
+    # current = (variable tuple sorted ascending, distinct row matrix).
+    current_vars: Tuple[Variable, ...] = ()
+    current_rows = np.zeros((1, 0), dtype=np.int32)
+    atoms = list(query.atoms)
+    processed_vars: Set[Variable] = set()
+    remaining = list(atoms)
+    while remaining:
+        remaining.sort(
+            key=lambda atom: (-len(set(atom.args) & (processed_vars | bag_set)), str(atom))
+        )
+        atom = remaining.pop(0)
+        base = _atom_base_columnar(atom, database)
+        if base is None:
+            return None
+        variables, matrix = base
+        if matrix.shape[0] == 0:
+            return set()
+        columns = sorted(
+            (column for column, variable in enumerate(variables) if variable in bag_set),
+            key=lambda column: variables[column],
+        )
+        ordered = tuple(variables[column] for column in columns)
+        if columns:
+            projection = _columnar.distinct_rows(matrix[:, columns])
+        else:
+            projection = np.zeros((1, 0), dtype=np.int32)
+        # Natural join current ⋈ projection on their shared variables.
+        shared = [v for v in current_vars if v in ordered]
+        if shared:
+            left_idx = [current_vars.index(v) for v in shared]
+            right_idx = [ordered.index(v) for v in shared]
+            left_rows, right_rows = _columnar.matching_pairs(
+                current_rows[:, left_idx], projection[:, right_idx]
+            )
+        else:
+            left_rows, right_rows = _columnar.cross_pairs(
+                current_rows.shape[0], projection.shape[0]
+            )
+        if left_rows.shape[0] == 0:
+            return set()
+        merged_vars = tuple(sorted(set(current_vars) | set(ordered)))
+        merged = np.empty((left_rows.shape[0], len(merged_vars)), dtype=np.int32)
+        for j, variable in enumerate(merged_vars):
+            if variable in current_vars:
+                merged[:, j] = current_rows[left_rows, current_vars.index(variable)]
+            else:
+                merged[:, j] = projection[right_rows, ordered.index(variable)]
+        current_vars, current_rows = merged_vars, merged
+        processed_vars |= set(atom.args) & bag_set
+    if not current_vars:
+        return {()} if current_rows.shape[0] else set()
+    # Decode column-wise: one (variable, value) pair list per column indexed
+    # by code, then a single C-level map/zip pass — decoding row-by-row in
+    # Python costs more than the whole vectorized join pipeline.
+    values = encoder.values
+    per_column = []
+    for j, variable in enumerate(current_vars):
+        pairs = [(variable, value) for value in values]
+        per_column.append(map(pairs.__getitem__, current_rows[:, j].tolist()))
+    return set(zip(*per_column))
+
+
 def bag_solutions(
-    query: ConjunctiveQuery, database: Structure, bag: Iterable[Variable]
+    query: ConjunctiveQuery,
+    database: Structure,
+    bag: Iterable[Variable],
+    engine: str = DEFAULT_ENGINE,
 ) -> Set[AssignmentKey]:
     """``Sol(phi, D, B)`` as a set of canonical assignment keys (Lemma 48).
 
     Only defined for CQs (the FPRAS of Theorem 16 is restricted to queries
-    without disequalities and negations); raises otherwise.
+    without disequalities and negations); raises otherwise.  With
+    ``engine="columnar"`` the per-atom projections and joins run as
+    vectorized integer-key kernels (same result set, decoded once at the
+    end), falling back to the Python hash joins when NumPy is unavailable.
     """
     if query.negated_atoms or query.disequalities:
         raise ValueError("bag solutions are defined for plain CQs only (Theorem 16)")
@@ -213,6 +342,11 @@ def bag_solutions(
     if unknown:
         raise ValueError(f"bag contains unknown variables {sorted(unknown)}")
     query._check_signature_compatibility(database)
+
+    if engine == "columnar":
+        columnar_result = _bag_solutions_columnar(query, database, bag_set)
+        if columnar_result is not None:
+            return columnar_result
 
     # The empty bag: the unique empty assignment is a solution iff every
     # atom's relation contains an internally consistent tuple.

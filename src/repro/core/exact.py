@@ -46,10 +46,15 @@ def _solution_csp(
     """
     universe = database.canonical_universe()
     domains: Dict[str, Set[Element]] = {v: universe for v in query.variables}
+    columnar = engine == "columnar"
     constraints: List[object] = []
     for atom in query.atoms:
         constraints.append(
-            Constraint.trusted(atom.args, index=database.relation_index(atom.relation))
+            Constraint.trusted(
+                atom.args,
+                index=database.relation_index(atom.relation),
+                table=database.columnar_relation(atom.relation) if columnar else None,
+            )
         )
     for atom in query.negated_atoms:
         forbidden = (
@@ -103,8 +108,8 @@ def count_answers_exact(
     engine and counts distinct projections; ``method="bruteforce"`` is the
     plain ``|U(D)|^{|vars(phi)|}`` enumeration from the introduction (kept as
     an independent reference implementation for differential testing).
-    ``engine`` selects the CSP engine (``"indexed"``/``"naive"``) for the
-    backtracking method.
+    ``engine`` selects the CSP engine (``"indexed"``/``"naive"``/
+    ``"columnar"``) for the backtracking method.
     """
     if method == "bruteforce":
         return query.count_answers_bruteforce(database)

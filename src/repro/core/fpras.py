@@ -41,6 +41,7 @@ from repro.core.tree_automaton import RootedTree, TreeAutomaton
 from repro.decomposition.nice import NiceTreeDecomposition
 from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.relational.csp import DEFAULT_ENGINE
 from repro.relational.structure import Structure
 from repro.util.rng import RNGLike
 from repro.util.validation import check_epsilon_delta
@@ -97,6 +98,7 @@ def build_tree_automaton(
     query: ConjunctiveQuery,
     database: Structure,
     prepared: Optional[PreparedQuery] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Lemma52Reduction:
     """Construct the Lemma-52 tree automaton for a CQ instance.
 
@@ -123,7 +125,7 @@ def build_tree_automaton(
     for node in nice.nodes():
         bag = nice.bag(node)
         if bag not in solutions_by_bag:
-            solutions_by_bag[bag] = bag_solutions(query, database, bag)
+            solutions_by_bag[bag] = bag_solutions(query, database, bag, engine=engine)
         node_solutions[node] = solutions_by_bag[bag]
 
     states: Set[State] = set()
@@ -220,6 +222,7 @@ def fpras_count_cq(
     return_result: bool = False,
     samples_per_union: Optional[int] = None,
     prepared: Optional[PreparedQuery] = None,
+    engine: str = DEFAULT_ENGINE,
 ):
     """Theorem 16: FPRAS for #CQ on queries with bounded fractional
     hypertreewidth.
@@ -230,7 +233,7 @@ def fpras_count_cq(
     cached process-wide when omitted).
     """
     check_epsilon_delta(epsilon, delta)
-    reduction = build_tree_automaton(query, database, prepared=prepared)
+    reduction = build_tree_automaton(query, database, prepared=prepared, engine=engine)
     fhw = reduction.fractional_hypertreewidth
 
     if reduction.empty_language():

@@ -14,10 +14,14 @@ module is that data feed:
   :class:`~repro.obs.metrics.Histogram`), mean database size and mean
   estimate magnitude — recorded on **every** execution by the service;
 * a :class:`ProfileStore` holds the sketches keyed by
-  ``(canonical_key, fingerprint_class, scheme)``, serves the planner's
+  ``(canonical_key, fingerprint_class, scheme, engine)`` — the engine label
+  keeps "fpras_cq on the columnar engine" separate from "fpras_cq on the
+  indexed engine", which is exactly the cost difference the planner's
+  columnar-upgrade threshold wants to learn — serves the planner's
   ``QueryPlan.observed`` section (:meth:`summary`), and persists via
   :meth:`to_json`/:meth:`from_json` so observations survive process
-  restarts.
+  restarts (version-1 snapshots load with engine defaulted to
+  ``"indexed"``).
 
 Recording takes no locks beyond the histograms' own and never touches RNG
 state.
@@ -116,7 +120,7 @@ class ProfileStore:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._profiles: Dict[Tuple[str, int, str], SchemeProfile] = {}
+        self._profiles: Dict[Tuple[str, int, str, str], SchemeProfile] = {}
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -128,9 +132,10 @@ class ProfileStore:
         scheme: str,
         seconds: float,
         estimate: Optional[float] = None,
+        engine: str = "indexed",
     ) -> None:
         """Fold one execution into the matching sketch (creating it)."""
-        key = (canonical_key, fingerprint_class(database_size), scheme)
+        key = (canonical_key, fingerprint_class(database_size), scheme, engine)
         with self._lock:
             profile = self._profiles.get(key)
             if profile is None:
@@ -138,10 +143,14 @@ class ProfileStore:
         profile.record(seconds, database_size, estimate)
 
     def get(
-        self, canonical_key: str, database_size: int, scheme: str
+        self,
+        canonical_key: str,
+        database_size: int,
+        scheme: str,
+        engine: str = "indexed",
     ) -> Optional[SchemeProfile]:
         return self._profiles.get(
-            (canonical_key, fingerprint_class(database_size), scheme)
+            (canonical_key, fingerprint_class(database_size), scheme, engine)
         )
 
     def summary(self, canonical_key: str, database_size: int) -> Dict[str, Any]:
@@ -151,18 +160,23 @@ class ProfileStore:
         bucket = fingerprint_class(database_size)
         with self._lock:
             matching = {
-                scheme: profile
-                for (key, klass, scheme), profile in self._profiles.items()
+                (scheme, engine): profile
+                for (key, klass, scheme, engine), profile in self._profiles.items()
                 if key == canonical_key and klass == bucket
             }
         if not matching:
             return {}
-        return {
-            "fingerprint_class": bucket,
-            "schemes": {
-                scheme: profile.summary() for scheme, profile in sorted(matching.items())
-            },
-        }
+        # Keep the payload keyed by the bare scheme name when only one engine
+        # was observed for it (the common case, and the shape version-1
+        # consumers expect); disambiguate with "scheme@engine" otherwise.
+        engines_per_scheme: Dict[str, int] = {}
+        for scheme, _ in matching:
+            engines_per_scheme[scheme] = engines_per_scheme.get(scheme, 0) + 1
+        schemes: Dict[str, Any] = {}
+        for (scheme, engine), profile in sorted(matching.items()):
+            label = scheme if engines_per_scheme[scheme] == 1 else f"{scheme}@{engine}"
+            schemes[label] = dict(profile.summary(), engine=engine)
+        return {"fingerprint_class": bucket, "schemes": schemes}
 
     def stats(self) -> Dict[str, Any]:
         """Aggregate store statistics for ``CountingService.stats()``."""
@@ -171,8 +185,9 @@ class ProfileStore:
         return {
             "entries": len(profiles),
             "runs": sum(profile.runs for profile in profiles.values()),
-            "canonical_forms": len({key for key, _, _ in profiles}),
-            "schemes": sorted({scheme for _, _, scheme in profiles}),
+            "canonical_forms": len({key for key, _, _, _ in profiles}),
+            "schemes": sorted({scheme for _, _, scheme, _ in profiles}),
+            "engines": sorted({engine for _, _, _, engine in profiles}),
         }
 
     # ----------------------------------------------------------- persistence
@@ -183,11 +198,14 @@ class ProfileStore:
                     "canonical_key": key,
                     "fingerprint_class": klass,
                     "scheme": scheme,
+                    "engine": engine,
                     "profile": profile.to_dict(),
                 }
-                for (key, klass, scheme), profile in sorted(self._profiles.items())
+                for (key, klass, scheme, engine), profile in sorted(
+                    self._profiles.items()
+                )
             ]
-        return json.dumps({"version": 1, "profiles": rows}, indent=indent)
+        return json.dumps({"version": 2, "profiles": rows}, indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "ProfileStore":
@@ -198,6 +216,9 @@ class ProfileStore:
                 str(row["canonical_key"]),
                 int(row["fingerprint_class"]),
                 str(row["scheme"]),
+                # Version-1 snapshots predate the engine label; everything
+                # they recorded ran on the indexed engine.
+                str(row.get("engine", "indexed")),
             )
             store._profiles[key] = SchemeProfile.from_dict(row.get("profile", {}))
         return store

@@ -54,10 +54,32 @@ sets *and* identical enumeration order); select one with
     fixpoint round changes nothing, and the search re-sorts the domain of the
     current variable at every node.
 
-Both engines treat :class:`NotEqualConstraint` and
+``engine="columnar"``
+    The vectorized engine over :mod:`repro.relational.columnar` storage:
+    every value is interned to an int32 code by its position in the
+    repr-sorted universe, each table constraint becomes one contiguous code
+    array per scope position, and
+
+    * GAC propagation keeps per-(constraint, position) support counts as
+      ``np.bincount`` arrays over codes, killing rows with boolean-mask
+      intersections and decrementing supports in bulk when domain values die;
+    * forward checking intersects per-column row groups (stable argsort +
+      binary-searched group boundaries) with ``np.intersect1d`` and prunes
+      neighbour domains through scatter masks instead of Python set algebra;
+    * search walks codes in ascending order — which *is* the repr-sorted
+      value order — so it enumerates the exact solutions, in the exact order,
+      of the indexed engine, decoding codes to values only at yield time.
+
+    When NumPy is not installed the engine resolves to ``"indexed"`` at
+    construction; when a universe exceeds the int32 code space (or a caller
+    passes domains outside the interned universe) the instance silently runs
+    the indexed code paths instead — same answers, scalar speed.
+
+All engines treat :class:`NotEqualConstraint` and
 :class:`NotInRelationConstraint` the same way during propagation (they do not
-participate in GAC); the indexed engine additionally forward-checks
-disequalities by deleting the just-assigned value from the partner's domain.
+participate in GAC); the indexed and columnar engines additionally
+forward-check disequalities by deleting the just-assigned value from the
+partner's domain.
 """
 
 from __future__ import annotations
@@ -77,6 +99,8 @@ from typing import (
 )
 
 from repro.hypergraph import Hypergraph
+from repro.relational import columnar as _columnar
+from repro.relational.columnar import ColumnarRelation, UniverseEncoder
 from repro.relational.index import TupleIndex
 
 Variable = Hashable
@@ -84,7 +108,7 @@ Value = Hashable
 AssignmentTuple = Tuple[Value, ...]
 
 #: The engines understood by :class:`CSPInstance`.
-ENGINES = ("indexed", "naive")
+ENGINES = ("indexed", "naive", "columnar")
 DEFAULT_ENGINE = "indexed"
 
 
@@ -109,6 +133,7 @@ class Constraint:
         scope: Sequence[Variable],
         allowed: Optional[Iterable[AssignmentTuple]] = None,
         index: Optional[TupleIndex] = None,
+        table: Optional[ColumnarRelation] = None,
     ) -> "Constraint":
         """Fast-path constructor for internally-built constraints.
 
@@ -117,7 +142,10 @@ class Constraint:
         pre-built, shared :class:`TupleIndex` — typically
         ``structure.relation_index(name)`` — so sibling constraints over the
         same relation share one index.  ``allowed`` defaults to
-        ``index.allowed`` when an index is given.
+        ``index.allowed`` when an index is given.  ``table`` optionally
+        attaches the relation's shared :class:`ColumnarRelation` (typically
+        ``structure.columnar_relation(name)``) so the columnar engine reuses
+        the structure-cached column arrays instead of re-encoding.
         """
         if allowed is None:
             if index is None:
@@ -130,7 +158,15 @@ class Constraint:
         object.__setattr__(self, "allowed", allowed_set)
         if index is not None:
             object.__setattr__(self, "_index", index)
+        if table is not None:
+            object.__setattr__(self, "_table", table)
         return self
+
+    @property
+    def table(self) -> Optional[ColumnarRelation]:
+        """The shared columnar storage attached by :meth:`trusted`, if any
+        (the columnar engine encodes ad hoc when absent)."""
+        return self.__dict__.get("_table")
 
     @property
     def index(self) -> TupleIndex:
@@ -261,6 +297,121 @@ class _TableState:
         self.counts = counts
 
 
+#: Sentinel: "the columnar engine cannot serve this call" (fall back to the
+#: indexed code paths) — distinct from ``None``, which means "unsatisfiable".
+_COLUMNAR_UNSET = object()
+
+
+class _ColumnarContext:
+    """Per-instance columnar preliminaries: the interned encoder and, for
+    every table constraint, its column arrays and scope variable indexes."""
+
+    __slots__ = ("encoder", "var_list", "var_index", "tables")
+
+    def __init__(
+        self,
+        encoder: UniverseEncoder,
+        var_list: List[Variable],
+        tables: List[Tuple[Constraint, ColumnarRelation, Tuple[int, ...]]],
+    ) -> None:
+        self.encoder = encoder
+        self.var_list = var_list
+        self.var_index = {variable: i for i, variable in enumerate(var_list)}
+        self.tables = tables
+
+
+class _ColumnarTableState:
+    """Mutable vectorized GAC bookkeeping for one table constraint: a live-row
+    boolean mask and one ``np.bincount`` support array per scope position."""
+
+    __slots__ = ("constraint", "rel", "scope_idx", "live", "counts")
+
+    def __init__(self, constraint, rel, scope_idx, live, counts) -> None:
+        self.constraint = constraint
+        self.rel = rel
+        self.scope_idx = scope_idx
+        self.live = live
+        self.counts = counts
+
+
+class _ColumnarSearchTable:
+    """Search-time view of one table constraint: columns compressed to the
+    propagation-live rows, plus lazily built per-node lookup structures.
+    The live rows never change during search (only the domain masks do), so
+    everything here is computed at most once per search and then served by
+    dict/set lookups — the per-node work must not pay NumPy's per-call
+    overhead on tiny arrays:
+
+    * ``buckets(position)`` — code -> row-id array (group-by, built from one
+      stable argsort);
+    * ``has_pair`` — binary tables get an int-keyed row set, turning the
+      "both scope variables assigned" check into one Python set probe;
+    * ``support_mask`` — binary tables get a cached boolean mask over the
+      codes of the opposite position, so forward-checking one assignment is
+      a single vectorized AND against the domain mask.
+    """
+
+    __slots__ = ("cols", "n_codes", "_buckets", "_masks", "_pairs")
+
+    def __init__(self, state: _ColumnarTableState, n_codes: int) -> None:
+        np = _columnar.np
+        rel = state.rel
+        if state.live.all():
+            self.cols = rel.columns
+        else:
+            live_idx = np.flatnonzero(state.live)
+            self.cols = tuple(column[live_idx] for column in rel.columns)
+        self.n_codes = n_codes
+        self._buckets: List[Optional[Dict[int, object]]] = [None] * len(self.cols)
+        self._masks: List[Optional[Dict[int, object]]] = [None] * len(self.cols)
+        self._pairs: Optional[Set[int]] = None
+
+    def buckets(self, position: int) -> Dict[int, object]:
+        """code -> ascending row-id array at ``position`` (codes with rows)."""
+        groups = self._buckets[position]
+        if groups is None:
+            np = _columnar.np
+            groups = {}
+            column = self.cols[position]
+            if column.size:
+                order = np.argsort(column, kind="stable")
+                sorted_codes = column[order]
+                boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+                starts = np.concatenate(([0], boundaries))
+                for code, chunk in zip(
+                    sorted_codes[starts].tolist(), np.split(order, boundaries)
+                ):
+                    groups[code] = chunk
+            self._buckets[position] = groups
+        return groups
+
+    def has_pair(self, code0: int, code1: int) -> bool:
+        """Membership probe for binary tables: is ``(code0, code1)`` a row?"""
+        pairs = self._pairs
+        if pairs is None:
+            np = _columnar.np
+            keys = self.cols[0].astype(np.int64) * self.n_codes + self.cols[1]
+            pairs = self._pairs = set(keys.tolist())
+        return code0 * self.n_codes + code1 in pairs
+
+    def support_mask(self, assigned_position: int, code: int):
+        """For binary tables: the boolean mask (over codes) of the opposite
+        position's values co-occurring with ``code`` — cached per code."""
+        masks = self._masks[assigned_position]
+        if masks is None:
+            masks = {}
+            self._masks[assigned_position] = masks
+        mask = masks.get(code)
+        if mask is None:
+            np = _columnar.np
+            mask = np.zeros(self.n_codes, dtype=bool)
+            bucket = self.buckets(assigned_position).get(code)
+            if bucket is not None:
+                mask[self.cols[1 - assigned_position][bucket]] = True
+            masks[code] = mask
+        return mask
+
+
 class CSPInstance:
     """A CSP over explicit finite domains with table constraints.
 
@@ -271,9 +422,11 @@ class CSPInstance:
     constraints:
         Table, disequality, or negated-table constraints.
     engine:
-        ``"indexed"`` (default) for the propagation-based engine or
-        ``"naive"`` for the original scan-based one; see the module
-        docstring's "Engine architecture" section.
+        ``"indexed"`` (default) for the propagation-based engine,
+        ``"naive"`` for the original scan-based one, or ``"columnar"`` for
+        the vectorized NumPy engine; see the module docstring's "Engine
+        architecture" section.  ``"columnar"`` resolves to ``"indexed"``
+        when NumPy is not installed.
     search_order:
         Optional pre-computed variable order (skips the min-fill computation;
         used by callers that solve many instances over the same scopes, e.g.
@@ -289,7 +442,14 @@ class CSPInstance:
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine == "columnar" and not _columnar.columnar_available():
+            engine = "indexed"
         self._engine = engine
+        # Keep the raw domain iterables: the columnar context recognises the
+        # shared canonical-universe tuple by identity and skips per-value
+        # re-encoding for full-universe domains (the common builder case).
+        self._domain_sources: Dict[Variable, object] = dict(domains)
+        self._columnar_ctx: object = _COLUMNAR_UNSET
         self._domains: Dict[Variable, Set[Value]] = {
             variable: set(values) for variable, values in domains.items()
         }
@@ -328,6 +488,7 @@ class CSPInstance:
         self._constraints.append(constraint)
         self._order_cache = None
         self._by_variable_cache = None
+        self._columnar_ctx = _COLUMNAR_UNSET
 
     # ---------------------------------------------------------------- solving
     def constraint_hypergraph(self) -> Hypergraph:
@@ -370,12 +531,17 @@ class CSPInstance:
     ) -> Optional[Dict[Variable, Set[Value]]]:
         """Generalized arc consistency: remove domain values not supported by
         every table constraint.  Returns the reduced domains, or ``None`` if
-        some domain becomes empty (no solution).  Both engines compute the
+        some domain becomes empty (no solution).  All engines compute the
         same fixpoint; they differ only in how they reach it."""
+        trusted_sources = domains is None
         if domains is None:
             domains = {v: set(values) for v, values in self._domains.items()}
         if self._engine == "naive":
             return self._propagate_naive(domains)
+        if self._engine == "columnar":
+            outcome = self._propagate_columnar(domains, trusted_sources)
+            if outcome is not _COLUMNAR_UNSET:
+                return outcome
         return self._propagate_indexed(domains)
 
     def _propagate_naive(
@@ -510,6 +676,371 @@ class CSPInstance:
                                     worklist.append((variable2, value2))
         return domains
 
+    # ------------------------------------------------------------- columnar
+    def _columnar_context(self) -> Optional[_ColumnarContext]:
+        """Build (and cache) the columnar preliminaries, or ``None`` when the
+        instance cannot be interned (NumPy absent, int32 overflow)."""
+        if self._columnar_ctx is not _COLUMNAR_UNSET:
+            return self._columnar_ctx
+        self._columnar_ctx = self._build_columnar_context()
+        return self._columnar_ctx
+
+    def _build_columnar_context(self) -> Optional[_ColumnarContext]:
+        if not _columnar.columnar_available():
+            return None
+        table_constraints = [c for c in self._constraints if isinstance(c, Constraint)]
+        # Preferred path: every table carries a shared ColumnarRelation from
+        # one structure (one encoder), and every domain is covered by it.
+        shared: Optional[UniverseEncoder] = None
+        use_shared = bool(table_constraints)
+        for constraint in table_constraints:
+            attached = constraint.__dict__.get("_table")
+            if attached is None:
+                use_shared = False
+                break
+            if shared is None:
+                shared = attached.encoder
+            elif attached.encoder is not shared:
+                use_shared = False
+                break
+        if use_shared and shared is not None:
+            code_of = shared.code_of
+            for variable, source in self._domain_sources.items():
+                if source is shared.values:
+                    continue
+                if not all(value in code_of for value in self._domains[variable]):
+                    use_shared = False
+                    break
+        var_list = self.variables
+        var_pos = {variable: i for i, variable in enumerate(var_list)}
+        if use_shared and shared is not None:
+            tables = [
+                (
+                    constraint,
+                    constraint.__dict__["_table"],
+                    tuple(var_pos[v] for v in constraint.scope),
+                )
+                for constraint in table_constraints
+            ]
+            return _ColumnarContext(shared, var_list, tables)
+        # Generic path: intern every value the instance mentions, repr-sorted
+        # (so ascending codes still match the canonical value order).
+        seen: Set[Value] = set()
+        for domain in self._domains.values():
+            seen |= domain
+        for constraint in table_constraints:
+            for tup in constraint.allowed:
+                seen.update(tup)
+        ordered = sorted(seen, key=repr)
+        if len(ordered) > _columnar._INT32_LIMIT:
+            return None
+        encoder = UniverseEncoder(ordered)
+        tables = []
+        for constraint in table_constraints:
+            rel = ColumnarRelation.from_facts(
+                constraint.allowed, len(constraint.scope), encoder
+            )
+            if rel is None:
+                return None
+            tables.append(
+                (constraint, rel, tuple(var_pos[v] for v in constraint.scope))
+            )
+        return _ColumnarContext(encoder, var_list, tables)
+
+    def _columnar_masks(self, ctx, domains, trusted_sources):
+        """Per-variable domain bit-masks over codes, or ``None`` when some
+        domain value falls outside the encoder (caller falls back)."""
+        np = _columnar.np
+        encoder = ctx.encoder
+        code_of = encoder.code_of
+        n_codes = len(encoder)
+        masks = []
+        for variable in ctx.var_list:
+            domain = domains[variable]
+            if (
+                trusted_sources
+                and self._domain_sources.get(variable) is encoder.values
+                and len(domain) == n_codes
+            ):
+                masks.append(np.ones(n_codes, dtype=bool))
+                continue
+            mask = np.zeros(n_codes, dtype=bool)
+            try:
+                codes = [code_of[value] for value in domain]
+            except KeyError:
+                return None
+            if codes:
+                mask[np.fromiter(codes, dtype=np.int64, count=len(codes))] = True
+            masks.append(mask)
+        return masks
+
+    def _columnar_fixpoint(self, domains, trusted_sources):
+        """Vectorized GAC to the same fixpoint as the other engines.
+
+        Returns ``(masks, states, ctx)`` at the fixpoint, ``None`` when
+        unsatisfiable, or ``_COLUMNAR_UNSET`` when the columnar engine cannot
+        serve this call (caller falls back to the indexed paths).
+        """
+        ctx = self._columnar_context()
+        if ctx is None:
+            return _COLUMNAR_UNSET
+        np = _columnar.np
+        try:
+            masks = self._columnar_masks(ctx, domains, trusted_sources)
+        except KeyError:
+            masks = None
+        if masks is None:
+            return _COLUMNAR_UNSET
+        n_codes = len(ctx.encoder)
+        states: List[_ColumnarTableState] = []
+        occurrences: Dict[int, List[Tuple[_ColumnarTableState, Tuple[int, ...]]]] = {}
+        pending: List[int] = []
+        queued: Set[int] = set()
+
+        def enqueue(vi: int) -> None:
+            if vi not in queued:
+                queued.add(vi)
+                pending.append(vi)
+
+        for constraint, rel, scope_idx in ctx.tables:
+            if rel.num_rows == 0:
+                return None
+            live = np.ones(rel.num_rows, dtype=bool)
+            for position, vi in enumerate(scope_idx):
+                live &= masks[vi][rel.columns[position]]
+            if not live.any():
+                return None
+            live_idx = np.flatnonzero(live)
+            counts = [
+                np.bincount(rel.columns[position][live_idx], minlength=n_codes)
+                for position in range(len(scope_idx))
+            ]
+            state = _ColumnarTableState(constraint, rel, scope_idx, live, counts)
+            states.append(state)
+            positions_by_vi: Dict[int, List[int]] = {}
+            for position, vi in enumerate(scope_idx):
+                positions_by_vi.setdefault(vi, []).append(position)
+            for vi, positions in positions_by_vi.items():
+                occurrences.setdefault(vi, []).append((state, tuple(positions)))
+            for position, vi in enumerate(scope_idx):
+                supported = counts[position] > 0
+                mask = masks[vi]
+                if (mask & ~supported).any():
+                    mask &= supported
+                    if not mask.any():
+                        return None
+                    enqueue(vi)
+
+        # Drain the worklist: a shrunken variable kills the live rows holding
+        # its dead codes, and the kills are folded back into the support
+        # counts with one bulk bincount decrement per (constraint, position).
+        while pending:
+            vi = pending.pop()
+            queued.discard(vi)
+            mask_v = masks[vi]
+            for state, positions in occurrences.get(vi, ()):
+                live = state.live
+                dead = None
+                for position in positions:
+                    gone = live & ~mask_v[state.rel.columns[position]]
+                    dead = gone if dead is None else (dead | gone)
+                if dead is None or not dead.any():
+                    continue
+                live &= ~dead
+                if not live.any():
+                    return None
+                dead_idx = np.flatnonzero(dead)
+                for position, vq in enumerate(state.scope_idx):
+                    decrement = np.bincount(
+                        state.rel.columns[position][dead_idx], minlength=n_codes
+                    )
+                    support = state.counts[position]
+                    support -= decrement
+                    mask_q = masks[vq]
+                    newly_dead = mask_q & (decrement > 0) & (support == 0)
+                    if newly_dead.any():
+                        mask_q &= ~newly_dead
+                        if not mask_q.any():
+                            return None
+                        enqueue(vq)
+        return masks, states, ctx
+
+    def _propagate_columnar(self, domains, trusted_sources):
+        """GAC via :meth:`_columnar_fixpoint`, decoded back into ``domains``;
+        ``_COLUMNAR_UNSET`` tells :meth:`propagate` to run indexed instead."""
+        outcome = self._columnar_fixpoint(domains, trusted_sources)
+        if outcome is _COLUMNAR_UNSET or outcome is None:
+            return outcome
+        np = _columnar.np
+        masks, _states, ctx = outcome
+        values = ctx.encoder.values
+        for vi, variable in enumerate(ctx.var_list):
+            domains[variable] = {values[code] for code in np.flatnonzero(masks[vi])}
+        return domains
+
+    def _iter_columnar(self, limit: Optional[int]) -> Iterator[Dict[Variable, Value]]:
+        """Vectorized search over the interned columns: same variable order,
+        same (ascending-code = repr-sorted) value order, and sound
+        forward-checking — hence the same solutions in the same order as the
+        indexed engine, decoded to values only at assignment time."""
+        domains = {v: set(values) for v, values in self._domains.items()}
+        outcome = self._columnar_fixpoint(domains, True)
+        if outcome is _COLUMNAR_UNSET:
+            yield from self._iter_indexed(limit)
+            return
+        if outcome is None:
+            return
+        np = _columnar.np
+        masks, states, ctx = outcome
+        encoder = ctx.encoder
+        values = encoder.values
+        n_codes = len(encoder)
+        var_index = ctx.var_index
+        order = self.search_order()
+        by_variable = self._constraints_by_variable()
+        search_tables: Dict[int, _ColumnarSearchTable] = {
+            id(state.constraint): _ColumnarSearchTable(state, n_codes)
+            for state in states
+        }
+        # Canonical per-variable value order: ascending codes, computed once.
+        codes_order: Dict[Variable, List[int]] = {
+            variable: [int(code) for code in np.flatnonzero(masks[var_index[variable]])]
+            for variable in order
+        }
+        assignment: Dict[Variable, Value] = {}
+        assigned_codes: Dict[Variable, int] = {}
+        produced = 0
+        Trail = List[Tuple[int, object]]
+
+        def undo(trail: Trail) -> None:
+            for vi, removed in trail:
+                masks[vi] |= removed
+
+        def forward_check(variable: Variable, code: int) -> Optional[Trail]:
+            trail: Trail = []
+            for constraint in by_variable[variable]:
+                if isinstance(constraint, Constraint):
+                    table = search_tables[id(constraint)]
+                    scope = constraint.scope
+                    if len(scope) == 2:
+                        # Binary fast path: one set probe (both assigned) or
+                        # one cached-mask AND (one assigned) per node.
+                        left, right = scope
+                        left_code = assigned_codes.get(left)
+                        right_code = assigned_codes.get(right)
+                        if left_code is not None and right_code is not None:
+                            if not table.has_pair(left_code, right_code):
+                                undo(trail)
+                                return None
+                            continue
+                        if left_code is not None:
+                            supported = table.support_mask(0, left_code)
+                            other = right
+                        else:
+                            supported = table.support_mask(1, right_code)
+                            other = left
+                        vi = var_index[other]
+                        current = masks[vi]
+                        removed = current & ~supported
+                        if removed.any():
+                            current &= supported
+                            trail.append((vi, removed))
+                            if not current.any():
+                                undo(trail)
+                                return None
+                        continue
+                    rows = None
+                    unassigned: List[Tuple[int, Variable]] = []
+                    failed = False
+                    for position, scope_variable in enumerate(scope):
+                        if scope_variable in assignment:
+                            bucket = table.buckets(position).get(
+                                assigned_codes[scope_variable]
+                            )
+                            if bucket is None:
+                                failed = True
+                                break
+                            if rows is None:
+                                rows = bucket
+                            else:
+                                rows = np.intersect1d(rows, bucket, assume_unique=True)
+                                if rows.size == 0:
+                                    failed = True
+                                    break
+                        else:
+                            unassigned.append((position, scope_variable))
+                    if failed:
+                        undo(trail)
+                        return None
+                    if rows is None:
+                        continue
+                    for position, scope_variable in unassigned:
+                        vi = var_index[scope_variable]
+                        current = masks[vi]
+                        supported = np.zeros(n_codes, dtype=bool)
+                        supported[table.cols[position][rows]] = True
+                        removed = current & ~supported
+                        if removed.any():
+                            current &= supported
+                            trail.append((vi, removed))
+                            if not current.any():
+                                undo(trail)
+                                return None
+                elif isinstance(constraint, NotEqualConstraint):
+                    other = (
+                        constraint.right
+                        if variable == constraint.left
+                        else constraint.left
+                    )
+                    if other in assignment:
+                        if assigned_codes[other] == code:
+                            undo(trail)
+                            return None
+                    else:
+                        vi = var_index[other]
+                        current = masks[vi]
+                        if current[code]:
+                            removed = np.zeros(n_codes, dtype=bool)
+                            removed[code] = True
+                            current[code] = False
+                            trail.append((vi, removed))
+                            if not current.any():
+                                undo(trail)
+                                return None
+                else:
+                    if not constraint.consistent_with_partial(assignment):
+                        undo(trail)
+                        return None
+            return trail
+
+        def backtrack(position: int) -> Iterator[Dict[Variable, Value]]:
+            nonlocal produced
+            if limit is not None and produced >= limit:
+                return
+            if position == len(order):
+                produced += 1
+                yield assignment
+                return
+            variable = order[position]
+            live = masks[var_index[variable]]
+            for code in codes_order[variable]:
+                if not live[code]:
+                    continue
+                assignment[variable] = values[code]
+                assigned_codes[variable] = code
+                trail = forward_check(variable, code)
+                if trail is not None:
+                    yield from backtrack(position + 1)
+                    undo(trail)
+                    if limit is not None and produced >= limit:
+                        del assignment[variable]
+                        del assigned_codes[variable]
+                        return
+                del assignment[variable]
+                del assigned_codes[variable]
+
+        yield from backtrack(0)
+
     def _constraints_by_variable(self) -> Dict[Variable, List[Constraint]]:
         if self._by_variable_cache is None:
             index: Dict[Variable, List[Constraint]] = {v: [] for v in self._domains}
@@ -531,6 +1062,8 @@ class CSPInstance:
         solution; callers must copy if they keep it."""
         if self._engine == "naive":
             yield from self._iter_naive(limit)
+        elif self._engine == "columnar":
+            yield from self._iter_columnar(limit)
         else:
             yield from self._iter_indexed(limit)
 

@@ -53,8 +53,9 @@ def _build_csp(
     """The CSP whose solutions are exactly Hom(source -> target).
 
     Constraints are built through the trusted fast path and share the
-    target's per-relation tuple indexes, so repeated Hom queries against the
-    same database pay the index build once.
+    target's per-relation tuple indexes (and, for the columnar engine, its
+    structure-cached column arrays), so repeated Hom queries against the same
+    database pay the index and encoding builds once.
     """
     if not source.signature <= target.signature:
         raise ValueError(
@@ -62,10 +63,12 @@ def _build_csp(
         )
     target_universe = target.canonical_universe()
     domains = {element: target_universe for element in source.universe}
+    columnar = engine == "columnar"
     constraints: List[Constraint] = []
     for name, fact in source.facts():
         index = target.relation_index(name)
-        constraints.append(Constraint.trusted(tuple(fact), index=index))
+        table = target.columnar_relation(name) if columnar else None
+        constraints.append(Constraint.trusted(tuple(fact), index=index, table=table))
     return CSPInstance(domains, constraints, engine=engine)
 
 

@@ -85,6 +85,14 @@ class Structure:
         self._canonical_universe_cache: Optional[Tuple[int, Tuple[Element, ...]]] = None
         self._relation_index_cache: Dict[str, Tuple[int, TupleIndex]] = {}
         self._relation_index_pending: Dict[str, List[Tuple[str, Fact]]] = {}
+        # Columnar (struct-of-arrays) mirrors of the relations, for
+        # engine="columnar": the universe encoder is keyed to the universe
+        # version, each relation's column store to (universe version, that
+        # relation's version).  Both are carried by copy() like the tuple
+        # indexes, which is what lets the colour-coding hot path reuse the
+        # base relations' columns across per-colouring copies.
+        self._universe_encoder_cache: Optional[Tuple[int, object]] = None
+        self._columnar_cache: Dict[str, Tuple[Tuple[int, int], object]] = {}
         self._derived_cache_state: Optional[Tuple[Tuple[int, int], Dict[object, object]]] = None
         # Opt-in change capture: callbacks invoked as (name, op, fact,
         # relation_version) on every effective fact mutation ("add"/"remove").
@@ -311,6 +319,45 @@ class Structure:
         self._relation_index_cache[name] = (version, index)
         return index
 
+    def universe_encoder(self):
+        """The interned value <-> int32 code bijection over this structure's
+        canonical universe (see :mod:`repro.relational.columnar`), cached
+        until the universe changes; ``None`` when NumPy is unavailable or the
+        universe exceeds the int32 code space (callers then fall back to the
+        indexed engine)."""
+        from repro.relational import columnar
+
+        cached = self._universe_encoder_cache
+        if cached is not None and cached[0] == self._universe_version:
+            return cached[1]
+        encoder = columnar.build_encoder(self.canonical_universe())
+        self._universe_encoder_cache = (self._universe_version, encoder)
+        return encoder
+
+    def columnar_relation(self, name: str):
+        """The :class:`~repro.relational.columnar.ColumnarRelation` mirror of
+        the named relation, cached until the universe or *that* relation
+        changes; ``None`` when the encoder is unavailable.  Raises
+        ``KeyError`` for unknown relation symbols, like :meth:`relation`."""
+        from repro.relational.columnar import ColumnarRelation
+
+        symbol = self._signature.get(name)
+        if symbol is None:
+            raise KeyError(f"unknown relation symbol {name!r}")
+        key = (self._universe_version, self._relation_versions.get(name, 0))
+        cached = self._columnar_cache.get(name)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        encoder = self.universe_encoder()
+        if encoder is None:
+            table = None
+        else:
+            table = ColumnarRelation.from_facts(
+                self._relations.get(name, set()), symbol.arity, encoder
+            )
+        self._columnar_cache[name] = (key, table)
+        return table
+
     def derived_cache(self) -> Dict[object, object]:
         """A scratch cache tied to the structure's current contents, for
         callers that memoise derived data (e.g. per-atom projection bases in
@@ -457,6 +504,8 @@ class Structure:
         duplicate._relation_index_pending = {
             name: list(ops) for name, ops in self._relation_index_pending.items()
         }
+        duplicate._universe_encoder_cache = self._universe_encoder_cache
+        duplicate._columnar_cache = dict(self._columnar_cache)
         duplicate._derived_cache_state = None
         # Change observers watch the original object, not its copies.
         duplicate._fact_observers = []

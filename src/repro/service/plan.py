@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.registry import REGISTRY
 from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
+from repro.relational.columnar import columnar_available
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.structure import Structure
 from repro.service.cache import LRUCache
@@ -61,6 +62,12 @@ class PlannerConfig:
     #: fixed-parameter efficient outside the bounded regime).
     treewidth_alarm: int = 4
     fhw_alarm: float = 3.0
+    #: Databases with ``size()`` at least this run the chosen scheme on the
+    #: vectorized columnar CSP engine when the planner's default engine is
+    #: ``"indexed"`` and NumPy is available (estimates are bit-identical
+    #: across engines, so the upgrade only changes speed).  ``None`` disables
+    #: the upgrade; an explicit planner engine always wins.
+    columnar_size_threshold: Optional[int] = 5000
 
     def fingerprint(self) -> Tuple:
         return (
@@ -68,6 +75,7 @@ class PlannerConfig:
             self.exact_variable_limit,
             self.treewidth_alarm,
             self.fhw_alarm,
+            self.columnar_size_threshold,
         )
 
 
@@ -127,7 +135,8 @@ class QueryPlan:
                 f"2^{self.observed.get('fingerprint_class', '?')})"
             )
             for scheme, summary in self.observed["schemes"].items():
-                marker = "*" if scheme == self.scheme else "-"
+                # Multi-engine summaries key entries as "scheme@engine".
+                marker = "*" if scheme.split("@", 1)[0] == self.scheme else "-"
                 lines.append(
                     f"  {marker} {scheme}: runs={summary['runs']} "
                     f"p50={summary['p50_seconds']:.6f}s "
@@ -205,15 +214,32 @@ class Planner:
             if prepared is None:
                 prepared = prepare(query)
             query_key = prepared.canonical_key
-        cache_key = (query_key, size_class, override, self.engine, config.fingerprint())
+        threshold = config.columnar_size_threshold
+        columnar_upgrade = (
+            self.engine == "indexed"
+            and threshold is not None
+            and database_size >= threshold
+            and columnar_available()
+        )
+        cache_key = (
+            query_key,
+            size_class,
+            override,
+            self.engine,
+            columnar_upgrade,
+            config.fingerprint(),
+        )
         cached = self.cache.get(cache_key)
         if cached is not None:
             # A cached plan's database_size (and its trace) reflect the size
-            # at planning time; the decision is the same within a size class.
+            # at planning time; the decision is the same within a size class
+            # (and within the columnar-upgrade bucket, part of the key).
             return cached
         if prepared is None:
             prepared = prepare(query)
-        plan = self._plan_uncached(query, prepared, database_size, size_class, override)
+        plan = self._plan_uncached(
+            query, prepared, database_size, size_class, override, columnar_upgrade
+        )
         self.cache.put(cache_key, plan)
         return plan
 
@@ -224,6 +250,7 @@ class Planner:
         database_size: int,
         size_class: str,
         override: Optional[str],
+        columnar_upgrade: bool = False,
     ) -> QueryPlan:
         config = self.config
         query_class = query.query_class()
@@ -301,10 +328,19 @@ class Planner:
                     "but without its efficiency guarantee"
                 )
 
+        engine = self.engine
+        if columnar_upgrade:
+            engine = "columnar"
+            trace.append(
+                f"database size {database_size} >= columnar threshold "
+                f"{config.columnar_size_threshold}: upgrading to the "
+                "vectorized columnar engine (bit-identical estimates)"
+            )
+
         return QueryPlan(
             scheme=scheme,
             query_class=query_class.value,
-            engine=self.engine,
+            engine=engine,
             database_size=database_size,
             size_class=size_class,
             treewidth=treewidth,

@@ -306,10 +306,12 @@ class CountingService:
         estimate: float,
     ) -> None:
         """Fold one executed count into the telemetry sinks: the per-scheme
-        latency histogram and the (canonical form, size bucket, scheme) cost
-        profile the adaptive planner will read.  Zero-RNG by construction."""
+        latency histogram and the (canonical form, size bucket, scheme,
+        engine) cost profile the adaptive planner will read.  The engine label
+        keeps columnar-upgraded runs distinguishable from indexed ones.
+        Zero-RNG by construction."""
         self.metrics.histogram(
-            "scheme.latency_seconds", scheme=plan.scheme
+            "scheme.latency_seconds", scheme=plan.scheme, engine=plan.engine
         ).observe(seconds)
         self.profiles.record(
             query_key,
@@ -317,6 +319,7 @@ class CountingService:
             plan.scheme,
             seconds,
             estimate=estimate,
+            engine=plan.engine,
         )
 
     # ---------------------------------------------------------------- public
@@ -907,17 +910,40 @@ class CountingService:
             # Series label texts look like "mode=process" / "scheme=exact".
             return label_text.partition("=")[2] if "=" in label_text else label_text
 
+        def parse_labels(label_text: str) -> Dict[str, str]:
+            return {
+                key: value
+                for key, _, value in (
+                    part.partition("=") for part in label_text.split(",") if part
+                )
+            }
+
         batches = {
             label_value(label): value
             for label, value in snapshot["counters"].get("executor.batches", {}).items()
         }
         retries = snapshot["counters"].get("executor.retries", {}).get("", 0.0)
-        schemes = {
-            label_value(label): sketch
+        # Latency series carry scheme + engine labels.  Key the snapshot by
+        # the bare scheme name when only one engine was observed for it (the
+        # shape pre-engine consumers expect); "scheme@engine" otherwise.
+        latency_series = [
+            (parse_labels(label), sketch)
             for label, sketch in snapshot["histograms"]
             .get("scheme.latency_seconds", {})
             .items()
-        }
+        ]
+        engines_per_scheme: Dict[str, int] = {}
+        for labels, _ in latency_series:
+            scheme = labels.get("scheme", "")
+            engines_per_scheme[scheme] = engines_per_scheme.get(scheme, 0) + 1
+        schemes: Dict[str, Any] = {}
+        for labels, sketch in latency_series:
+            scheme = labels.get("scheme", "")
+            engine = labels.get("engine", "")
+            label = (
+                scheme if engines_per_scheme[scheme] == 1 else f"{scheme}@{engine}"
+            )
+            schemes[label] = dict(sketch, engine=engine)
         return {
             "caches": {
                 "plan": self.planner.cache.stats().to_dict(),
