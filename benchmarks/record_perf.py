@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Standalone performance recorder: writes ``BENCH_engine.json``,
 ``BENCH_service.json``, ``BENCH_prepared.json``, ``BENCH_stream.json``,
-``BENCH_shard.json``, ``BENCH_resilience.json`` and ``BENCH_columnar.json``,
-and (with ``--check-against``) gates regressions against committed baselines.
+``BENCH_shard.json``, ``BENCH_resilience.json``, ``BENCH_columnar.json`` and
+``BENCH_planner.json``, and (with ``--check-against``) gates regressions
+against committed baselines.
 
-Seven suites, selected with ``--suite`` (default: all):
+Eight suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -58,6 +59,16 @@ Seven suites, selected with ``--suite`` (default: all):
   propagation speedup.  Appends to ``BENCH_columnar.json``; skipped with a
   notice when NumPy is unavailable (the columnar engine then falls back to
   indexed, so there is nothing to measure).
+* ``planner`` — the observed-cost adaptive planner: on a database just past
+  the dichotomy's small-instance threshold (static pick: the FPRAS) the
+  profile store is warmed with ``min_observations`` runs per candidate
+  scheme, and the same request stream is timed through a static service and
+  the warmed adaptive one (which learns the exact counter is far cheaper
+  there).  Verifies cold-store plans byte-identical to static plans, plan
+  purity across persisted-snapshot replays, estimates bit-identical to
+  direct scheme execution under the same derived seeds, and that every
+  adaptive execution is scored predicted-vs-actual.  The gated headline is
+  the adaptive-over-static speedup.  Appends to ``BENCH_planner.json``.
 
 Usage::
 
@@ -1081,6 +1092,215 @@ def run_columnar(smoke: bool, out_path: Path, repeats: int) -> tuple:
     return (1 if failures else 0), {"min_speedup": record["min_speedup"]}
 
 
+# -------------------------------------------------------------- planner suite
+def run_planner(smoke: bool, out_path: Path) -> tuple:
+    """Observed-cost adaptive planning: the closed telemetry loop.
+
+    On a database just past the dichotomy's small-instance threshold the
+    static Figure-1 pick for a CQ is the FPRAS, while the observed exact
+    latencies are orders of magnitude cheaper — the situation the adaptive
+    overlay exists for.  The suite warms the profile store with
+    ``min_observations`` runs of each candidate under distinct seeds (the
+    result cache would swallow repeats of one seed), then drives the same
+    request stream through a static service and a warmed adaptive one; the
+    gated headline is the adaptive-over-static wall-time speedup.
+
+    Verified along the way (each a planner-determinism contract):
+
+    * a cold-store adaptive plan is byte-identical to the static plan;
+    * warmed plans are a pure function of the persisted profile snapshot
+      (two services loading the same snapshot plan identically, twice);
+    * every estimate — static and adaptive — equals the direct scheme
+      execution under the same derived seed (the overlay changes *which*
+      scheme runs, never what a scheme computes);
+    * every adaptive execution is scored predicted-vs-actual in the
+      ``planner.predictions`` counter.
+    """
+    import tempfile
+
+    from repro.obs.profile import ProfileStore
+    from repro.service import (
+        CountingService,
+        PlannerConfig,
+        ServiceConfig,
+        execute_scheme,
+    )
+
+    failures = 0
+    epsilon, delta = (0.5, 0.3) if smoke else (0.4, 0.25)
+    runs = 4 if smoke else 6
+    min_obs = 3
+    database = database_from_graph(
+        erdos_renyi_graph(42, 0.25, rng=1), symmetric=True
+    )
+    query = TWO_HOP
+
+    def config(adaptive: bool) -> ServiceConfig:
+        return ServiceConfig(
+            executor="serial", epsilon=epsilon, delta=delta,
+            planner=PlannerConfig(adaptive=adaptive, min_observations=min_obs),
+        )
+
+    adaptive_service = CountingService(database, config(adaptive=True))
+    static_service = CountingService(database, config(adaptive=False))
+
+    # Cold-start contract: an empty store falls back to the dichotomy and
+    # the plan is byte-identical to the static one.
+    static_plan = static_service.plan(query)
+    cold_identical = (
+        adaptive_service.plan(query).to_dict() == static_plan.to_dict()
+    )
+    if not cold_identical:
+        failures += 1
+        print("[record_perf] FAIL: cold adaptive plan != static plan")
+
+    # Warm-up: min_observations runs of each candidate, distinct seeds.
+    candidates = ("exact", "fpras_cq")
+    warm_started = time.perf_counter()
+    for scheme in candidates:
+        for index in range(min_obs):
+            adaptive_service.submit(
+                query, seed=1000 + index, method=scheme
+            )
+    warm_seconds = time.perf_counter() - warm_started
+
+    # The same request stream, static vs adaptive (distinct seeds again, so
+    # every submit actually executes its scheme).
+    static_started = time.perf_counter()
+    static_results = [
+        static_service.submit(query, seed=2000 + index) for index in range(runs)
+    ]
+    static_seconds = time.perf_counter() - static_started
+    adaptive_started = time.perf_counter()
+    adaptive_results = [
+        adaptive_service.submit(query, seed=2000 + index)
+        for index in range(runs)
+    ]
+    adaptive_seconds = time.perf_counter() - adaptive_started
+
+    static_schemes = sorted({r.scheme for r in static_results})
+    adaptive_schemes = sorted({r.scheme for r in adaptive_results})
+    switched = static_schemes != adaptive_schemes
+    if not switched:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: adaptive ran {adaptive_schemes}, same as "
+            f"static {static_schemes} — the overlay never engaged"
+        )
+    speedup = (
+        static_seconds / adaptive_seconds if adaptive_seconds > 0 else float("inf")
+    )
+
+    # Estimates equal the direct scheme execution under the same seeds.
+    estimates_match = True
+    for result in static_results + adaptive_results:
+        direct = execute_scheme(
+            result.scheme, query, database,
+            epsilon=result.epsilon, delta=result.delta,
+            seed=result.seed, engine=result.plan.engine,
+        )
+        if direct != result.estimate:
+            estimates_match = False
+            print(
+                f"[record_perf] FAIL: {result.scheme} seed {result.seed}: "
+                f"service={result.estimate} direct={direct}"
+            )
+    if not estimates_match:
+        failures += 1
+
+    # Every adaptive execution was scored predicted-vs-actual.
+    outcome_counts = (
+        adaptive_service.metrics.snapshot()["counters"]
+        .get("planner.predictions", {})
+    )
+    scored = int(sum(outcome_counts.values()))
+    predictions_scored = scored == runs
+    if not predictions_scored:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: {scored} predictions scored, "
+            f"expected {runs}"
+        )
+
+    # Purity: two services loading the persisted snapshot plan identically,
+    # and planning twice changes nothing.
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot_path = Path(tmp) / "profiles.json"
+        adaptive_service.profiles.save(snapshot_path)
+        replayed = []
+        for _ in range(2):
+            replay = CountingService(
+                database,
+                ServiceConfig(
+                    executor="serial", epsilon=epsilon, delta=delta,
+                    planner=PlannerConfig(
+                        adaptive=True, min_observations=min_obs
+                    ),
+                    profile_path=str(snapshot_path),
+                ),
+            )
+            replayed.append(replay.plan(query).to_dict())
+            replayed.append(replay.plan(query).to_dict())
+        snapshot_runs = ProfileStore.load(snapshot_path).stats()["runs"]
+    plans_pure = all(payload == replayed[0] for payload in replayed[1:])
+    if not plans_pure:
+        failures += 1
+        print("[record_perf] FAIL: plans diverged across snapshot replays")
+
+    # Persist the warmed snapshot next to the bench record so CI uploads it
+    # with the other BENCH_* artifacts: anyone debugging a gate failure can
+    # load the exact profile state the adaptive run planned from.
+    profiles_out = out_path.with_name("BENCH_profiles.json")
+    adaptive_service.profiles.save(profiles_out)
+    print(f"[record_perf] saved warmed profile snapshot to {profiles_out}")
+
+    print(
+        f"[record_perf] planner: static {static_schemes} "
+        f"{static_seconds * 1000:.0f}ms vs adaptive {adaptive_schemes} "
+        f"{adaptive_seconds * 1000:.0f}ms over {runs} requests "
+        f"(speedup {speedup:.1f}x, warmed in {warm_seconds:.1f}s, "
+        f"{scored} predictions scored)"
+    )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "database": "erdos_renyi(42, 0.25) symmetric",
+        "database_size": database.size(),
+        "query": "two-hop CQ",
+        "epsilon": epsilon,
+        "delta": delta,
+        "min_observations": min_obs,
+        "warmup_runs_per_scheme": min_obs,
+        "warmup_seconds": round(warm_seconds, 4),
+        "timed_requests": runs,
+        "static_schemes": static_schemes,
+        "adaptive_schemes": adaptive_schemes,
+        "static_seconds": round(static_seconds, 4),
+        "adaptive_seconds": round(adaptive_seconds, 4),
+        "adaptive_speedup": round(speedup, 2),
+        "snapshot_runs": snapshot_runs,
+        "cold_plan_identical_to_static": cold_identical,
+        "estimates_match_direct_calls": estimates_match,
+        "predictions_scored": predictions_scored,
+        "plans_pure_across_snapshot_replays": plans_pure,
+        "note": (
+            "adaptive_speedup compares the same request stream on the same "
+            "machine through the static Figure-1 planner (FPRAS on a "
+            "just-past-threshold database) and the warmed observed-cost "
+            "planner (which learns the exact counter is cheaper here); "
+            "estimates are verified against direct scheme execution under "
+            "the same derived seeds — only the scheme choice changes"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(adaptive {speedup:.1f}x over static)"
+    )
+    return (1 if failures else 0), {"adaptive_speedup": record["adaptive_speedup"]}
+
+
 # ------------------------------------------------------------------ perf gate
 def check_against(
     baseline_path: Path, observed: dict, tolerance_override: float = None
@@ -1137,7 +1357,7 @@ def main() -> int:
         "--suite",
         choices=[
             "engine", "service", "prepared", "stream", "shard", "resilience",
-            "columnar", "all",
+            "columnar", "planner", "all",
         ],
         default="all",
         help="which suite(s) to run (default: all)",
@@ -1169,6 +1389,10 @@ def main() -> int:
     parser.add_argument(
         "--columnar-out", type=Path, default=REPO_ROOT / "BENCH_columnar.json",
         help="columnar-suite output JSON file",
+    )
+    parser.add_argument(
+        "--planner-out", type=Path, default=REPO_ROOT / "BENCH_planner.json",
+        help="planner-suite output JSON file",
     )
     parser.add_argument(
         "--trajectory-out", type=Path, default=REPO_ROOT / "BENCH_trajectory.jsonl",
@@ -1228,6 +1452,10 @@ def main() -> int:
         status |= suite_status
         if metrics:
             observed["columnar"] = metrics
+    if args.suite in ("planner", "all"):
+        suite_status, metrics = run_planner(args.smoke, args.planner_out)
+        status |= suite_status
+        observed["planner"] = metrics
     timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
         timespec="seconds"
     )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands, mirroring the package's main entry points (also available
+Eight subcommands, mirroring the package's main entry points (also available
 as ``python -m repro``)::
 
     repro-count count    --query "Ans(x) :- E(x, y), E(x, z), y != z" --database db.json
@@ -9,17 +9,22 @@ as ``python -m repro``)::
     repro-count plan     --query "Ans(x) :- E(x, y)" --database db.json
     repro-count batch    --queries workload.txt --database db.json --seed 7
     repro-count batch    --workload 50 --seed 7   # synthetic mixed workload
+    repro-count batch    --workload 50 --adaptive --latency-budget 0.5 --profiles profiles.json
     repro-count shard    --workload 20 --shards 4 --partitioner relation --compare
     repro-count stream   --events 200 --queries 8 --seed 7 --refresh debounced
+    repro-count profiles show profiles.json
 
 Databases are JSON files in the format of :mod:`repro.relational.io` (or edge
 lists with ``--edge-list``).  The counting subcommand prints both the chosen
 scheme's estimate and, with ``--exact``, the exact count for comparison;
 ``plan`` and ``batch`` go through the :mod:`repro.service` layer (explainable
-scheme selection, plan/result caching, parallel batch execution); ``stream``
-replays a randomized insert/delete/query schedule against live
-``subscribe()`` handles (:mod:`repro.stream`) and reports how many reads were
-served for free, delta-patched, or re-estimated.
+scheme selection, plan/result caching, parallel batch execution) and accept
+the adaptive-planner knobs (``--adaptive``, ``--latency-budget``,
+``--profiles`` to load/save the observed-cost snapshot); ``stream`` replays a
+randomized insert/delete/query schedule against live ``subscribe()`` handles
+(:mod:`repro.stream`) and reports how many reads were served for free,
+delta-patched, or re-estimated; ``profiles`` inspects and merges cost-profile
+snapshots (``show`` / ``export`` / ``import``).
 """
 
 from __future__ import annotations
@@ -114,6 +119,35 @@ def _write_telemetry(args: argparse.Namespace, tracer, service) -> None:
     if getattr(args, "metrics", None):
         with open(args.metrics, "w") as handle:
             handle.write(service.metrics.render_prometheus())
+
+
+def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="let the planner overlay observed per-scheme costs on the "
+        "Figure-1 dichotomy: the cheapest sound scheme whose predicted p95 "
+        "latency fits the budget wins (cold profiles fall back to the "
+        "static rules; estimates stay bit-identical — only which scheme "
+        "runs changes)",
+    )
+    parser.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request latency budget the adaptive planner admits "
+        "predicted costs against (requires --adaptive to take effect; "
+        "unlike a deadline it never kills a request, it only steers "
+        "scheme choice)",
+    )
+    parser.add_argument(
+        "--profiles",
+        metavar="PATH",
+        default=None,
+        help="cost-profile snapshot to load on start and save back on exit "
+        "(the adaptive planner's memory across runs)",
+    )
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -217,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument("--json", action="store_true", help="emit JSON")
     _add_engine_argument(plan)
+    _add_adaptive_arguments(plan)
 
     batch = subparsers.add_parser(
         "batch",
@@ -260,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_plan_argument(batch)
     _add_obs_arguments(batch)
     _add_engine_argument(batch)
+    _add_adaptive_arguments(batch)
     batch.add_argument("--json", action="store_true", help="emit a JSON report")
 
     shard = subparsers.add_parser(
@@ -367,6 +403,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(stream)
     _add_engine_argument(stream)
     stream.add_argument("--json", action="store_true", help="emit a JSON report")
+
+    profiles = subparsers.add_parser(
+        "profiles",
+        help="inspect and manage cost-profile snapshots (the adaptive "
+        "planner's memory)",
+    )
+    profiles_sub = profiles.add_subparsers(dest="profiles_command", required=True)
+    show = profiles_sub.add_parser(
+        "show", help="summarize a snapshot: entries, runs, per-key latency sketches"
+    )
+    show.add_argument("path", help="snapshot JSON file (v1 or v2)")
+    show.add_argument("--json", action="store_true", help="emit JSON")
+    export = profiles_sub.add_parser(
+        "export",
+        help="re-write a snapshot as current-version JSON (upgrades v1 "
+        "snapshots in place of their implicit engine label)",
+    )
+    export.add_argument("path", help="snapshot JSON file to read")
+    export.add_argument("--out", required=True, help="destination file")
+    imported = profiles_sub.add_parser(
+        "import",
+        help="merge one or more snapshots into a destination store "
+        "(created when missing; mismatched histogram boundaries are "
+        "rebucketed, dropped precision is reported)",
+    )
+    imported.add_argument("sources", nargs="+", help="snapshot files to fold in")
+    imported.add_argument(
+        "--into", required=True, help="destination snapshot (loaded when present)"
+    )
     return parser
 
 
@@ -445,11 +510,20 @@ def _command_sample(args: argparse.Namespace) -> int:
 
 
 def _command_plan(args: argparse.Namespace) -> int:
-    from repro.service import CountingService, ServiceConfig
+    from repro.service import CountingService, PlannerConfig, ServiceConfig
 
     query = parse_query(args.query)
     database = _load_database(args)
-    service = CountingService(database, ServiceConfig(engine=args.engine))
+    service = CountingService(
+        database,
+        ServiceConfig(
+            engine=args.engine,
+            planner=PlannerConfig(adaptive=args.adaptive),
+            latency_budget_seconds=args.latency_budget,
+            # Planning only reads the snapshot; nothing is saved back.
+            profile_path=args.profiles,
+        ),
+    )
     plan = service.plan(query, method=args.method)
     if args.json:
         print(json.dumps(plan.to_dict(), indent=2))
@@ -475,6 +549,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     from repro.service import (
         CountingService,
         CountRequest,
+        PlannerConfig,
         ServiceConfig,
         mixed_query_workload,
         workload_database,
@@ -501,6 +576,9 @@ def _command_batch(args: argparse.Namespace) -> int:
             engine=args.engine,
             fault_plan=_parse_fault_plan(args),
             tracer=tracer,
+            planner=PlannerConfig(adaptive=args.adaptive),
+            latency_budget_seconds=args.latency_budget,
+            profile_path=args.profiles,
         ),
     )
     requests = [CountRequest(query=query, method=args.method) for query in queries]
@@ -508,6 +586,8 @@ def _command_batch(args: argparse.Namespace) -> int:
         service.count_batch(requests, seed=args.seed)
         for _ in range(max(1, args.repeat))
     ]
+    # Persists the warmed cost profiles when --profiles was given.
+    service.close()
     _write_telemetry(args, tracer, service)
 
     if args.json:
@@ -777,6 +857,91 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_profile_store(path: str):
+    from repro.obs.profile import ProfileStore
+
+    try:
+        return ProfileStore.load(path)
+    except (OSError, KeyError, TypeError, json.JSONDecodeError) as error:
+        raise CLIError(f"cannot load profile snapshot {path!r}: {error}")
+
+
+def _command_profiles(args: argparse.Namespace) -> int:
+    from repro.obs.profile import ProfileStore
+
+    if args.profiles_command == "show":
+        store = _load_profile_store(args.path)
+        stats = store.stats()
+        rows = json.loads(store.to_json())["profiles"]
+        if args.json:
+            payload = dict(stats)
+            payload["profiles"] = [
+                {
+                    "canonical_key": row["canonical_key"],
+                    "fingerprint_class": row["fingerprint_class"],
+                    "scheme": row["scheme"],
+                    "engine": row["engine"],
+                    "runs": row["profile"]["runs"],
+                }
+                for row in rows
+            ]
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(
+            f"{stats['entries']} entries, {stats['runs']} recorded runs, "
+            f"{stats['canonical_forms']} canonical forms"
+        )
+        print(f"schemes: {', '.join(stats['schemes']) or '(none)'}")
+        print(f"engines: {', '.join(stats['engines']) or '(none)'}")
+        for row in rows:
+            profile = store.get(
+                row["canonical_key"],
+                # Any size inside the bucket maps back to it; the smallest
+                # size in bucket k is 2^(k-1) (0 for the empty bucket).
+                1 << (row["fingerprint_class"] - 1) if row["fingerprint_class"] else 0,
+                row["scheme"],
+                row["engine"],
+            )
+            summary = profile.summary()
+            print(
+                f"  [2^{row['fingerprint_class']:2d}] {row['scheme']:12s} "
+                f"{row['engine']:8s} runs={summary['runs']:5d} "
+                f"p50={summary['p50_seconds']:.6f}s "
+                f"p95={summary['p95_seconds']:.6f}s  {row['canonical_key']}"
+            )
+        return 0
+
+    if args.profiles_command == "export":
+        store = _load_profile_store(args.path)
+        store.save(args.out)
+        print(f"exported {len(store)} entries to {args.out} (v2 JSON)")
+        return 0
+
+    # import: fold sources into the destination (created when missing).
+    import os
+
+    if os.path.exists(args.into):
+        destination = _load_profile_store(args.into)
+    else:
+        destination = ProfileStore()
+    before = destination.stats()
+    for source in args.sources:
+        destination.merge(_load_profile_store(source))
+    after = destination.stats()
+    destination.save(args.into)
+    dropped = after["merge_drops"] - before.get("merge_drops", 0)
+    print(
+        f"merged {len(args.sources)} snapshot(s) into {args.into}: "
+        f"{after['entries']} entries, {after['runs']} runs"
+        + (
+            f" ({dropped} histogram counts rebucketed imprecisely)"
+            if dropped
+            else ""
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "count": _command_count,
     "classify": _command_classify,
@@ -785,6 +950,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "shard": _command_shard,
     "stream": _command_stream,
+    "profiles": _command_profiles,
 }
 
 

@@ -23,14 +23,18 @@ module is that data feed:
   restarts (version-1 snapshots load with engine defaulted to
   ``"indexed"``).
 
-Recording takes no locks beyond the histograms' own and never touches RNG
-state.
+Recording never touches RNG state.  The store carries a monotone
+:attr:`~ProfileStore.version` bumped on every mutation: the adaptive planner
+keys its plan cache on it, so a plan computed from one profile snapshot is
+never served after the snapshot moved (plans stay a pure function of
+(request, profile snapshot, config)).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -100,8 +104,14 @@ class SchemeProfile:
         sketch = payload.get("latency", {})
         histogram = Histogram(tuple(sketch.get("boundaries", _PROFILE_BUCKETS)))
         counts = sketch.get("bucket_counts")
-        if counts and len(counts) == len(histogram.bucket_counts):
-            histogram.bucket_counts = [int(value) for value in counts]
+        if counts:
+            # Tolerate truncated/overlong snapshots (hand-edited files,
+            # partial writes): missing trailing buckets are zero, surplus
+            # mass folds into the overflow bucket — count/sum stay the
+            # authoritative totals either way.
+            slots = len(histogram.bucket_counts)
+            for position, value in enumerate(counts):
+                histogram.bucket_counts[min(position, slots - 1)] += int(value)
         histogram.count = int(sketch.get("count", 0))
         histogram.total = float(sketch.get("sum", 0.0))
         histogram.minimum = sketch.get("min")
@@ -121,9 +131,19 @@ class ProfileStore:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._profiles: Dict[Tuple[str, int, str, str], SchemeProfile] = {}
+        self._version = 0
+        self._merge_drops = 0
 
     def __len__(self) -> int:
         return len(self._profiles)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped on every :meth:`record` and
+        :meth:`merge`.  The adaptive planner includes it in its plan-cache
+        key, so cached plans never outlive the snapshot they were predicted
+        from."""
+        return self._version
 
     def record(
         self,
@@ -134,13 +154,20 @@ class ProfileStore:
         estimate: Optional[float] = None,
         engine: str = "indexed",
     ) -> None:
-        """Fold one execution into the matching sketch (creating it)."""
+        """Fold one execution into the matching sketch (creating it).
+
+        The whole fold happens under the store lock: the sketch's ``runs``
+        and size/magnitude totals are plain ``+=`` updates, so mutating them
+        outside the lock would let concurrent thread-backend requests lose
+        increments (the histogram's own lock protects only the histogram).
+        """
         key = (canonical_key, fingerprint_class(database_size), scheme, engine)
         with self._lock:
             profile = self._profiles.get(key)
             if profile is None:
                 profile = self._profiles[key] = SchemeProfile()
-        profile.record(seconds, database_size, estimate)
+            profile.record(seconds, database_size, estimate)
+            self._version += 1
 
     def get(
         self,
@@ -188,6 +215,8 @@ class ProfileStore:
             "canonical_forms": len({key for key, _, _, _ in profiles}),
             "schemes": sorted({scheme for _, _, scheme, _ in profiles}),
             "engines": sorted({engine for _, _, _, engine in profiles}),
+            "version": self._version,
+            "merge_drops": self._merge_drops,
         }
 
     # ----------------------------------------------------------- persistence
@@ -225,27 +254,74 @@ class ProfileStore:
 
     def merge(self, other: "ProfileStore") -> None:
         """Fold another store's sketches in (persisted history + live runs).
-        Existing sketches are merged bucket-by-bucket."""
+
+        Matching histogram boundaries merge bucket-by-bucket.  Mismatched
+        boundaries (a snapshot written by an older build with different
+        edges) are **rebucketed**: each source bucket's mass lands in the
+        target bucket whose upper edge covers the source bucket's upper
+        edge, so ``count``/``sum``/quantiles stay consistent with ``runs``
+        instead of silently diverging.  Mass the target's finite buckets
+        cannot place (source buckets above the target's last edge, and the
+        source's overflow bucket) folds into the target's overflow bucket
+        and is tallied in the ``merge_drops`` stat — the count/total are
+        still folded, only bucket-level precision was dropped.
+        """
         with self._lock:
             for key, profile in other._profiles.items():
                 mine = self._profiles.get(key)
                 if mine is None:
                     self._profiles[key] = SchemeProfile.from_dict(profile.to_dict())
+                    self._version += 1
                     continue
-                if mine.latency.boundaries == profile.latency.boundaries:
-                    for position, count in enumerate(profile.latency.bucket_counts):
-                        mine.latency.bucket_counts[position] += count
-                    mine.latency.count += profile.latency.count
-                    mine.latency.total += profile.latency.total
-                    for bound in ("minimum", "maximum"):
-                        theirs = getattr(profile.latency, bound)
-                        ours = getattr(mine.latency, bound)
-                        if theirs is not None and (
-                            ours is None
-                            or (bound == "minimum" and theirs < ours)
-                            or (bound == "maximum" and theirs > ours)
-                        ):
-                            setattr(mine.latency, bound, theirs)
+                theirs_hist = profile.latency
+                mine_hist = mine.latency
+                if mine_hist.boundaries == theirs_hist.boundaries:
+                    for position, count in enumerate(theirs_hist.bucket_counts):
+                        mine_hist.bucket_counts[position] += count
+                else:
+                    overflow = len(mine_hist.boundaries)
+                    for position, count in enumerate(theirs_hist.bucket_counts):
+                        if not count:
+                            continue
+                        if position < len(theirs_hist.boundaries):
+                            upper = theirs_hist.boundaries[position]
+                            target = bisect_left(mine_hist.boundaries, upper)
+                            if target >= overflow:
+                                # Above every finite target bucket.
+                                target = overflow
+                                self._merge_drops += count
+                        else:
+                            # Their overflow bucket: correct in ours only if
+                            # their last edge reaches at least as high.
+                            target = overflow
+                            if theirs_hist.boundaries[-1] < mine_hist.boundaries[-1]:
+                                self._merge_drops += count
+                        mine_hist.bucket_counts[target] += count
+                mine_hist.count += theirs_hist.count
+                mine_hist.total += theirs_hist.total
+                for bound in ("minimum", "maximum"):
+                    theirs = getattr(theirs_hist, bound)
+                    ours = getattr(mine_hist, bound)
+                    if theirs is not None and (
+                        ours is None
+                        or (bound == "minimum" and theirs < ours)
+                        or (bound == "maximum" and theirs > ours)
+                    ):
+                        setattr(mine_hist, bound, theirs)
                 mine.runs += profile.runs
                 mine.total_database_size += profile.total_database_size
                 mine.total_estimate_magnitude += profile.total_estimate_magnitude
+                self._version += 1
+
+    # ----------------------------------------------------------- file helpers
+    def save(self, path) -> None:
+        """Write this store's snapshot to ``path`` (pretty-printed v2 JSON)."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json(indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ProfileStore":
+        """Read a snapshot written by :meth:`save` (v1 snapshots load with
+        the engine defaulted to ``"indexed"``)."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())

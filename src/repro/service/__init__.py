@@ -8,6 +8,11 @@ them into a serving layer:
 * :class:`~repro.service.plan.Planner` / :class:`~repro.service.plan.QueryPlan`
   — explainable scheme selection via the Figure-1 dichotomy, width measures
   and database-size heuristics, with user overrides;
+* :class:`~repro.service.cost.CostModel` — observed-cost latency predictions
+  from the service's profile store; with ``PlannerConfig(adaptive=True)`` the
+  planner picks the cheapest sound scheme under a per-request latency budget
+  (override > budget-adaptive > dichotomy, cold-start falls back to the
+  dichotomy);
 * :class:`~repro.service.cache.LRUCache` — plan and result caches keyed on
   canonical query forms and the databases' per-relation version counters;
 * :class:`~repro.service.service.CountingService` — ``submit()`` /
@@ -20,6 +25,7 @@ See DESIGN.md ("The service layer") for the architecture.
 """
 
 from repro.service.cache import CacheStats, LRUCache
+from repro.service.cost import CostModel, CostPrediction
 from repro.service.executor import EXECUTOR_MODES, execute_scheme, execute_scheme_result
 from repro.service.keys import (
     canonical_query_key,
@@ -50,6 +56,8 @@ __all__ = [
     "Planner",
     "PlannerConfig",
     "QueryPlan",
+    "CostModel",
+    "CostPrediction",
     "SCHEMES",
     "LRUCache",
     "CacheStats",

@@ -11,9 +11,29 @@ trace that led there.  The decision table (see DESIGN.md):
    configured thresholds) use the **exact** CSP-backtracking counter: it is
    error-free and, on small inputs, faster than setting up an approximation
    scheme.
-3. Otherwise the Figure-1 dichotomy picks the scheme by query class, exactly
+2. With ``adaptive=True`` and a :class:`~repro.service.cost.CostModel`
+   attached, the planner overlays **observed costs** on the static table: it
+   predicts every sound scheme's latency (p95 of the recorded sketch for
+   this canonical form in this database-size bucket) and picks the cheapest
+   one under the request's ``latency_budget_seconds``.  Schemes whose
+   sketches are *cold* (fewer than ``min_observations`` recorded runs) are
+   never chosen adaptively, and when **every** candidate is cold the plan
+   falls through to the static rules below, byte-identical to a
+   non-adaptive plan — the cold-start contract.
+3. Small instances (database ``size()`` and query variable count under the
+   configured thresholds) use the **exact** CSP-backtracking counter: it is
+   error-free and, on small inputs, faster than setting up an approximation
+   scheme.
+4. Otherwise the Figure-1 dichotomy picks the scheme by query class, exactly
    as :func:`repro.core.classify_query` recommends: plain CQs get the
    Theorem-16 FPRAS, DCQs the Theorem-13 FPTRAS, ECQs the Theorem-5 FPTRAS.
+
+Adaptive choice never touches *how* a scheme runs — estimates stay
+bit-identical to a direct registry call under equal seeds; only *which*
+scheme runs changes.  Determinism: the plan is a pure function of
+(request, profile snapshot, config) — the profile store's monotone version
+joins the plan-cache key, so a cached plan is never served across snapshot
+changes.
 
 Width artifacts come from the **prepared query**
 (:func:`repro.queries.prepared.prepare`): they are computed at most once per
@@ -36,12 +56,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.registry import REGISTRY
+from repro.obs.profile import fingerprint_class
 from repro.queries.prepared import PreparedQuery, prepare
 from repro.queries.query import ConjunctiveQuery, QueryClass
 from repro.relational.columnar import columnar_available
 from repro.relational.csp import DEFAULT_ENGINE, ENGINES
 from repro.relational.structure import Structure
 from repro.service.cache import LRUCache
+from repro.service.cost import PREDICTION_BASIS, CostModel
 
 #: The built-in single-query counting schemes (an import-time snapshot of the
 #: registry's non-union schemes, kept for display/introspection; validation
@@ -68,6 +90,16 @@ class PlannerConfig:
     #: across engines, so the upgrade only changes speed).  ``None`` disables
     #: the upgrade; an explicit planner engine always wins.
     columnar_size_threshold: Optional[int] = 5000
+    #: When ``True`` (and the planner holds a :class:`CostModel`), overlay
+    #: observed per-scheme costs on the static decision table: pick the
+    #: cheapest sound scheme whose predicted p95 fits the request's latency
+    #: budget.  Off by default — the static Figure-1 table is the paper's
+    #: contract and the adaptive overlay is strictly opt-in.
+    adaptive: bool = False
+    #: A (form, bucket, scheme, engine) sketch with fewer recorded runs than
+    #: this is *cold*: the adaptive overlay refuses to trust it and falls
+    #: back to the dichotomy when every candidate is cold.
+    min_observations: int = 3
 
     def fingerprint(self) -> Tuple:
         return (
@@ -76,6 +108,8 @@ class PlannerConfig:
             self.treewidth_alarm,
             self.fhw_alarm,
             self.columnar_size_threshold,
+            self.adaptive,
+            self.min_observations,
         )
 
 
@@ -105,6 +139,14 @@ class QueryPlan:
     #: the service *after* the plan-cache fetch (so cached plans never carry
     #: stale observations).  ``None`` when nothing was observed yet.
     observed: Optional[Dict[str, Any]] = None
+    #: The adaptive overlay's prediction record: basis, budget, profile
+    #: snapshot version, and every candidate's predicted cost plus the
+    #: verdict that chose or rejected it.  After execution the service
+    #: re-attaches the plan with ``actual_seconds`` / ``error_ratio`` /
+    #: ``outcome`` folded in (predicted-vs-actual accounting).  ``None``
+    #: when the overlay did not run (adaptive off, override, or every
+    #: candidate cold — the cold-start fallback leaves the plan untouched).
+    predicted: Optional[Dict[str, Any]] = None
 
     def explain(self) -> str:
         """Human-readable plan summary (one decision per line).  Each width
@@ -129,6 +171,40 @@ class QueryPlan:
             lines.append("widths:      " + " ".join(width_parts))
         lines.append("decision:")
         lines.extend(f"  - {step}" for step in self.trace)
+        if self.predicted:
+            budget = self.predicted.get("budget_seconds")
+            budget_text = "none" if budget is None else f"{budget:.6f}s"
+            lines.append(
+                f"predicted:   (basis {self.predicted.get('basis', '?')}, "
+                f"budget {budget_text}, profile snapshot "
+                f"v{self.predicted.get('snapshot_version', '?')})"
+            )
+            for name, entry in self.predicted.get("candidates", {}).items():
+                marker = "*" if name == self.predicted.get("chosen") else "-"
+                seconds = entry.get("seconds")
+                cost = "cold" if seconds is None else f"{seconds:.6f}s"
+                lines.append(
+                    f"  {marker} {name}: {cost} runs={entry.get('runs', 0)} "
+                    f"({entry.get('verdict', '?')})"
+                )
+            actual = self.predicted.get("actual_seconds")
+            if actual is not None:
+                chosen = self.predicted.get("candidates", {}).get(
+                    self.predicted.get("chosen"), {}
+                )
+                expected = chosen.get("seconds")
+                ratio = self.predicted.get("error_ratio")
+                lines.append(
+                    "  predicted-vs-actual: "
+                    + (
+                        f"predicted={expected:.6f}s "
+                        if expected is not None
+                        else "predicted=cold "
+                    )
+                    + f"actual={actual:.6f}s"
+                    + (f" ratio={ratio:.3f}" if ratio is not None else "")
+                    + f" outcome={self.predicted.get('outcome', '?')}"
+                )
         if self.observed and self.observed.get("schemes"):
             lines.append(
                 "observed:    (recorded costs, size bucket "
@@ -160,6 +236,7 @@ class QueryPlan:
             "override": self.override,
             "trace": list(self.trace),
             "observed": self.observed,
+            "predicted": self.predicted,
         }
 
 
@@ -185,12 +262,14 @@ class Planner:
         config: Optional[PlannerConfig] = None,
         engine: str = DEFAULT_ENGINE,
         cache_size: int = 256,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.config = config or PlannerConfig()
         self.engine = engine
         self.cache = LRUCache(cache_size)
+        self.cost_model = cost_model
 
     def plan(
         self,
@@ -199,10 +278,13 @@ class Planner:
         override: Optional[str] = None,
         query_key: Optional[str] = None,
         prepared: Optional[PreparedQuery] = None,
+        latency_budget_seconds: Optional[float] = None,
     ) -> QueryPlan:
         """Produce (or fetch from cache) the plan for ``query`` over
         ``database``.  ``prepared`` (or the legacy ``query_key``) may be
-        passed in when the caller already compiled the query."""
+        passed in when the caller already compiled the query.
+        ``latency_budget_seconds`` only matters under the adaptive overlay
+        (the static table has no notion of cost)."""
         config = self.config
         database_size = database.size()
         small = (
@@ -221,6 +303,19 @@ class Planner:
             and database_size >= threshold
             and columnar_available()
         )
+        adaptive = config.adaptive and self.cost_model is not None
+        if adaptive:
+            # The adaptive decision reads (budget, profile snapshot, size
+            # bucket); all three join the cache key so a plan is a pure
+            # function of (request, profile snapshot, config) and a cached
+            # plan is never served across snapshot changes.
+            adaptive_key: Optional[Tuple] = (
+                latency_budget_seconds,
+                self.cost_model.snapshot_token,
+                fingerprint_class(database_size),
+            )
+        else:
+            adaptive_key = None
         cache_key = (
             query_key,
             size_class,
@@ -228,6 +323,7 @@ class Planner:
             self.engine,
             columnar_upgrade,
             config.fingerprint(),
+            adaptive_key,
         )
         cached = self.cache.get(cache_key)
         if cached is not None:
@@ -238,7 +334,14 @@ class Planner:
         if prepared is None:
             prepared = prepare(query)
         plan = self._plan_uncached(
-            query, prepared, database_size, size_class, override, columnar_upgrade
+            query,
+            prepared,
+            database_size,
+            size_class,
+            override,
+            columnar_upgrade,
+            adaptive=adaptive,
+            latency_budget_seconds=latency_budget_seconds,
         )
         self.cache.put(cache_key, plan)
         return plan
@@ -251,6 +354,8 @@ class Planner:
         size_class: str,
         override: Optional[str],
         columnar_upgrade: bool = False,
+        adaptive: bool = False,
+        latency_budget_seconds: Optional[float] = None,
     ) -> QueryPlan:
         config = self.config
         query_class = query.query_class()
@@ -297,6 +402,18 @@ class Planner:
             trace.append(
                 f"large instance: Figure-1 dichotomy recommends "
                 f"{report.recommended_algorithm} — {report.recommendation_reason}"
+            )
+
+        predicted: Optional[Dict[str, Any]] = None
+        if adaptive and override is None and self.cost_model is not None:
+            scheme, predicted = self._adaptive_overlay(
+                prepared,
+                database_size,
+                query_class,
+                scheme,
+                columnar_upgrade,
+                latency_budget_seconds,
+                trace,
             )
 
         if scheme == "fptras_ecq":
@@ -350,4 +467,109 @@ class Planner:
             reference=REGISTRY.reference(scheme),
             override=override,
             trace=tuple(trace),
+            predicted=predicted,
         )
+
+    def _adaptive_overlay(
+        self,
+        prepared: PreparedQuery,
+        database_size: int,
+        query_class: QueryClass,
+        baseline_scheme: str,
+        columnar_upgrade: bool,
+        latency_budget_seconds: Optional[float],
+        trace: list,
+    ) -> Tuple[str, Optional[Dict[str, Any]]]:
+        """Overlay observed costs on the static decision: predict every
+        sound scheme's p95 latency for this (form, size-bucket, engine) and
+        pick the cheapest warm one under the budget.  Returns the (possibly
+        unchanged) scheme and the prediction record.  When **every**
+        candidate is cold, returns the baseline untouched with no trace
+        lines and no record — the cold-start contract keeps cold-store
+        plans byte-identical to non-adaptive ones."""
+        model = self.cost_model
+        assert model is not None
+        run_engine = "columnar" if columnar_upgrade else self.engine
+        candidates = [
+            name
+            for name in REGISTRY.names(include_unions=False)
+            if query_class in REGISTRY.get(name).query_classes
+        ]
+        predictions = model.predict_schemes(
+            prepared.canonical_key, database_size, candidates, run_engine
+        )
+        warm = {name: p for name, p in predictions.items() if not p.cold}
+        if not warm:
+            return baseline_scheme, None
+
+        budget = latency_budget_seconds
+        fitting = {
+            name: p
+            for name, p in warm.items()
+            if budget is None or p.seconds <= budget
+        }
+        # Cheapest fitting scheme; registry order breaks exact ties so the
+        # choice is deterministic.  When nothing fits the budget, the
+        # cheapest warm scheme is still the best effort on offer.
+        order = {name: index for index, name in enumerate(candidates)}
+        pool = fitting or warm
+        chosen = min(pool.values(), key=lambda p: (p.seconds, order[p.scheme]))
+
+        budget_text = "none" if budget is None else f"{budget:.6f}s"
+        trace.append(
+            f"adaptive overlay: {PREDICTION_BASIS} predictions from profile "
+            f"snapshot v{model.snapshot_token} "
+            f"(engine {run_engine}, size bucket 2^{fingerprint_class(database_size)}, "
+            f"budget {budget_text})"
+        )
+        entries: Dict[str, Dict[str, Any]] = {}
+        for name in candidates:
+            p = predictions[name]
+            if p.cold:
+                verdict = (
+                    f"cold: {p.runs} runs < min_observations "
+                    f"{model.min_observations}"
+                )
+            elif name == chosen.scheme:
+                verdict = (
+                    "chosen: cheapest warm scheme under budget"
+                    if name in fitting
+                    else "chosen: no warm scheme fits the budget; "
+                    "cheapest warm is the best effort"
+                )
+            elif name not in fitting:
+                verdict = f"rejected: predicted {p.seconds:.6f}s over budget"
+            else:
+                verdict = (
+                    f"rejected: predicted {p.seconds:.6f}s slower than "
+                    f"{chosen.scheme} ({chosen.seconds:.6f}s)"
+                )
+            entries[name] = {
+                "seconds": p.seconds,
+                "runs": p.runs,
+                "verdict": verdict,
+            }
+            cost = "cold" if p.cold else f"{p.seconds:.6f}s"
+            trace.append(f"candidate {name}: {cost} — {verdict}")
+        if chosen.scheme == baseline_scheme:
+            trace.append(
+                f"adaptive choice agrees with the static pick {baseline_scheme!r}"
+            )
+        else:
+            trace.append(
+                f"adaptive choice replaces the static pick {baseline_scheme!r} "
+                f"with {chosen.scheme!r} (estimates are scheme-exact; only "
+                "which scheme runs changes)"
+            )
+        predicted = {
+            "basis": PREDICTION_BASIS,
+            "min_observations": model.min_observations,
+            "snapshot_version": model.snapshot_token,
+            "budget_seconds": budget,
+            "fingerprint_class": fingerprint_class(database_size),
+            "engine": run_engine,
+            "baseline": baseline_scheme,
+            "chosen": chosen.scheme,
+            "candidates": entries,
+        }
+        return chosen.scheme, predicted

@@ -55,10 +55,15 @@ from repro.service.executor import (
     CountTask,
     run_tasks,
 )
+from repro.service.cost import CostModel
 from repro.service.keys import database_cache_key
 from repro.service.plan import Planner, PlannerConfig, QueryPlan
 from repro.util.rng import derive_seed
 from repro.util.validation import check_epsilon_delta
+
+#: Ratio buckets for ``planner.prediction_error_ratio`` (actual/predicted —
+#: 1.0 means the p95 prediction matched the executed latency exactly).
+_RATIO_BUCKETS: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 10.0)
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,15 @@ class ServiceConfig:
     #: and twin services; pass ``repro.obs.METRICS`` to aggregate).
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    #: Default per-request latency budget (seconds) for the adaptive planner
+    #: (``planner.adaptive=True``); ``None`` means unbounded.  Individual
+    #: requests override it via ``CountRequest.latency_budget_seconds``.
+    latency_budget_seconds: Optional[float] = None
+    #: When set, the service loads (merges) the profile snapshot at this
+    #: path on construction and :meth:`CountingService.close` saves the
+    #: warmed store back — observations survive restarts.  Use the service
+    #: as a context manager to get save-on-close for free.
+    profile_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_epsilon_delta(self.epsilon, self.delta)
@@ -113,6 +127,9 @@ class CountRequest:
     delta: Optional[float] = None
     seed: Optional[int] = None
     method: Optional[str] = None  # planner override, e.g. "exact"
+    #: Per-request latency budget for the adaptive planner (seconds);
+    #: ``None`` defers to ``ServiceConfig.latency_budget_seconds``.
+    latency_budget_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -222,10 +239,19 @@ class CountingService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.default_database = database
+        self.profiles = ProfileStore()
+        if self.config.profile_path and os.path.exists(self.config.profile_path):
+            # Warm-start: fold the persisted snapshot in so the adaptive
+            # planner starts from past observations instead of cold.
+            self.profiles.merge(ProfileStore.load(self.config.profile_path))
+        self.cost_model = CostModel(
+            self.profiles, min_observations=self.config.planner.min_observations
+        )
         self.planner = Planner(
             config=self.config.planner,
             engine=self.config.engine,
             cache_size=self.config.plan_cache_size,
+            cost_model=self.cost_model,
         )
         self.result_cache = LRUCache(self.config.result_cache_size)
         #: One circuit breaker per service instance: executor-rung trips are
@@ -243,7 +269,6 @@ class CountingService:
         #: form, size bucket, scheme) cost profiles fed on every execution.
         self.tracer = self.config.tracer
         self.metrics = self.config.metrics or MetricsRegistry()
-        self.profiles = ProfileStore()
         self.metrics.register_collector(
             "cache.plan", lambda: self.planner.cache.stats().to_dict()
         )
@@ -322,14 +347,67 @@ class CountingService:
             engine=plan.engine,
         )
 
+    def _score_prediction(self, plan: QueryPlan, seconds: float, span) -> QueryPlan:
+        """Predicted-vs-actual accounting: classify the executed latency
+        against the plan's predicted cost, fold the verdict into the
+        ``planner.predictions{outcome=}`` counter, the
+        ``planner.prediction_error_ratio`` histogram, and the request's span
+        tree, and return the plan with the accounting attached to its
+        ``predicted`` payload.  No-op for plans the adaptive overlay did not
+        touch."""
+        if plan.predicted is None:
+            return plan
+        chosen = plan.predicted.get("candidates", {}).get(
+            plan.predicted.get("chosen"), {}
+        )
+        expected = chosen.get("seconds")
+        if not expected or expected <= 0.0:
+            ratio = None
+            outcome = "unscored"
+        else:
+            ratio = seconds / expected
+            if ratio > 2.0:
+                outcome = "underestimate"
+            elif ratio < 0.5:
+                outcome = "overestimate"
+            else:
+                outcome = "accurate"
+        self.metrics.counter("planner.predictions", outcome=outcome).inc()
+        if ratio is not None:
+            self.metrics.histogram(
+                "planner.prediction_error_ratio", boundaries=_RATIO_BUCKETS
+            ).observe(ratio)
+        span.event(
+            "planner.prediction",
+            scheme=plan.scheme,
+            predicted_seconds=expected,
+            actual_seconds=seconds,
+            error_ratio=ratio,
+            outcome=outcome,
+        )
+        predicted = dict(plan.predicted)
+        predicted.update(
+            actual_seconds=seconds, error_ratio=ratio, outcome=outcome
+        )
+        return replace(plan, predicted=predicted)
+
     # ---------------------------------------------------------------- public
     def plan(
         self, query: ConjunctiveQuery, database: Optional[Structure] = None,
         method: Optional[str] = None,
+        latency_budget_seconds: Optional[float] = None,
     ) -> QueryPlan:
         """Plan a query without executing it (the CLI's ``plan`` command)."""
         request = self._resolve(CountRequest(query=query, database=database, method=method))
-        return self.planner.plan(request.query, request.database, override=request.method)
+        return self.planner.plan(
+            request.query,
+            request.database,
+            override=request.method,
+            latency_budget_seconds=self._resolve_budget(latency_budget_seconds),
+        )
+
+    def _resolve_budget(self, budget: Optional[float]) -> Optional[float]:
+        return budget if budget is not None else self.config.latency_budget_seconds
 
     def submit(
         self,
@@ -340,12 +418,16 @@ class CountingService:
         seed: Optional[int] = None,
         method: Optional[str] = None,
         deadline_seconds: Optional[float] = None,
+        latency_budget_seconds: Optional[float] = None,
     ) -> CountResult:
         """Count one query synchronously (plan + cache + serial execution).
 
         ``deadline_seconds`` bounds the call: the deadline propagates into
         the task (and its shard tasks) and expiry raises
-        :class:`~repro.resilience.retry.DeadlineExceeded`."""
+        :class:`~repro.resilience.retry.DeadlineExceeded`.
+        ``latency_budget_seconds`` is the adaptive planner's budget — unlike
+        the hard deadline it never kills a request; it only steers scheme
+        choice when ``planner.adaptive`` is on."""
         report = self.count_batch(
             [
                 CountRequest(
@@ -355,6 +437,7 @@ class CountingService:
                     delta=delta,
                     seed=seed,
                     method=method,
+                    latency_budget_seconds=latency_budget_seconds,
                 )
             ],
             executor="serial",
@@ -480,6 +563,9 @@ class CountingService:
                         request.database,
                         override=request.method,
                         prepared=prepared,
+                        latency_budget_seconds=self._resolve_budget(
+                            request.latency_budget_seconds
+                        ),
                     )
                     plan_seconds = time.perf_counter() - plan_started
                     # Attach observed per-scheme costs after the plan-cache
@@ -568,6 +654,9 @@ class CountingService:
                         self.result_cache.put(result_key, estimate)
                         self._record_execution(
                             query_key, request, plan, execute_seconds, estimate
+                        )
+                        plan = self._score_prediction(
+                            plan, execute_seconds, request_span
                         )
                         results[index] = CountResult(
                             index=index,
@@ -677,12 +766,16 @@ class CountingService:
                 widths = {"components": [outcome.widths for outcome in outcomes]}
             batch_degradations.extend(request_notes)
             self.result_cache.put(result_key, estimate)
+            execute_seconds = sum(outcome.seconds for outcome in outcomes)
             self._record_execution(
                 query_key,
                 resolved[index],
                 plan,
-                sum(outcome.seconds for outcome in outcomes),
+                execute_seconds,
                 estimate,
+            )
+            plan = self._score_prediction(
+                plan, execute_seconds, request_spans[index]
             )
             results[index] = CountResult(
                 index=index,
@@ -695,7 +788,7 @@ class CountingService:
                 delta=delta,
                 cache="miss",
                 plan_seconds=plan_seconds,
-                execute_seconds=sum(outcome.seconds for outcome in outcomes),
+                execute_seconds=execute_seconds,
                 widths=widths,
                 shard_strategy=strategy,
                 degradations=tuple(request_notes),
@@ -876,6 +969,21 @@ class CountingService:
             self._shard_subscriptions.remove(subscription)
         except ValueError:
             pass
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Persist the warmed profile store to ``config.profile_path`` (when
+        configured).  Idempotent; safe to call on a service that recorded
+        nothing.  The context-manager protocol calls this on exit."""
+        if self.config.profile_path:
+            self.profiles.save(self.config.profile_path)
+
+    def __enter__(self) -> "CountingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def evict(self, database: Structure) -> int:
         """Drop every result-cache entry keyed to ``database`` (any

@@ -40,6 +40,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro.obs.profile import fingerprint_class
+from repro.obs.trace import activate, span
 from repro.queries.query import ConjunctiveQuery
 from repro.shard.executor import EXACT_SCHEMES, ShardExecutor, combine_local_estimates
 from repro.shard.plan import (
@@ -128,9 +130,22 @@ class ShardSubscription:
         self.delta = request.delta if request.delta is not None else service.config.delta
         self._base_seed = request.seed
 
-        self.plan = service.planner.plan(request.query, self.sharded, override=request.method)
+        self.plan = service.planner.plan(
+            request.query,
+            self.sharded,
+            override=request.method,
+            latency_budget_seconds=service._resolve_budget(
+                request.latency_budget_seconds
+            ),
+        )
         self.scheme = self.plan.scheme
         self.query_class = self.plan.query_class
+        #: Drift tracking (see repro.stream.live): the fingerprint class the
+        #: scheme was planned at, plus re-plan provenance for LiveCount.
+        self._planned_class = fingerprint_class(self.sharded.size())
+        self._replans = 0
+        self._replan_events: Tuple[str, ...] = ()
+        self._force_full = False
         self.shard_plan: ShardCountPlan = plan_sharded_count(request.query, self.sharded)
         self._executor = ShardExecutor(mode="serial")
 
@@ -231,8 +246,73 @@ class ShardSubscription:
     def _refresh(self) -> None:
         started = time.perf_counter()
         refresh_index = self._refresh_count + 1
+        with activate(self._service.tracer):
+            with span(
+                "stream.refresh",
+                refresh_index=refresh_index,
+                scheme=self.scheme,
+                sharded=True,
+            ) as refresh_span:
+                self._maybe_replan(refresh_span)
+                self._refresh_work(refresh_index)
+                refresh_span.set(mode=self._mode)
+        self._refresh_count = refresh_index
+        self._spent_seconds += time.perf_counter() - started
+
+    def _maybe_replan(self, refresh_span) -> None:
+        """Drift detection before the refresh recounts: re-plan the *scheme*
+        when the sharded database crossed a fingerprint class since it was
+        planned (the shard decomposition already re-plans on every refresh —
+        see :meth:`_replan`).  A scheme change recounts every component
+        under the new plan, so no update is lost to stale cached counts."""
+        current_class = fingerprint_class(self.sharded.size())
+        if current_class == self._planned_class:
+            return
+        reason = (
+            f"size bucket crossed: 2^{self._planned_class} -> 2^{current_class}"
+        )
+        fresh = self._service.planner.plan(
+            self.query,
+            self.sharded,
+            override=self._request.method,
+            latency_budget_seconds=self._service._resolve_budget(
+                self._request.latency_budget_seconds
+            ),
+        )
+        self._planned_class = current_class
+        changed = (fresh.scheme, fresh.engine) != (self.plan.scheme, self.plan.engine)
+        old_scheme = self.scheme
+        self.plan = fresh
+        self.scheme = fresh.scheme
+        self.query_class = fresh.query_class
+        if not changed:
+            return
+        # Cached per-component estimates came from the old scheme; recount
+        # everything under the new one on this refresh.
+        self._force_full = True
+        self._replans += 1
+        note = f"stream.replan[shard]: {reason}; {old_scheme} -> {self.scheme}"
+        self._replan_events = self._replan_events + (note,)
+        refresh_span.event(
+            "stream.replan",
+            reason=reason,
+            old_scheme=old_scheme,
+            new_scheme=self.scheme,
+        )
+        refresh_span.set(scheme=self.scheme)
+        self._service.metrics.counter("stream.replans").inc()
+
+    def _refresh_work(self, refresh_index: int) -> None:
         if self._components:
-            stale = [state for state in self._components if state.pending_ticks(self.sharded) > 0]
+            if self._force_full:
+                stale = list(self._components)
+                self._force_full = False
+            else:
+                stale = [
+                    state
+                    for state in self._components
+                    if state.pending_ticks(self.sharded) > 0
+                ]
             if stale and not self._replan(stale, refresh_index):
                 # Ownership migrated beyond the pinned decomposition (e.g. a
                 # hash-by-tuple relation stopped localising): degrade to
@@ -251,8 +331,6 @@ class ShardSubscription:
         else:
             self._estimate = self._recompute_union(refresh_index)
             self._mode = "recount"
-        self._refresh_count = refresh_index
-        self._spent_seconds += time.perf_counter() - started
 
     def _replan(self, stale, refresh_index: int) -> bool:
         """Re-plan before recounting stale components: mutations can move a
@@ -308,6 +386,8 @@ class ShardSubscription:
             seed=self._last_seed,
             epsilon=self.epsilon,
             delta=self.delta,
+            replans=self._replans,
+            replan_events=self._replan_events,
         )
 
     def refresh(self) -> LiveCount:

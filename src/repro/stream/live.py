@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.obs.profile import fingerprint_class
 from repro.obs.trace import activate, span
 from repro.queries.canonical import query_relation_names
 from repro.relational.changelog import ChangeLog, ChangeLogGap, rewind
@@ -68,6 +69,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
 EXACT_SCHEMES = frozenset({"exact", "oracle_exact"})
 
 REFRESH_POLICIES = ("eager", "debounced", "budget")
+
+#: Drift re-planning knobs: a refresh first re-plans when the database has
+#: crossed a fingerprint (log2 size) class since the plan was made, or when
+#: the rolling mean of the last ``REPLAN_ERROR_WINDOW`` predicted-vs-actual
+#: latency ratios exceeds ``REPLAN_ERROR_THRESHOLD`` — the "cheap-exact at
+#: 1k facts isn't cheap at 10M" case.  Re-plans that change the scheme (or
+#: engine) show up as ``stream.replan`` span events, a ``stream.replans``
+#: counter increment, and provenance on the next :class:`LiveCount`.
+REPLAN_ERROR_WINDOW = 4
+REPLAN_ERROR_THRESHOLD = 4.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +112,11 @@ class LiveCount:
     #: Change-log gaps survived so far: each one forced a full recount, after
     #: which the fingerprint re-anchors so later refreshes delta-patch again.
     gap_recounts: int = 0
+    #: Drift re-plans that changed the scheme/engine over the subscription's
+    #: lifetime, and one provenance note per re-plan (what crossed, old ->
+    #: new scheme).
+    replans: int = 0
+    replan_events: Tuple[str, ...] = ()
 
     @property
     def count(self) -> int:
@@ -228,10 +244,23 @@ class CountSubscription:
         # the positive atoms (see delta_applicable); otherwise ignore it.
         self._universe_sensitive = not delta_applicable(request.query, True)
         self.plan = service.planner.plan(
-            request.query, self._database, override=request.method
+            request.query,
+            self._database,
+            override=request.method,
+            latency_budget_seconds=service._resolve_budget(
+                request.latency_budget_seconds
+            ),
         )
         self.scheme = self.plan.scheme
         self.query_class = self.plan.query_class
+        #: Drift tracking: the fingerprint class the current plan was made
+        #: at, the rolling predicted-vs-actual ratios of recent refreshes,
+        #: and the re-plan provenance served on every LiveCount.
+        self._planned_class = fingerprint_class(self._database.size())
+        self._error_ratios: List[float] = []
+        self._replans = 0
+        self._replan_events: Tuple[str, ...] = ()
+        self._force_recount = False
 
         # Initial compute, through the service (plans, caches, registry).
         self._refresh_count = 0
@@ -318,6 +347,7 @@ class CountSubscription:
                 refresh_index=self._refresh_count + 1,
                 scheme=self.scheme,
             ) as refresh_span:
+                self._maybe_replan(refresh_span)
                 self._refresh_inner()
                 # A refresh that did not advance the counter exhausted its
                 # retries and the subscription is serving stale.
@@ -331,6 +361,82 @@ class CountSubscription:
             self._spent_seconds - spent_before
         )
 
+    def _maybe_replan(self, refresh_span) -> None:
+        """Drift detection, run before every refresh folds mutations in (so
+        a re-planned refresh never misses an update): re-plan when the
+        database crossed a fingerprint class since planning, or when the
+        rolling predicted-vs-actual latency error of the pinned scheme
+        exceeds the threshold.  A ``method=``-forced subscription re-plans
+        too (size-dependent engine upgrades still apply) but can never hop
+        schemes — the override wins inside the planner."""
+        current_class = fingerprint_class(self._database.size())
+        reason = None
+        if current_class != self._planned_class:
+            reason = (
+                f"size bucket crossed: 2^{self._planned_class} -> "
+                f"2^{current_class}"
+            )
+        elif len(self._error_ratios) >= REPLAN_ERROR_WINDOW:
+            mean_ratio = sum(self._error_ratios) / len(self._error_ratios)
+            if mean_ratio > REPLAN_ERROR_THRESHOLD:
+                reason = (
+                    f"rolling prediction error {mean_ratio:.2f}x exceeds "
+                    f"threshold {REPLAN_ERROR_THRESHOLD}x"
+                )
+        if reason is None:
+            return
+        fresh = self._service.planner.plan(
+            self.query,
+            self._database,
+            override=self._request.method,
+            latency_budget_seconds=self._service._resolve_budget(
+                self._request.latency_budget_seconds
+            ),
+        )
+        self._planned_class = current_class
+        self._error_ratios = []
+        changed = (fresh.scheme, fresh.engine) != (self.plan.scheme, self.plan.engine)
+        old_scheme = self.scheme
+        self.plan = fresh
+        self.scheme = fresh.scheme
+        self.query_class = fresh.query_class
+        if not changed:
+            return
+        # The stored estimate came from the old scheme; delta-patching it
+        # under the new plan would corrupt the stream, so the next refresh
+        # recounts from scratch (the result cache stays safe — its keys
+        # carry the scheme).
+        self._force_recount = True
+        self._replans += 1
+        note = (
+            f"stream.replan[{self._ordinal}]: {reason}; "
+            f"{old_scheme} -> {self.scheme}"
+        )
+        self._replan_events = self._replan_events + (note,)
+        refresh_span.event(
+            "stream.replan",
+            reason=reason,
+            old_scheme=old_scheme,
+            new_scheme=self.scheme,
+        )
+        refresh_span.set(scheme=self.scheme)
+        self._service.metrics.counter("stream.replans").inc()
+
+    def _note_prediction_error(self, seconds: float) -> None:
+        """Feed the rolling drift window with one refresh's actual latency
+        against the cost model's current prediction for the pinned scheme
+        (skipped while the sketch is cold — no prediction to be wrong)."""
+        prediction = self._service.cost_model.predict(
+            self._canonical_key,
+            self._database.size(),
+            self.scheme,
+            self.plan.engine,
+        )
+        if prediction.cold or not prediction.seconds:
+            return
+        self._error_ratios.append(seconds / prediction.seconds)
+        del self._error_ratios[:-REPLAN_ERROR_WINDOW]
+
     def _refresh_inner(self) -> None:
         started = time.perf_counter()
         seed = self._seed_for(self._refresh_count + 1)
@@ -342,7 +448,11 @@ class CountSubscription:
             if cached is not None:
                 self._estimate = cached
                 self._mode = "cached"
-            elif self.scheme in EXACT_SCHEMES and self._try_delta_patch():
+            elif (
+                not self._force_recount
+                and self.scheme in EXACT_SCHEMES
+                and self._try_delta_patch()
+            ):
                 self._service.result_cache.put(key, self._estimate)
             else:
                 result = self._service.submit(
@@ -357,6 +467,7 @@ class CountSubscription:
                 self._mode = (
                     "recount" if self.scheme in EXACT_SCHEMES else "reestimate"
                 )
+                self._note_prediction_error(result.execute_seconds)
 
         site_key = (self._ordinal, self._refresh_count + 1)
         try:
@@ -379,6 +490,7 @@ class CountSubscription:
             notes.append(self._gap_note)
         self._degradations = tuple(notes)
         self._refresh_count += 1
+        self._force_recount = False
         self._last_seed = seed
         # Re-anchor: the new fingerprint is taken *after* the refresh folded
         # everything in, and trim() below floors the shared log at the
@@ -443,6 +555,8 @@ class CountSubscription:
             delta=self.delta,
             degradations=self._degradations,
             gap_recounts=self._gap_recounts,
+            replans=self._replans,
+            replan_events=self._replan_events,
         )
 
     def refresh(self) -> LiveCount:

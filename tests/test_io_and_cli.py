@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import ProfileStore
 from repro.relational import Database
 from repro.relational.io import (
     database_from_dict,
@@ -223,5 +224,60 @@ class TestCLI:
 
     def test_missing_database_rejected(self, capsys):
         code = main(["count", "--query", "Ans(x) :- E(x, y)"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_batch_adaptive_persists_profiles(self, tmp_path, capsys):
+        path = tmp_path / "profiles.json"
+        batch = [
+            "batch", "--workload", "4", "--executor", "serial",
+            "--adaptive", "--latency-budget", "0.5", "--profiles", str(path),
+        ]
+        assert main(batch + ["--seed", "1"]) == 0
+        capsys.readouterr()
+        store = ProfileStore.load(path)
+        first_runs = store.stats()["runs"]
+        assert first_runs > 0
+        # A second process-equivalent run loads the snapshot and adds to it.
+        assert main(batch + ["--seed", "2"]) == 0
+        capsys.readouterr()
+        assert ProfileStore.load(path).stats()["runs"] == 2 * first_runs
+
+    def test_profiles_show_export_import(self, tmp_path, capsys):
+        store = ProfileStore()
+        store.record("Ans(f0):-E(f0,e0)", 100, "exact", 0.002, 5.0)
+        store.record("Ans(f0):-E(f0,e0)", 100, "fpras_cq", 0.2, 5.0)
+        source = tmp_path / "a.json"
+        store.save(source)
+
+        assert main(["profiles", "show", str(source)]) == 0
+        shown = capsys.readouterr().out
+        assert "2 entries, 2 recorded runs" in shown
+        assert "exact" in shown and "fpras_cq" in shown
+
+        assert main(["profiles", "show", str(source), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"] == 2
+        assert len(payload["profiles"]) == 2
+
+        exported = tmp_path / "b.json"
+        assert main(
+            ["profiles", "export", str(source), "--out", str(exported)]
+        ) == 0
+        capsys.readouterr()
+        assert ProfileStore.load(exported).stats()["runs"] == 2
+
+        merged = tmp_path / "merged.json"
+        assert main(
+            ["profiles", "import", str(source), str(exported),
+             "--into", str(merged)]
+        ) == 0
+        assert "2 snapshot(s)" in capsys.readouterr().out
+        stats = ProfileStore.load(merged).stats()
+        assert stats["entries"] == 2
+        assert stats["runs"] == 4
+
+    def test_profiles_show_missing_file_rejected(self, tmp_path, capsys):
+        code = main(["profiles", "show", str(tmp_path / "nope.json")])
         assert code == 2
         assert capsys.readouterr().err.startswith("error:")

@@ -5,6 +5,7 @@ executor back-ends and under fault injection)."""
 
 import json
 import pickle
+import threading
 
 import pytest
 
@@ -201,6 +202,138 @@ class TestProfiles:
         restored.merge(other)
         assert restored.summary("a", 50)["schemes"]["exact"]["runs"] == 2
         assert restored.summary("b", 50)["schemes"]["exact"]["runs"] == 1
+
+
+class TestProfileConcurrency:
+    def test_concurrent_records_lose_no_increments(self):
+        """Many threads hammering one sketch: every increment survives."""
+        store = ProfileStore()
+        threads, records_each = 16, 250
+
+        def hammer(worker: int) -> None:
+            for i in range(records_each):
+                store.record("key|q", 100, "fpras_cq", 0.001 * (worker + 1), float(i))
+
+        pool = [threading.Thread(target=hammer, args=(w,)) for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        profile = store.get("key|q", 100, "fpras_cq")
+        assert profile.runs == threads * records_each
+        assert profile.latency.count == threads * records_each
+        assert profile.total_database_size == pytest.approx(
+            100.0 * threads * records_each
+        )
+        # Exact sum of 16 workers' distinct estimate series — a lost += would
+        # shift the total.
+        per_worker = sum(range(records_each))
+        assert profile.total_estimate_magnitude == pytest.approx(
+            float(per_worker * threads)
+        )
+        assert store.version == threads * records_each
+
+
+class TestProfilePersistence:
+    def test_v1_snapshot_loads_with_engine_defaulted(self, tmp_path):
+        store = ProfileStore()
+        store.record("a|q", 120, "exact", 0.004, 3.0, engine="columnar")
+        payload = json.loads(store.to_json())
+        assert payload["version"] == 2
+        # Strip the engine labels to fake a version-1 snapshot.
+        for row in payload["profiles"]:
+            del row["engine"]
+        payload["version"] = 1
+        v1 = ProfileStore.from_json(json.dumps(payload))
+        assert v1.get("a|q", 120, "exact", engine="columnar") is None
+        assert v1.get("a|q", 120, "exact", engine="indexed").runs == 1
+        # And a v2 round trip through save/load preserves the engine.
+        path = tmp_path / "profiles.json"
+        store.save(path)
+        restored = ProfileStore.load(path)
+        assert restored.get("a|q", 120, "exact", engine="columnar").runs == 1
+        assert restored.summary("a|q", 120) == store.summary("a|q", 120)
+
+    def test_from_dict_tolerates_truncated_bucket_counts(self):
+        store = ProfileStore()
+        for seconds in (0.0005, 0.05, 5.0):
+            store.record("a|q", 80, "exact", seconds)
+        row = json.loads(store.to_json())["profiles"][0]
+        full = row["profile"]["latency"]["bucket_counts"]
+        row["profile"]["latency"]["bucket_counts"] = full[:3]  # partial write
+        rebuilt = ProfileStore.from_json(json.dumps({"version": 2, "profiles": [row]}))
+        profile = rebuilt.get("a|q", 80, "exact")
+        # count/sum stay authoritative; missing trailing buckets read as zero.
+        assert profile.latency.count == 3
+        assert profile.latency.total == pytest.approx(0.0005 + 0.05 + 5.0)
+        assert sum(profile.latency.bucket_counts) == sum(full[:3])
+
+    def test_merge_propagates_min_max(self):
+        left, right = ProfileStore(), ProfileStore()
+        left.record("a|q", 60, "exact", 0.02)
+        right.record("a|q", 60, "exact", 0.000002)
+        right.record("a|q", 60, "exact", 8.0)
+        left.merge(right)
+        profile = left.get("a|q", 60, "exact")
+        assert profile.runs == 3
+        assert profile.latency.minimum == pytest.approx(0.000002)
+        assert profile.latency.maximum == pytest.approx(8.0)
+
+    def test_merge_rebuckets_mismatched_boundaries(self):
+        """An old snapshot with different histogram edges merges without
+        losing count/sum consistency, tallying dropped precision."""
+        target = ProfileStore()
+        target.record("a|q", 60, "exact", 0.02)
+        row = json.loads(target.to_json())["profiles"][0]
+        # Forge a foreign snapshot whose edges exceed ours (1000s) with mass
+        # in a bucket our finite edges cannot place.
+        foreign = dict(row)
+        foreign["profile"] = {
+            "runs": 2,
+            "total_database_size": 120.0,
+            "total_estimate_magnitude": 0.0,
+            "latency": {
+                "boundaries": [0.05, 1000.0],
+                "bucket_counts": [1, 1, 0],
+                "count": 2,
+                "sum": 100.04,
+                "min": 0.04,
+                "max": 100.0,
+            },
+        }
+        other = ProfileStore.from_json(
+            json.dumps({"version": 2, "profiles": [foreign]})
+        )
+        before = target.stats()["merge_drops"]
+        target.merge(other)
+        profile = target.get("a|q", 60, "exact")
+        assert profile.runs == 3
+        assert profile.latency.count == 3
+        assert sum(profile.latency.bucket_counts) == 3
+        assert profile.latency.total == pytest.approx(0.02 + 100.04)
+        assert target.stats()["merge_drops"] == before + 1
+
+    def test_service_profile_path_round_trip(self, tmp_path):
+        """ServiceConfig.profile_path: load-on-start, save-on-close, and the
+        saved file accumulates across service lifetimes."""
+        path = tmp_path / "profiles.json"
+        database = workload_database(num_vertices=8, rng=11)
+        queries = mixed_query_workload(3, rng=11)
+
+        def run(seed):
+            with CountingService(
+                database, ServiceConfig(profile_path=str(path))
+            ) as service:
+                service.count_batch(
+                    [CountRequest(query=query) for query in queries], seed=seed
+                )
+                return service.profiles.stats()
+
+        first = run(1)
+        assert path.exists()
+        second = run(2)  # distinct seed: no cross-process result cache anyway
+        assert second["runs"] == 2 * first["runs"]
+        assert ProfileStore.load(path).stats()["runs"] == second["runs"]
 
 
 # ------------------------------------------- the zero-RNG telemetry contract
