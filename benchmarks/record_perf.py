@@ -1,11 +1,11 @@
 #!/usr/bin/env python
 """Standalone performance recorder: writes ``BENCH_engine.json``,
 ``BENCH_service.json``, ``BENCH_prepared.json``, ``BENCH_stream.json``,
-``BENCH_shard.json``, ``BENCH_resilience.json``, ``BENCH_columnar.json`` and
-``BENCH_planner.json``, and (with ``--check-against``) gates regressions
-against committed baselines.
+``BENCH_shard.json``, ``BENCH_resilience.json``, ``BENCH_columnar.json``,
+``BENCH_planner.json`` and ``BENCH_serve.json``, and (with
+``--check-against``) gates regressions against committed baselines.
 
-Eight suites, selected with ``--suite`` (default: all):
+Nine suites, selected with ``--suite`` (default: all):
 
 * ``engine`` — runs the indexed CSP/join engine and the retained naive scan
   path on the medium configurations of ``bench_scaling_database`` (the fixed
@@ -69,6 +69,16 @@ Eight suites, selected with ``--suite`` (default: all):
   direct scheme execution under the same derived seeds, and that every
   adaptive execution is scored predicted-vs-actual.  The gated headline is
   the adaptive-over-static speedup.  Appends to ``BENCH_planner.json``.
+* ``serve`` — the HTTP/JSON front-end (:mod:`repro.serve`): a closed-loop
+  mixed workload driven by N concurrent :class:`ServeClient` threads against
+  a resident in-thread server, recording p50/p95 request latency and
+  throughput, with every served estimate verified bit-identical to a twin
+  in-process service under the same seeds; then a barrier-released herd of
+  identical requests against a latency-injected service, verifying the
+  underlying count executes exactly once and every herd member gets the
+  same bits.  The gated headline is ``coalescing_hit_rate`` =
+  (herd − executions) / (herd − 1) — 1.0 when coalescing works, 0.0 if
+  every request were to execute.  Appends to ``BENCH_serve.json``.
 
 Usage::
 
@@ -1301,6 +1311,228 @@ def run_planner(smoke: bool, out_path: Path) -> tuple:
     return (1 if failures else 0), {"adaptive_speedup": record["adaptive_speedup"]}
 
 
+# ---------------------------------------------------------------- serve suite
+def run_serve_suite(smoke: bool, out_path: Path) -> tuple:
+    """The HTTP/JSON front-end under concurrent load.
+
+    Two phases against servers started with ``start_in_thread`` on ephemeral
+    ports:
+
+    * **closed-loop latency** — N client threads drain a mixed CQ/DCQ job
+      list (distinct seeds, so every request executes rather than hitting
+      the result cache), recording per-request wall latency through the
+      full wire round trip (serialize, HTTP, admission, dispatch, decode).
+      Every served estimate is verified bit-identical to a twin in-process
+      :meth:`CountingService.submit` with the same query and seed — the
+      wire adds latency, never bits.
+    * **herd coalescing** — a barrier releases a herd of byte-identical
+      requests into a service whose executor is slowed by a deterministic
+      0.25 s latency fault, so the herd reliably overlaps the leader.  The
+      ``service.requests`` miss counter must advance by exactly one (one
+      underlying execution) and all herd responses must carry the same
+      estimate.  The gated ``coalescing_hit_rate`` is
+      (herd − executions) / (herd − 1): 1.0 when the herd shares one
+      execution, 0.0 if every member were to execute its own.
+    """
+    import statistics
+    import threading
+
+    from repro.queries import parse_query
+    from repro.resilience.faults import FaultPlan, FaultRule
+    from repro.serve import ServeClient, ServeConfig, start_in_thread
+    from repro.service import CountingService, ServiceConfig
+
+    failures = 0
+    graph = erdos_renyi_graph(15, 0.25, rng=11)
+    database = database_from_graph(graph)
+    twin = CountingService(database_from_graph(graph))
+
+    texts = [
+        "Ans(x, y) :- E(x, y)",
+        "Ans(x) :- E(x, y), E(y, z)",
+        "Ans(x, y) :- E(x, y), x != y",
+        "Ans(x) :- E(x, y), E(x, z), y != z",
+    ]
+    num_workers = 4 if smoke else 8
+    seeds_per_query = 10 if smoke else 25
+    jobs = [
+        (text, seed) for seed in range(seeds_per_query) for text in texts
+    ]
+    latencies = [None] * len(jobs)
+    estimates = [None] * len(jobs)
+    errors = []
+
+    service = CountingService(database)
+    handle = start_in_thread(
+        service, ServeConfig(worker_threads=num_workers, max_pending=256)
+    )
+    try:
+        def worker(worker_id: int) -> None:
+            client = ServeClient(handle.host, handle.port, timeout=60.0)
+            for index in range(worker_id, len(jobs), num_workers):
+                text, seed = jobs[index]
+                started = time.perf_counter()
+                try:
+                    result = client.count(text, seed=seed)
+                except Exception as error:  # noqa: BLE001 - recorded, then failed
+                    errors.append(f"job {index} ({text!r}, seed {seed}): {error}")
+                    return
+                latencies[index] = time.perf_counter() - started
+                estimates[index] = result.estimate
+
+        threads = [
+            threading.Thread(target=worker, args=(worker_id,))
+            for worker_id in range(num_workers)
+        ]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_started
+    finally:
+        handle.stop()
+
+    if errors:
+        failures += 1
+        for line in errors[:5]:
+            print(f"[record_perf] FAIL: serve closed-loop: {line}")
+
+    # Wire fidelity: every served estimate equals the twin in-process call.
+    twin_match = True
+    if not errors:
+        for index, (text, seed) in enumerate(jobs):
+            local = twin.submit(query=parse_query(text), seed=seed)
+            if estimates[index] != local.estimate:
+                twin_match = False
+                print(
+                    f"[record_perf] FAIL: serve job {index} ({text!r}, seed "
+                    f"{seed}): served={estimates[index]} local={local.estimate}"
+                )
+        if not twin_match:
+            failures += 1
+
+    timed = sorted(value for value in latencies if value is not None)
+    p50 = statistics.median(timed) if timed else float("nan")
+    p95 = timed[min(len(timed) - 1, int(0.95 * len(timed)))] if timed else float("nan")
+    qps = len(timed) / wall_seconds if wall_seconds > 0 else 0.0
+    print(
+        f"[record_perf] serve closed-loop: {len(timed)}/{len(jobs)} requests, "
+        f"{num_workers} workers, {wall_seconds:.2f}s ({qps:.0f} req/s) "
+        f"p50={p50 * 1000:.1f}ms p95={p95 * 1000:.1f}ms twin_match={twin_match}"
+    )
+
+    # --- herd phase: identical requests share exactly one execution.
+    herd = 16 if smoke else 32
+    slow_plan = FaultPlan(
+        seed=1,
+        rules=(
+            FaultRule(
+                site="executor.task", kind="latency",
+                rate=1.0, latency_seconds=0.25,
+            ),
+        ),
+    )
+    herd_service = CountingService(
+        database_from_graph(graph), ServiceConfig(fault_plan=slow_plan)
+    )
+    herd_handle = start_in_thread(
+        herd_service, ServeConfig(worker_threads=herd, max_pending=2 * herd)
+    )
+    herd_results = []
+    herd_errors = []
+    try:
+        miss = herd_service.metrics.counter("service.requests", cache="miss")
+        misses_before = miss.value
+        barrier = threading.Barrier(herd)
+
+        def herd_member() -> None:
+            client = ServeClient(herd_handle.host, herd_handle.port, timeout=60.0)
+            barrier.wait()
+            try:
+                result = client.count(
+                    "Ans(x) :- E(x, y), E(y, z)", seed=21
+                )
+            except Exception as error:  # noqa: BLE001
+                herd_errors.append(str(error))
+                return
+            herd_results.append((result.estimate, result.coalesced))
+
+        members = [threading.Thread(target=herd_member) for _ in range(herd)]
+        herd_started = time.perf_counter()
+        for member in members:
+            member.start()
+        for member in members:
+            member.join()
+        herd_seconds = time.perf_counter() - herd_started
+        executions = int(miss.value - misses_before)
+    finally:
+        herd_handle.stop()
+
+    if herd_errors:
+        failures += 1
+        print(f"[record_perf] FAIL: serve herd: {herd_errors[:3]}")
+    herd_estimates = {estimate for estimate, _ in herd_results}
+    coalesced_responses = sum(1 for _, flag in herd_results if flag)
+    herd_identical = len(herd_estimates) == 1 and len(herd_results) == herd
+    if not herd_identical:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: serve herd: {len(herd_results)}/{herd} "
+            f"responses, {len(herd_estimates)} distinct estimate(s)"
+        )
+    if executions != 1:
+        failures += 1
+        print(
+            f"[record_perf] FAIL: serve herd executed the count "
+            f"{executions} time(s), expected exactly 1"
+        )
+    coalescing_hit_rate = (
+        (herd - executions) / (herd - 1) if herd > 1 else 0.0
+    )
+    print(
+        f"[record_perf] serve herd: {herd} identical requests in "
+        f"{herd_seconds:.2f}s, {executions} execution(s), "
+        f"{coalesced_responses} coalesced response(s), "
+        f"hit_rate={coalescing_hit_rate:.2f} identical={herd_identical}"
+    )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if smoke else "full",
+        "database": "erdos_renyi(15, 0.25) symmetric E",
+        "num_requests": len(jobs),
+        "client_threads": num_workers,
+        "wall_seconds": round(wall_seconds, 4),
+        "requests_per_second": round(qps, 2),
+        "latency_p50_ms": round(p50 * 1000, 3),
+        "latency_p95_ms": round(p95 * 1000, 3),
+        "estimates_match_twin_service": twin_match and not errors,
+        "herd_size": herd,
+        "herd_seconds": round(herd_seconds, 4),
+        "herd_executions": executions,
+        "herd_coalesced_responses": coalesced_responses,
+        "herd_estimates_identical": herd_identical,
+        "coalescing_hit_rate": round(coalescing_hit_rate, 4),
+        "note": (
+            "closed-loop latency is the full wire round trip (serialize, "
+            "HTTP, admission, dispatch, decode) for distinct-seed requests "
+            "that each execute; coalescing_hit_rate comes from a "
+            "barrier-released herd of identical requests against a "
+            "latency-injected executor — (herd - executions) / (herd - 1), "
+            "where executions is the service.requests miss-counter delta"
+        ),
+    }
+    _append_record(out_path, record)
+    print(
+        f"[record_perf] appended record to {out_path} "
+        f"(hit rate {coalescing_hit_rate:.2f}, p95 {p95 * 1000:.1f}ms)"
+    )
+    return (1 if failures else 0), {
+        "coalescing_hit_rate": record["coalescing_hit_rate"]
+    }
+
+
 # ------------------------------------------------------------------ perf gate
 def check_against(
     baseline_path: Path, observed: dict, tolerance_override: float = None
@@ -1357,7 +1589,7 @@ def main() -> int:
         "--suite",
         choices=[
             "engine", "service", "prepared", "stream", "shard", "resilience",
-            "columnar", "planner", "all",
+            "columnar", "planner", "serve", "all",
         ],
         default="all",
         help="which suite(s) to run (default: all)",
@@ -1393,6 +1625,10 @@ def main() -> int:
     parser.add_argument(
         "--planner-out", type=Path, default=REPO_ROOT / "BENCH_planner.json",
         help="planner-suite output JSON file",
+    )
+    parser.add_argument(
+        "--serve-out", type=Path, default=REPO_ROOT / "BENCH_serve.json",
+        help="serve-suite output JSON file",
     )
     parser.add_argument(
         "--trajectory-out", type=Path, default=REPO_ROOT / "BENCH_trajectory.jsonl",
@@ -1456,6 +1692,10 @@ def main() -> int:
         suite_status, metrics = run_planner(args.smoke, args.planner_out)
         status |= suite_status
         observed["planner"] = metrics
+    if args.suite in ("serve", "all"):
+        suite_status, metrics = run_serve_suite(args.smoke, args.serve_out)
+        status |= suite_status
+        observed["serve"] = metrics
     timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
         timespec="seconds"
     )

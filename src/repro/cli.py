@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands, mirroring the package's main entry points (also available
+Ten subcommands, mirroring the package's main entry points (also available
 as ``python -m repro``)::
 
     repro-count count    --query "Ans(x) :- E(x, y), E(x, z), y != z" --database db.json
@@ -13,6 +13,8 @@ as ``python -m repro``)::
     repro-count shard    --workload 20 --shards 4 --partitioner relation --compare
     repro-count stream   --events 200 --queries 8 --seed 7 --refresh debounced
     repro-count profiles show profiles.json
+    repro-count serve    --database db.json --port 8000
+    repro-count client   count --query "Ans(x) :- E(x, y)" --port 8000
 
 Databases are JSON files in the format of :mod:`repro.relational.io` (or edge
 lists with ``--edge-list``).  The counting subcommand prints both the chosen
@@ -24,7 +26,14 @@ the adaptive-planner knobs (``--adaptive``, ``--latency-budget``,
 randomized insert/delete/query schedule against live ``subscribe()`` handles
 (:mod:`repro.stream`) and reports how many reads were served for free,
 delta-patched, or re-estimated; ``profiles`` inspects and merges cost-profile
-snapshots (``show`` / ``export`` / ``import``).
+snapshots (``show`` / ``export`` / ``import``); ``serve`` runs the
+:mod:`repro.serve` HTTP/JSON front-end over a resident database and
+``client`` talks to one.
+
+Every ``--json`` report is a v1 wire envelope (:mod:`repro.serve.schema`):
+the payload carries ``"api": "repro.v1"`` and a ``"kind"`` naming its shape,
+and batch/shard results serialize through the same codecs the server and
+client use.
 """
 
 from __future__ import annotations
@@ -432,6 +441,170 @@ def build_parser() -> argparse.ArgumentParser:
     imported.add_argument(
         "--into", required=True, help="destination snapshot (loaded when present)"
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP/JSON front-end over a resident database "
+        "(coalescing, admission control, SSE live counts)",
+    )
+    _add_database_arguments(serve)
+    serve.add_argument(
+        "--workload",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="N",
+        help="serve a synthetic workload database instead of a file "
+        "(N is accepted for symmetry and ignored; the database is fixed "
+        "by --seed)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="0 binds an ephemeral port"
+    )
+    serve.add_argument("--epsilon", type=float, default=0.2)
+    serve.add_argument("--delta", type=float, default=0.05)
+    serve.add_argument("--seed", type=int, default=None, help="synthetic database seed")
+    serve.add_argument(
+        "--executor",
+        choices=["process", "thread", "serial"],
+        default="thread",
+        help="batch execution back-end (default: thread — the server already "
+        "runs requests on a pool)",
+    )
+    serve.add_argument("--workers", type=int, default=None, help="batch worker count")
+    serve.add_argument(
+        "--tenants",
+        metavar="JSON",
+        default=None,
+        help="per-tenant API keys and quotas: inline JSON like "
+        "'[{\"name\": \"acme\", \"key\": \"s3cret\", \"rate\": 50, "
+        "\"burst\": 100}]' or a path to a JSON file; omitted = open access",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="bounded request queue: more in-flight requests than this are "
+        "answered 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--worker-threads",
+        type=int,
+        default=4,
+        help="threads executing blocking service calls (default: 4)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default hard deadline stamped on requests that carry none",
+    )
+    serve.add_argument(
+        "--no-mutations",
+        action="store_true",
+        help="refuse POST /v1/facts (serve an immutable snapshot)",
+    )
+    _add_engine_argument(serve)
+    _add_adaptive_arguments(serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="talk to a running serve instance over the v1 wire API",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8000)
+    client.add_argument("--api-key", default=None, help="X-API-Key header value")
+    client.add_argument(
+        "--timeout", type=float, default=60.0, help="per-request socket timeout"
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    c_count = client_sub.add_parser("count", help="POST /v1/count one query")
+    c_count.add_argument("--query", required=True)
+    c_count.add_argument("--epsilon", type=float, default=None)
+    c_count.add_argument("--delta", type=float, default=None)
+    c_count.add_argument("--seed", type=int, default=None)
+    c_count.add_argument(
+        "--method",
+        choices=["exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact"],
+        default=None,
+    )
+    c_count.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    c_count.add_argument("--json", action="store_true", help="emit the wire envelope")
+
+    c_batch = client_sub.add_parser("batch", help="POST /v1/batch a query file")
+    c_batch.add_argument(
+        "--queries",
+        required=True,
+        help="path to a file with one query per line ('#' starts a comment)",
+    )
+    c_batch.add_argument("--seed", type=int, default=None, help="batch master seed")
+    c_batch.add_argument(
+        "--executor", choices=["process", "thread", "serial"], default=None
+    )
+    c_batch.add_argument("--workers", type=int, default=None)
+    c_batch.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    c_batch.add_argument("--json", action="store_true", help="emit the wire envelope")
+
+    c_plan = client_sub.add_parser("plan", help="GET /v1/plan for one query")
+    c_plan.add_argument("--query", required=True)
+    c_plan.add_argument(
+        "--method",
+        choices=["exact", "fpras_cq", "fptras_dcq", "fptras_ecq", "oracle_exact"],
+        default=None,
+    )
+    c_plan.add_argument("--json", action="store_true", help="emit the wire envelope")
+
+    c_stats = client_sub.add_parser("stats", help="GET /v1/stats")
+    c_stats.add_argument("--json", action="store_true", help=argparse.SUPPRESS)
+
+    c_metrics = client_sub.add_parser(
+        "metrics", help="GET /v1/metrics (Prometheus text)"
+    )
+    c_metrics.add_argument("--json", action="store_true", help=argparse.SUPPRESS)
+
+    c_subscribe = client_sub.add_parser(
+        "subscribe", help="GET /v1/subscribe and stream live counts (SSE)"
+    )
+    c_subscribe.add_argument("--query", required=True)
+    c_subscribe.add_argument(
+        "--refresh", choices=["eager", "debounced", "budget"], default="eager"
+    )
+    c_subscribe.add_argument("--epsilon", type=float, default=None)
+    c_subscribe.add_argument("--delta", type=float, default=None)
+    c_subscribe.add_argument("--seed", type=int, default=None)
+    c_subscribe.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="end the stream after this many count events (default: forever)",
+    )
+    c_subscribe.add_argument(
+        "--json", action="store_true", help="one wire envelope per line"
+    )
+
+    c_facts = client_sub.add_parser(
+        "facts", help="POST /v1/facts to mutate the resident database"
+    )
+    c_facts.add_argument(
+        "--add",
+        action="append",
+        default=[],
+        metavar="R,v1,v2",
+        help="fact to add, comma-separated relation then values "
+        "(repeatable; integer-looking values are sent as integers)",
+    )
+    c_facts.add_argument(
+        "--remove",
+        action="append",
+        default=[],
+        metavar="R,v1,v2",
+        help="fact to remove (same format, repeatable)",
+    )
+    c_facts.add_argument("--json", action="store_true", help=argparse.SUPPRESS)
     return parser
 
 
@@ -526,7 +699,9 @@ def _command_plan(args: argparse.Namespace) -> int:
     )
     plan = service.plan(query, method=args.method)
     if args.json:
-        print(json.dumps(plan.to_dict(), indent=2))
+        from repro.serve import schema as wire
+
+        print(wire.to_json(plan, indent=2))
     else:
         print(plan.explain())
     return 0
@@ -591,10 +766,17 @@ def _command_batch(args: argparse.Namespace) -> int:
     _write_telemetry(args, tracer, service)
 
     if args.json:
-        payload = {
-            "passes": [report.to_dict() for report in reports],
-            "cache": service.stats(),
-        }
+        from repro.serve import schema as wire
+
+        final = reports[-1]
+        payload = wire.envelope(
+            "batch_report",
+            {
+                **wire.batch_report_payload(final),
+                "passes": [wire.batch_report_payload(report) for report in reports],
+                "cache": service.stats(),
+            },
+        )
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -708,6 +890,8 @@ def _command_shard(args: argparse.Namespace) -> int:
         ]
 
     if args.json:
+        from repro.serve import schema as wire
+
         payload = {
             "num_shards": sharded.num_shards,
             "partitioner": partitioner.kind,
@@ -715,14 +899,14 @@ def _command_shard(args: argparse.Namespace) -> int:
             "strategies": {
                 strategy: strategies.count(strategy) for strategy in sorted(set(strategies))
             },
-            "batch": report.to_dict(),
+            "batch": wire.batch_report_payload(report),
         }
         if comparison is not None:
             payload["compare"] = {
                 "estimates_equal": [a == b for a, b in comparison],
                 "unsharded_estimates": [b for _, b in comparison],
             }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(wire.envelope("shard_report", payload), indent=2))
         return 0
 
     print(
@@ -824,11 +1008,13 @@ def _command_stream(args: argparse.Namespace) -> int:
     )
     _write_telemetry(args, tracer, service)
     if args.json:
+        from repro.serve import schema as wire
+
         payload = report.to_dict()
         payload["refresh_policy"] = args.refresh
         payload["schemes"] = [sub.scheme for sub in subscriptions]
         payload["cache"] = service.stats()
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(wire.envelope("stream_report", payload), indent=2))
     else:
         print(
             f"replayed {report.num_events} events "
@@ -942,6 +1128,199 @@ def _command_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants_argument(spec: Optional[str]):
+    from repro.serve import parse_tenants
+
+    if not spec:
+        return ()
+    text = spec
+    if not spec.lstrip().startswith("["):
+        try:
+            with open(spec) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise CLIError(f"cannot read tenants file {spec!r}: {error}")
+    try:
+        return parse_tenants(text)
+    except (ValueError, json.JSONDecodeError) as error:
+        raise CLIError(f"bad --tenants spec: {error}")
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+    from repro.service import (
+        CountingService,
+        PlannerConfig,
+        ServiceConfig,
+        workload_database,
+    )
+
+    if args.database or args.edge_list:
+        database = _load_database(args)
+    elif args.workload is not None:
+        database = workload_database(rng=args.seed)
+    else:
+        raise CLIError(
+            "a database is required (--database, --edge-list, or --workload "
+            "for a synthetic one)"
+        )
+    service = CountingService(
+        database,
+        ServiceConfig(
+            epsilon=args.epsilon,
+            delta=args.delta,
+            executor=args.executor,
+            max_workers=args.workers,
+            engine=args.engine,
+            planner=PlannerConfig(adaptive=args.adaptive),
+            latency_budget_seconds=args.latency_budget,
+            profile_path=args.profiles,
+        ),
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        tenants=_parse_tenants_argument(args.tenants),
+        max_pending=args.max_pending,
+        worker_threads=args.worker_threads,
+        default_deadline_seconds=args.deadline,
+        allow_mutations=not args.no_mutations,
+    )
+
+    def on_started(server) -> None:
+        access = (
+            f"{len(config.tenants)} tenant(s)" if config.tenants else "open access"
+        )
+        print(
+            f"serving {database.size()}-size database on "
+            f"http://{server.config.host}:{server.port}/v1/ "
+            f"({access}; Ctrl-C to stop)",
+            flush=True,
+        )
+
+    run_server(service, config, on_started=on_started)
+    return 0
+
+
+def _fact_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _parse_fact_entries(entries: List[str]) -> List:
+    facts = []
+    for entry in entries:
+        parts = [part.strip() for part in entry.split(",")]
+        if len(parts) < 2 or not parts[0]:
+            raise CLIError(
+                f"bad fact {entry!r}; expected 'Relation,value1,value2,...'"
+            )
+        facts.append((parts[0], tuple(_fact_value(part) for part in parts[1:])))
+    return facts
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+    from repro.serve import schema as wire
+
+    client = ServeClient(
+        args.host, args.port, api_key=args.api_key, timeout=args.timeout
+    )
+    try:
+        if args.client_command == "count":
+            result = client.count(
+                args.query,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+                method=args.method,
+                deadline_seconds=args.deadline,
+            )
+            if args.json:
+                print(wire.to_json(result, indent=2))
+            else:
+                flag = " (coalesced)" if result.coalesced else ""
+                print(
+                    f"{result.query_class:3s} scheme={result.scheme} "
+                    f"estimate={result.estimate} cache={result.cache}{flag}"
+                )
+            return 0
+        if args.client_command == "batch":
+            queries = [str(query) for query in _load_batch_queries(args.queries)]
+            report = client.count_batch(
+                queries,
+                seed=args.seed,
+                executor=args.executor,
+                max_workers=args.workers,
+                deadline_seconds=args.deadline,
+            )
+            if args.json:
+                print(wire.to_json(report, indent=2))
+            else:
+                for result, query in zip(report.results, queries):
+                    print(
+                        f"[{result.index:3d}] {result.query_class:3s} "
+                        f"scheme={result.scheme:11s} "
+                        f"estimate={result.estimate:12.2f} "
+                        f"cache={result.cache:4s}  {query}"
+                    )
+                print(
+                    f"batch: {len(report.results)} queries in "
+                    f"{report.wall_seconds:.2f}s executor={report.executed_executor} "
+                    f"cache hits={report.cache_hits} misses={report.cache_misses}"
+                )
+            return 0
+        if args.client_command == "plan":
+            plan = client.plan(args.query, method=args.method)
+            if args.json:
+                print(wire.to_json(plan, indent=2))
+            else:
+                print(plan.explain())
+            return 0
+        if args.client_command == "stats":
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.client_command == "metrics":
+            print(client.metrics_text(), end="")
+            return 0
+        if args.client_command == "subscribe":
+            for live in client.subscribe(
+                args.query,
+                refresh=args.refresh,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+                max_events=args.max_events,
+            ):
+                if args.json:
+                    print(wire.to_json(live), flush=True)
+                else:
+                    print(
+                        f"count={live.count} estimate={live.estimate} "
+                        f"mode={live.mode} fresh={live.fresh}",
+                        flush=True,
+                    )
+            return 0
+        # facts
+        outcome = client.add_facts(
+            adds=_parse_fact_entries(args.add),
+            removes=_parse_fact_entries(args.remove),
+        )
+        print(json.dumps(outcome, indent=2))
+        return 0
+    except KeyboardInterrupt:
+        return 0  # Ctrl-C out of a subscribe stream is a clean exit
+    except ServeError as error:
+        raise CLIError(str(error))
+    except ConnectionRefusedError:
+        raise CLIError(
+            f"cannot reach http://{args.host}:{args.port} — is the server "
+            "running? (repro-count serve ...)"
+        )
+
+
 _COMMANDS = {
     "count": _command_count,
     "classify": _command_classify,
@@ -951,6 +1330,8 @@ _COMMANDS = {
     "shard": _command_shard,
     "stream": _command_stream,
     "profiles": _command_profiles,
+    "serve": _command_serve,
+    "client": _command_client,
 }
 
 

@@ -1,0 +1,173 @@
+"""A minimal HTTP/1.1 layer over asyncio streams — no frameworks, stdlib only.
+
+Just enough protocol for the v1 wire API: request-line + header parsing,
+Content-Length bodies, keep-alive, JSON and Server-Sent-Event responses.
+Deliberately *not* general: no chunked transfer, no multipart, no TLS —
+the serve layer sits behind whatever terminates those in production.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Reason phrases for every status the serve layer emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Refuse request bodies beyond this (a count request is a few hundred bytes;
+#: even a large batch is kilobytes).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class HTTPError(Exception):
+    """A protocol-level failure answered with ``status`` and closed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def header(self, name: str) -> Optional[str]:
+        return self.headers.get(name.lower())
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int = MAX_BODY_BYTES
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF (the client
+    closed a keep-alive connection between requests)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not request_line or request_line in (b"\r\n", b"\n"):
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HTTPError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HTTPError(400, "connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HTTPError(400, "malformed Content-Length")
+    if length < 0:
+        raise HTTPError(400, "negative Content-Length")
+    if length > max_body_bytes:
+        raise HTTPError(413, f"request body over {max_body_bytes} bytes")
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HTTPError(400, "chunked request bodies are not supported")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError(400, "connection closed mid-body")
+
+    path, _, query_string = target.partition("?")
+    params = {
+        key: values[0]
+        for key, values in urllib.parse.parse_qs(query_string).items()
+    }
+    return Request(
+        method=method.upper(),
+        path=urllib.parse.unquote(path),
+        params=params,
+        headers=headers,
+        body=body,
+    )
+
+
+def response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Render a full response with Content-Length."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def sse_preamble(headers: Optional[Dict[str, str]] = None) -> bytes:
+    """The header block opening a Server-Sent-Events stream (no
+    Content-Length — the stream ends when the connection closes)."""
+    lines = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: text/event-stream",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def sse_event(
+    data: str, event: Optional[str] = None, event_id: Optional[int] = None
+) -> bytes:
+    """One SSE frame (``data`` must not contain newlines; the wire API
+    sends compact single-line JSON)."""
+    lines = []
+    if event is not None:
+        lines.append(f"event: {event}")
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"data: {data}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def sse_comment(text: str) -> bytes:
+    """An SSE comment frame (the heartbeat keeping idle streams alive)."""
+    return f": {text}\n\n".encode("utf-8")

@@ -1,0 +1,759 @@
+"""The asyncio HTTP/JSON front-end over a resident :class:`CountingService`.
+
+``CountingServer`` binds the v1 wire API (:mod:`repro.serve.schema`) to a
+long-lived service instance — the shape of the bluesky exemplar: one
+stateful core, many concurrent clients reading live state.
+
+Endpoints::
+
+    POST /v1/count      one CountRequest -> CountResult (coalesced)
+    POST /v1/batch      BatchRequest -> BatchReport
+    GET  /v1/plan       ?query=...[&method=...] -> QueryPlan
+    GET  /v1/stats      service + serve statistics
+    GET  /v1/metrics    Prometheus text exposition (repro.obs)
+    GET  /v1/subscribe  ?query=... -> SSE stream of live counts
+    POST /v1/facts      mutate the resident database (feeds subscriptions)
+
+The systems contract, in order of interest:
+
+* **Coalescing** — identical in-flight ``/v1/count`` requests (same
+  canonical form, restricted fingerprint, epsilon/delta, seed, method,
+  engine — see :func:`repro.serve.coalesce.coalescing_key`) share one
+  execution; followers' responses carry ``coalesced: true`` and bump the
+  ``serve.coalesced`` metric.  A herd of N identical requests costs one
+  count (the result cache covers stragglers arriving after it finishes).
+* **Admission control** — per-tenant token buckets
+  (:mod:`repro.serve.admission`, 401/429 + ``Retry-After``) in front of a
+  bounded in-flight queue (``max_pending``, 429 on overflow): backpressure
+  instead of collapse.
+* **Deadlines** — a request's ``deadline_seconds`` (or the server default)
+  rides the PR-6 resilience path into every task; expiry answers 504.
+* **Consistency** — counting requests hold a shared read gate and
+  ``/v1/facts`` mutations an exclusive write gate, so a count never
+  observes a half-applied mutation; each mutation wakes the SSE
+  subscriptions, whose next read serves the new count through the PR-4
+  subscription layer (delta-patched, re-estimated, or fingerprint-free —
+  sharded databases included).
+
+Blocking service work runs on a small thread pool; the event loop itself
+only parses, routes, admits, and coalesces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import json
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Awaitable, Callable, Dict, Optional, Set, Tuple
+
+from repro.resilience.retry import DeadlineExceeded, RetriesExhausted
+from repro.serve import http, schema
+from repro.serve.admission import AdmissionController, TenantSpec
+from repro.serve.coalesce import Coalescer, coalescing_key
+from repro.service.service import CountingService, CountRequest
+
+REFRESH_POLICIES = ("eager", "debounced", "budget")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-side knobs (the service brings its own :class:`ServiceConfig`)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``CountingServer.port``).
+    port: int = 0
+    #: Per-tenant API keys and quotas; empty means open access (dev mode).
+    tenants: Tuple[TenantSpec, ...] = ()
+    #: The bounded request queue: count/batch/facts requests in flight
+    #: beyond this are answered 429 + Retry-After (backpressure).
+    max_pending: int = 64
+    #: Threads executing blocking service calls (counts, plans, refreshes).
+    worker_threads: int = 4
+    #: Default hard deadline stamped on wire requests that carry none.
+    default_deadline_seconds: Optional[float] = None
+    #: Retry-After hint (seconds) for queue-full rejections.
+    queue_retry_after: float = 0.1
+    #: Idle SSE streams emit a comment frame this often.
+    sse_heartbeat_seconds: float = 15.0
+    #: Refuse ``POST /v1/facts`` (immutable serving snapshots).
+    allow_mutations: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be at least 1")
+
+
+class _ReadWriteGate:
+    """An asyncio readers-writer gate: counts share, mutations exclude.
+
+    Loop-confined (created and used on the server's event loop); writers
+    wait for in-flight readers to drain, new readers wait out the writer.
+    """
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextlib.asynccontextmanager
+    async def read(self):
+        async with self._cond:
+            while self._writing:
+                await self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @contextlib.asynccontextmanager
+    async def write(self):
+        async with self._cond:
+            while self._writing or self._readers:
+                await self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class CountingServer:
+    """One resident service behind the v1 wire API.  Construct on (or run
+    into) the event loop that will serve it; see :func:`start_in_thread`
+    for the blocking-world helper."""
+
+    def __init__(
+        self, service: CountingService, config: Optional[ServeConfig] = None
+    ) -> None:
+        if service.default_database is None:
+            raise ValueError(
+                "the server needs a resident database "
+                "(CountingService(database, ...))"
+            )
+        self.service = service
+        self.config = config or ServeConfig()
+        self.admission = AdmissionController(self.config.tenants)
+        self.coalescer = Coalescer()
+        self.metrics = service.metrics
+        self._gate = _ReadWriteGate()
+        self._mutated = asyncio.Condition()
+        self._db_version = 0
+        self._pool: Optional[Any] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._subscribers = 0
+        self._closing = False
+        self.port: Optional[int] = None
+        self._routes: Dict[Tuple[str, str], Callable[..., Awaitable]] = {
+            ("POST", "/v1/count"): self._handle_count,
+            ("POST", "/v1/batch"): self._handle_batch,
+            ("GET", "/v1/plan"): self._handle_plan,
+            ("GET", "/v1/stats"): self._handle_stats,
+            ("GET", "/v1/metrics"): self._handle_metrics,
+            ("GET", "/v1/healthz"): self._handle_health,
+            ("POST", "/v1/facts"): self._handle_facts,
+        }
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> int:
+        """Bind and start accepting; returns the (possibly ephemeral) port."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, sever open connections, drain the pool."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Wake idle SSE streams so their tasks notice the close promptly.
+        async with self._mutated:
+            self._mutated.notify_all()
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # -------------------------------------------------------------- plumbing
+    async def _run_blocking(self, fn: Callable[[], Any]) -> Any:
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, fn
+        )
+
+    def _json_response(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> bytes:
+        body = json.dumps(schema.envelope(kind, payload)).encode("utf-8")
+        return http.response(status, body, headers=headers)
+
+    def _error_response(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> bytes:
+        headers = None
+        if retry_after is not None:
+            # Retry-After is an integer header; keep sub-second precision in
+            # the JSON payload for clients that can honor it.
+            headers = {"Retry-After": str(max(1, int(retry_after + 0.999)))}
+        return self._json_response(
+            "error",
+            schema.error_payload(
+                schema.ServeError(
+                    status=status, error=message, retry_after=retry_after
+                )
+            ),
+            status=status,
+            headers=headers,
+        )
+
+    def _decode_body(self, request: http.Request, expect: str) -> Any:
+        try:
+            message = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise schema.WireError(f"invalid JSON body: {error}")
+        return schema.decode(message, expect=expect)
+
+    def _admit(
+        self, request: http.Request, cost: float = 1.0
+    ) -> Optional[Tuple[int, bytes]]:
+        """Run admission control; ``None`` on admission, else the
+        ``(status, response)`` rejection to send."""
+        api_key = request.header("x-api-key") or request.params.get("api_key")
+        decision = self.admission.admit(api_key, cost=cost)
+        if not decision.admitted:
+            reason = "auth" if decision.status == 401 else "quota"
+            self.metrics.counter("serve.rejections", reason=reason).inc()
+            return decision.status, self._error_response(
+                decision.status, decision.reason, decision.retry_after
+            )
+        return None
+
+    def _check_queue(self) -> Optional[bytes]:
+        if self._inflight >= self.config.max_pending:
+            self.metrics.counter("serve.rejections", reason="queue_full").inc()
+            return self._error_response(
+                429,
+                f"request queue full ({self.config.max_pending} in flight); "
+                "retry shortly",
+                retry_after=self.config.queue_retry_after,
+            )
+        return None
+
+    def _with_default_deadline(self, request: CountRequest) -> CountRequest:
+        if (
+            request.deadline_seconds is None
+            and self.config.default_deadline_seconds is not None
+        ):
+            return replace(
+                request, deadline_seconds=self.config.default_deadline_seconds
+            )
+        return request
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._closing:
+                try:
+                    request = await http.read_request(reader)
+                except http.HTTPError as error:
+                    writer.write(
+                        self._error_response(error.status, error.message)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                streamed, keep = await self._dispatch(request, writer)
+                if streamed:
+                    break
+                if not keep:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: http.Request, writer: asyncio.StreamWriter
+    ) -> Tuple[bool, bool]:
+        """Route one request; returns ``(streamed, keep_alive)``."""
+        started = time.perf_counter()
+        endpoint = request.path
+        status = 200
+        try:
+            if request.path == "/v1/subscribe" and request.method == "GET":
+                status = await self._handle_subscribe(request, writer)
+                return True, False
+            handler = self._routes.get((request.method, request.path))
+            if handler is None:
+                if request.path.startswith("/v1/"):
+                    status, body = 404, self._error_response(
+                        404, f"no such endpoint {request.path!r}"
+                    )
+                elif request.path.startswith("/v"):
+                    status, body = 404, self._error_response(
+                        404,
+                        f"unsupported API version in {request.path!r}; "
+                        f"this server speaks {schema.API_VERSION!r} under /v1/",
+                    )
+                else:
+                    status, body = 404, self._error_response(
+                        404, f"not found: {request.path!r}"
+                    )
+            else:
+                status, body = await handler(request)
+            writer.write(body)
+            await writer.drain()
+            return False, request.keep_alive
+        except (ConnectionResetError, BrokenPipeError):
+            status = 499  # client went away; nothing to write
+            return True, False
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            status = 500
+            with contextlib.suppress(Exception):
+                writer.write(
+                    self._error_response(500, f"internal error: {error!r}")
+                )
+                await writer.drain()
+            return False, False
+        finally:
+            self.metrics.counter(
+                "serve.requests", endpoint=endpoint, status=str(status)
+            ).inc()
+            self.metrics.histogram(
+                "serve.request_seconds", endpoint=endpoint
+            ).observe(time.perf_counter() - started)
+
+    # ------------------------------------------------------------- endpoints
+    async def _handle_count(self, request: http.Request) -> Tuple[int, bytes]:
+        rejection = self._admit(request)
+        if rejection is not None:
+            return rejection
+        overflow = self._check_queue()
+        if overflow is not None:
+            return 429, overflow
+        try:
+            count_request = self._decode_body(request, "count_request")
+        except (schema.WireError, ValueError) as error:
+            return 400, self._error_response(400, str(error))
+        count_request = self._with_default_deadline(count_request)
+
+        self._inflight += 1
+        try:
+            key = coalescing_key(self.service, count_request)
+            async with self._gate.read():
+                result, coalesced = await self.coalescer.fetch(
+                    key,
+                    functools.partial(
+                        self._run_blocking,
+                        functools.partial(
+                            self.service.submit, request=count_request
+                        ),
+                    ),
+                )
+        except DeadlineExceeded as error:
+            return 504, self._error_response(504, f"deadline exceeded: {error}")
+        except RetriesExhausted as error:
+            return 503, self._error_response(503, f"retries exhausted: {error}")
+        except ValueError as error:
+            return 400, self._error_response(400, str(error))
+        finally:
+            self._inflight -= 1
+        if coalesced:
+            self.metrics.counter("serve.coalesced").inc()
+            result = replace(result, coalesced=True)
+        return 200, self._json_response(
+            "count_result", schema.count_result_payload(result)
+        )
+
+    async def _handle_batch(self, request: http.Request) -> Tuple[int, bytes]:
+        try:
+            batch_request = self._decode_body(request, "batch_request")
+        except (schema.WireError, ValueError) as error:
+            return 400, self._error_response(400, str(error))
+        rejection = self._admit(
+            request, cost=float(len(batch_request.requests))
+        )
+        if rejection is not None:
+            return rejection
+        overflow = self._check_queue()
+        if overflow is not None:
+            return 429, overflow
+
+        requests = [
+            self._with_default_deadline(entry)
+            for entry in batch_request.requests
+        ]
+        self._inflight += 1
+        try:
+            async with self._gate.read():
+                report = await self._run_blocking(
+                    functools.partial(
+                        self.service.count_batch,
+                        requests,
+                        seed=batch_request.seed,
+                        executor=batch_request.executor,
+                        max_workers=batch_request.max_workers,
+                        deadline_seconds=batch_request.deadline_seconds,
+                    )
+                )
+        except DeadlineExceeded as error:
+            return 504, self._error_response(504, f"deadline exceeded: {error}")
+        except RetriesExhausted as error:
+            return 503, self._error_response(503, f"retries exhausted: {error}")
+        except ValueError as error:
+            return 400, self._error_response(400, str(error))
+        finally:
+            self._inflight -= 1
+        return 200, self._json_response(
+            "batch_report", schema.batch_report_payload(report)
+        )
+
+    async def _handle_plan(self, request: http.Request) -> Tuple[int, bytes]:
+        query_text = request.params.get("query")
+        if not query_text:
+            return 400, self._error_response(400, "plan needs ?query=...")
+        method = request.params.get("method") or None
+        budget = request.params.get("latency_budget_seconds")
+        try:
+            from repro.queries import parse_query
+
+            query = parse_query(query_text)
+            async with self._gate.read():
+                plan = await self._run_blocking(
+                    functools.partial(
+                        self.service.plan,
+                        query,
+                        method=method,
+                        latency_budget_seconds=(
+                            float(budget) if budget is not None else None
+                        ),
+                    )
+                )
+        except ValueError as error:
+            return 400, self._error_response(400, str(error))
+        return 200, self._json_response(
+            "query_plan", schema.query_plan_payload(plan)
+        )
+
+    async def _handle_stats(self, request: http.Request) -> Tuple[int, bytes]:
+        stats = await self._run_blocking(self.service.stats)
+        return 200, self._json_response(
+            "stats", {"service": stats, "serve": self.serve_stats()}
+        )
+
+    async def _handle_metrics(self, request: http.Request) -> Tuple[int, bytes]:
+        text = await self._run_blocking(self.metrics.render_prometheus)
+        return 200, http.response(
+            200, text.encode("utf-8"), content_type="text/plain; version=0.0.4"
+        )
+
+    async def _handle_health(self, request: http.Request) -> Tuple[int, bytes]:
+        return 200, self._json_response(
+            "health",
+            {
+                "status": "ok",
+                "database_size": self.service.default_database.size(),
+            },
+        )
+
+    async def _handle_facts(self, request: http.Request) -> Tuple[int, bytes]:
+        if not self.config.allow_mutations:
+            return 403, self._error_response(
+                403, "this server's database is immutable (--no-mutations)"
+            )
+        rejection = self._admit(request)
+        if rejection is not None:
+            return rejection
+        overflow = self._check_queue()
+        if overflow is not None:
+            return 429, overflow
+        try:
+            update = self._decode_body(request, "facts_update")
+        except (schema.WireError, ValueError) as error:
+            return 400, self._error_response(400, str(error))
+
+        self._inflight += 1
+        try:
+            async with self._gate.write():
+                await self._run_blocking(
+                    functools.partial(self._apply_facts, update)
+                )
+        except (KeyError, ValueError) as error:
+            return 400, self._error_response(400, f"bad facts update: {error}")
+        finally:
+            self._inflight -= 1
+        self._db_version += 1
+        async with self._mutated:
+            self._mutated.notify_all()
+        return 200, self._json_response(
+            "facts_applied",
+            {
+                "added": len(update.adds),
+                "removed": len(update.removes),
+                "database_size": self.service.default_database.size(),
+            },
+        )
+
+    def _apply_facts(self, update: schema.FactsUpdate) -> None:
+        database = self.service.default_database
+        for name, values in update.adds:
+            database.add_fact(name, values)
+        for name, values in update.removes:
+            database.remove_fact(name, values)
+
+    # -------------------------------------------------------------------- SSE
+    async def _handle_subscribe(
+        self, request: http.Request, writer: asyncio.StreamWriter
+    ) -> int:
+        rejection = self._admit(request)
+        if rejection is not None:
+            status, body = rejection
+            writer.write(body)
+            await writer.drain()
+            return status
+        params = request.params
+        query_text = params.get("query")
+        if not query_text:
+            writer.write(self._error_response(400, "subscribe needs ?query=..."))
+            await writer.drain()
+            return 400
+        try:
+            from repro.queries import parse_query
+
+            refresh = params.get("refresh", "eager")
+            if refresh not in REFRESH_POLICIES:
+                raise ValueError(
+                    f"unknown refresh policy {refresh!r}; expected one of "
+                    f"{REFRESH_POLICIES}"
+                )
+            count_request = CountRequest(
+                query=parse_query(query_text),
+                epsilon=_opt_param(params, "epsilon", float),
+                delta=_opt_param(params, "delta", float),
+                seed=_opt_param(params, "seed", int),
+                method=params.get("method") or None,
+            )
+            max_events = _opt_param(params, "max_events", int)
+            heartbeat = (
+                _opt_param(params, "heartbeat_seconds", float)
+                or self.config.sse_heartbeat_seconds
+            )
+            debounce_ticks = _opt_param(params, "debounce_ticks", int) or 4
+            budget_seconds = _opt_param(params, "budget_seconds", float) or 1.0
+            # subscribe() mutates shared stream state (change-log observers,
+            # the subscription list), so creation takes the exclusive gate.
+            async with self._gate.write():
+                subscription = await self._run_blocking(
+                    functools.partial(
+                        self.service.subscribe,
+                        count_request,
+                        refresh=refresh,
+                        debounce_ticks=debounce_ticks,
+                        budget_seconds=budget_seconds,
+                    )
+                )
+        except ValueError as error:
+            writer.write(self._error_response(400, str(error)))
+            await writer.drain()
+            return 400
+
+        self._subscribers += 1
+        self.metrics.counter("serve.subscriptions").inc()
+        try:
+            writer.write(http.sse_preamble())
+            await writer.drain()
+            sent = 0
+            seen_version = self._db_version
+            while not self._closing:
+                async with self._gate.read():
+                    live = await self._run_blocking(subscription.read)
+                payload = schema.envelope(
+                    "live_count", schema.live_count_payload(live)
+                )
+                writer.write(
+                    http.sse_event(json.dumps(payload), event="count", event_id=sent)
+                )
+                await writer.drain()
+                sent += 1
+                if max_events is not None and sent >= max_events:
+                    break
+                # Wait for the next mutation (or emit a heartbeat comment).
+                while not self._closing and self._db_version == seen_version:
+                    try:
+                        async with self._mutated:
+                            if self._db_version == seen_version:
+                                await asyncio.wait_for(
+                                    self._mutated.wait(), timeout=heartbeat
+                                )
+                    except asyncio.TimeoutError:
+                        writer.write(http.sse_comment("heartbeat"))
+                        await writer.drain()
+                seen_version = self._db_version
+            return 200
+        except (ConnectionResetError, BrokenPipeError):
+            return 499
+        finally:
+            self._subscribers -= 1
+            with contextlib.suppress(Exception):
+                async with self._gate.write():
+                    await self._run_blocking(subscription.close)
+
+    # ------------------------------------------------------------------ stats
+    def serve_stats(self) -> Dict[str, Any]:
+        return {
+            "inflight": self._inflight,
+            "subscribers": self._subscribers,
+            "max_pending": self.config.max_pending,
+            "coalesced": self.coalescer.coalesced,
+            "led": self.coalescer.led,
+            "admission": self.admission.stats(),
+        }
+
+
+def _opt_param(params: Dict[str, str], key: str, cast) -> Optional[Any]:
+    value = params.get(key)
+    if value is None or value == "":
+        return None
+    try:
+        return cast(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"bad query parameter {key}={value!r}")
+
+
+# ---------------------------------------------------------------- runners
+class ServerHandle:
+    """A server running on a background thread's event loop (tests, the
+    sync client's world).  Use as a context manager or call :meth:`stop`."""
+
+    def __init__(
+        self,
+        server: CountingServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def stop(self) -> None:
+        if not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(
+            timeout=10
+        )
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def start_in_thread(
+    service: CountingService, config: Optional[ServeConfig] = None
+) -> ServerHandle:
+    """Start a server on a fresh daemon-thread event loop and return once
+    it is accepting connections."""
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            # Constructed on the loop so its Conditions bind to it.
+            server = CountingServer(service, config)
+            await server.start()
+            holder["server"] = server
+
+        try:
+            loop.run_until_complete(boot())
+        except BaseException as error:  # noqa: BLE001 - reported to starter
+            holder["error"] = error
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="repro-serve-loop", daemon=True)
+    thread.start()
+    started.wait(timeout=10)
+    if "error" in holder:
+        raise holder["error"]
+    if "server" not in holder:
+        raise RuntimeError("server failed to start within 10s")
+    return ServerHandle(holder["server"], loop, thread)
+
+
+def run_server(
+    service: CountingService,
+    config: Optional[ServeConfig] = None,
+    on_started: Optional[Callable[[CountingServer], None]] = None,
+) -> None:
+    """Run a server on the current thread until interrupted (the CLI's
+    ``serve`` subcommand)."""
+
+    async def main() -> None:
+        server = CountingServer(service, config)
+        await server.start()
+        if on_started is not None:
+            on_started(server)
+        try:
+            await asyncio.Event().wait()  # until cancelled
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

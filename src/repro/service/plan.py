@@ -221,6 +221,28 @@ class QueryPlan:
                 )
         return "\n".join(lines)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryPlan":
+        """Rebuild a plan from :meth:`to_dict` output (the wire API's
+        ``query_plan`` payload).  Unknown keys are ignored, so newer
+        producers round-trip through older consumers."""
+        return cls(
+            scheme=data.get("scheme", ""),
+            query_class=data.get("query_class", ""),
+            engine=data.get("engine", DEFAULT_ENGINE),
+            database_size=int(data.get("database_size", 0)),
+            size_class=data.get("size_class", "large"),
+            treewidth=data.get("treewidth"),
+            fractional_hypertreewidth=data.get("fractional_hypertreewidth"),
+            adaptive_width_upper=data.get("adaptive_width_upper"),
+            arity=data.get("arity"),
+            reference=data.get("reference", ""),
+            override=data.get("override"),
+            trace=tuple(data.get("trace", ())),
+            observed=data.get("observed"),
+            predicted=data.get("predicted"),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "scheme": self.scheme,

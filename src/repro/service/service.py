@@ -118,8 +118,14 @@ class ServiceConfig:
 
 @dataclass(frozen=True)
 class CountRequest:
-    """One query to count.  ``database``/``epsilon``/``delta``/``seed``/
-    ``method`` default to the service's values when omitted."""
+    """One query to count — the primary public request shape.
+
+    ``database``/``epsilon``/``delta``/``seed``/``method`` default to the
+    service's values when omitted.  This is also the v1 wire schema's
+    request object (:mod:`repro.serve.schema`): the server, the sync client,
+    the CLI and in-process callers all build the same ``CountRequest`` and
+    hand it to :meth:`CountingService.submit` / ``count_batch`` directly.
+    """
 
     query: ConjunctiveQuery
     database: Optional[Structure] = None
@@ -130,6 +136,11 @@ class CountRequest:
     #: Per-request latency budget for the adaptive planner (seconds);
     #: ``None`` defers to ``ServiceConfig.latency_budget_seconds``.
     latency_budget_seconds: Optional[float] = None
+    #: Per-request hard deadline (seconds): the count must finish within
+    #: this budget or raise :class:`~repro.resilience.retry.DeadlineExceeded`
+    #: (in a batch, the tighter of this and the batch deadline wins).
+    #: ``None`` defers to the batch/``ServiceConfig`` deadline.
+    deadline_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -159,6 +170,11 @@ class CountResult:
     #: taken, cache lookup degraded, or shard recounted on the merged view.
     #: Empty for clean runs.
     degradations: Tuple[str, ...] = ()
+    #: Serving provenance: ``True`` when this response was coalesced onto
+    #: another identical in-flight request (the count ran once and the
+    #: estimate is shared).  Always ``False`` for in-process calls; set by
+    #: :mod:`repro.serve` on follower responses.
+    coalesced: bool = False
 
     @property
     def count(self) -> int:
@@ -182,6 +198,7 @@ class CountResult:
             "widths": self.widths,
             "shard_strategy": self.shard_strategy,
             "degradations": list(self.degradations),
+            "coalesced": self.coalesced,
         }
 
 
@@ -411,7 +428,7 @@ class CountingService:
 
     def submit(
         self,
-        query: ConjunctiveQuery,
+        query: Optional[ConjunctiveQuery] = None,
         database: Optional[Structure] = None,
         epsilon: Optional[float] = None,
         delta: Optional[float] = None,
@@ -419,30 +436,51 @@ class CountingService:
         method: Optional[str] = None,
         deadline_seconds: Optional[float] = None,
         latency_budget_seconds: Optional[float] = None,
+        *,
+        request: Optional[CountRequest] = None,
     ) -> CountResult:
         """Count one query synchronously (plan + cache + serial execution).
 
-        ``deadline_seconds`` bounds the call: the deadline propagates into
-        the task (and its shard tasks) and expiry raises
+        The primary form is the schema object — ``submit(request=
+        CountRequest(...))`` — the same request the v1 wire API decodes to
+        (:mod:`repro.serve.schema`), so in-process and over-the-wire calls
+        are one code path.  The positional/kwarg form remains as a thin
+        shim that builds the ``CountRequest`` (see DESIGN.md's deprecation
+        note).
+
+        ``deadline_seconds`` (kwarg or ``request.deadline_seconds``) bounds
+        the call: the deadline propagates into the task (and its shard
+        tasks) and expiry raises
         :class:`~repro.resilience.retry.DeadlineExceeded`.
         ``latency_budget_seconds`` is the adaptive planner's budget — unlike
         the hard deadline it never kills a request; it only steers scheme
         choice when ``planner.adaptive`` is on."""
-        report = self.count_batch(
-            [
-                CountRequest(
-                    query=query,
-                    database=database,
-                    epsilon=epsilon,
-                    delta=delta,
-                    seed=seed,
-                    method=method,
-                    latency_budget_seconds=latency_budget_seconds,
+        if request is not None:
+            if any(
+                value is not None
+                for value in (
+                    query, database, epsilon, delta, seed, method,
+                    deadline_seconds, latency_budget_seconds,
                 )
-            ],
-            executor="serial",
-            deadline_seconds=deadline_seconds,
-        )
+            ):
+                raise ValueError(
+                    "pass either request= or the legacy kwargs, not both"
+                )
+        else:
+            if query is None:
+                raise ValueError("submit() needs a query or a request=")
+            # Legacy kwarg shim: fold the sprawl into the one request shape.
+            request = CountRequest(
+                query=query,
+                database=database,
+                epsilon=epsilon,
+                delta=delta,
+                seed=seed,
+                method=method,
+                latency_budget_seconds=latency_budget_seconds,
+                deadline_seconds=deadline_seconds,
+            )
+        report = self.count_batch([request], executor="serial")
         return report.results[0]
 
     def count_batch(
@@ -547,6 +585,16 @@ class CountingService:
                 task_seed = derive_seed(seed, index)
             else:
                 task_seed = None
+            # Per-request deadlines (the wire API's deadline_seconds field)
+            # tighten — never loosen — the batch deadline.
+            task_deadline_at = deadline_at
+            if request.deadline_seconds is not None:
+                request_deadline = Deadline.after(request.deadline_seconds)
+                task_deadline_at = (
+                    request_deadline.expires_at
+                    if deadline_at is None
+                    else min(deadline_at, request_deadline.expires_at)
+                )
 
             with span("service.request", index=index) as request_span:
                 request_spans.append(request_span)
@@ -643,7 +691,7 @@ class CountingService:
                         databases,
                         fault_plan=fault_plan,
                         retry=retry,
-                        deadline_at=deadline_at,
+                        deadline_at=task_deadline_at,
                     )
                     if inline is not None:
                         # Union/merged strategy: computed inline just now.
@@ -693,7 +741,7 @@ class CountingService:
                             fault_sites=(("executor.task", (index,)),),
                             fault_plan=fault_plan,
                             retry=retry,
-                            deadline_at=deadline_at,
+                            deadline_at=task_deadline_at,
                             traced=traced,
                         )
                     )

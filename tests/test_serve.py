@@ -1,0 +1,566 @@
+"""repro.serve: wire schema round-trips, admission control, coalescing, and
+end-to-end HTTP tests against a real socket."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.queries import parse_query
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.serve import (
+    AdmissionController,
+    BatchRequest,
+    Coalescer,
+    FactsUpdate,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    TenantSpec,
+    TokenBucket,
+    WireError,
+    coalescing_key,
+    parse_tenants,
+    schema,
+    start_in_thread,
+)
+from repro.service import CountingService, CountRequest, ServiceConfig
+from repro.stream.live import LiveCount
+
+
+@contextlib.contextmanager
+def running_server(database, service_config=None, serve_config=None):
+    """A CountingServer on an ephemeral port, torn down on exit."""
+    service = CountingService(database, service_config)
+    handle = start_in_thread(service, serve_config)
+    try:
+        yield service, handle
+    finally:
+        handle.stop()
+
+
+def client_for(handle, api_key=None, timeout=30.0):
+    return ServeClient(handle.host, handle.port, api_key=api_key, timeout=timeout)
+
+
+#: Injects a deterministic first-attempt latency into every count so herd
+#: members reliably overlap the leader (retries keep estimates bit-identical).
+SLOW_PLAN = FaultPlan(
+    rules=(
+        FaultRule(
+            site="executor.task", kind="latency", rate=1.0, latency_seconds=0.25
+        ),
+    ),
+    seed=1,
+)
+
+
+class TestWireSchema:
+    def test_count_request_round_trip_preserves_every_field(self):
+        request = CountRequest(
+            query=parse_query("Ans(x) :- E(x, y), E(y, z), x != z"),
+            epsilon=0.125,
+            delta=0.0625,
+            seed=1234,
+            method="fpras_cq",
+            latency_budget_seconds=0.75,
+            deadline_seconds=2.5,
+        )
+        assert schema.from_json(schema.to_json(request)) == request
+
+    def test_count_result_round_trip_is_bit_identical(self, medium_database):
+        service = CountingService(medium_database)
+        result = service.submit(
+            query=parse_query("Ans(x, y) :- E(x, y)"), seed=7, epsilon=0.25
+        )
+        decoded = schema.from_json(schema.to_json(result))
+        assert decoded == result
+        assert decoded.estimate == result.estimate
+        assert decoded.plan == result.plan
+
+    def test_batch_report_round_trip(self, medium_database):
+        service = CountingService(medium_database)
+        report = service.count_batch(
+            [parse_query("Ans(x) :- E(x, y)"), parse_query("Ans(x, y) :- E(x, y)")],
+            seed=5,
+            executor="serial",
+        )
+        decoded = schema.from_json(schema.to_json(report), expect="batch_report")
+        assert decoded.results == report.results
+        assert decoded.wall_seconds == report.wall_seconds
+        assert decoded.cache_misses == report.cache_misses
+
+    def test_batch_request_and_facts_update_round_trip(self):
+        batch = BatchRequest(
+            requests=(
+                CountRequest(query=parse_query("Ans(x) :- E(x, y)"), seed=3),
+            ),
+            seed=11,
+            executor="serial",
+            max_workers=2,
+            deadline_seconds=9.0,
+        )
+        assert schema.from_json(schema.to_json(batch)) == batch
+        update = FactsUpdate(
+            adds=(("E", (1, 2)), ("Name", ("alice", 7))),
+            removes=(("E", (2, 1)),),
+        )
+        assert schema.from_json(schema.to_json(update)) == update
+
+    def test_live_count_round_trip(self):
+        live = LiveCount(
+            estimate=41.5,
+            scheme="fpras_cq",
+            query_class="CQ",
+            fresh=False,
+            refreshed=True,
+            mode="delta",
+            pending_ticks=2,
+            refresh_count=3,
+            seed=9,
+            epsilon=0.2,
+            delta=0.05,
+            degradations=("stale",),
+            gap_recounts=1,
+            replans=1,
+            replan_events=("drift",),
+        )
+        assert schema.from_json(schema.to_json(live)) == live
+
+    def test_decoders_tolerate_unknown_fields(self):
+        request = CountRequest(query=parse_query("Ans(x) :- E(x, y)"), seed=2)
+        message = schema.encode(request)
+        message["field_from_the_future"] = {"nested": True}
+        assert schema.decode(message) == request
+
+    def test_wrong_protocol_version_is_rejected(self):
+        message = schema.encode(
+            CountRequest(query=parse_query("Ans(x) :- E(x, y)"))
+        )
+        message["api"] = "repro.v2"
+        with pytest.raises(WireError, match="unsupported protocol"):
+            schema.decode(message)
+
+    def test_envelope_refuses_reserved_keys_and_databases(self, small_database):
+        with pytest.raises(WireError, match="reserved"):
+            schema.envelope("stats", {"api": "x"})
+        with pytest.raises(WireError, match="wire"):
+            schema.count_request_payload(
+                CountRequest(
+                    query=parse_query("Ans(x) :- E(x, y)"),
+                    database=small_database,
+                )
+            )
+
+    def test_expected_kind_mismatch_raises(self):
+        text = schema.to_json(CountRequest(query=parse_query("Ans(x) :- E(x, y)")))
+        with pytest.raises(WireError, match="expected kind"):
+            schema.from_json(text, expect="count_result")
+
+
+class TestSubmitRequestForm:
+    def test_request_form_matches_legacy_kwargs(self, medium_database):
+        service = CountingService(medium_database)
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        via_request = service.submit(
+            request=CountRequest(query=query, seed=13, epsilon=0.25)
+        )
+        via_kwargs = service.submit(query=query, seed=13, epsilon=0.25)
+        assert via_request.estimate == via_kwargs.estimate
+        assert via_request.scheme == via_kwargs.scheme
+
+    def test_mixing_request_and_kwargs_raises(self, medium_database):
+        service = CountingService(medium_database)
+        query = parse_query("Ans(x) :- E(x, y)")
+        with pytest.raises(ValueError, match="not both"):
+            service.submit(query, request=CountRequest(query=query))
+
+    def test_submit_without_query_or_request_raises(self, medium_database):
+        service = CountingService(medium_database)
+        with pytest.raises(ValueError, match="needs a query"):
+            service.submit()
+
+    def test_per_request_deadline_expires(self, medium_database):
+        from repro.resilience.retry import DeadlineExceeded
+
+        service = CountingService(medium_database)
+        request = CountRequest(
+            query=parse_query("Ans(x, y) :- E(x, y)"),
+            deadline_seconds=1e-9,
+        )
+        with pytest.raises(DeadlineExceeded):
+            service.submit(request=request)
+
+
+class TestAdmission:
+    def test_token_bucket_admits_then_rejects_with_retry_hint(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: now[0])
+        assert bucket.acquire() is None
+        assert bucket.acquire() is None
+        assert bucket.acquire() is None
+        retry = bucket.acquire()
+        assert retry == pytest.approx(0.5)  # one token at rate 2/s
+        now[0] += 0.5
+        assert bucket.acquire() is None
+
+    def test_controller_maps_keys_and_meters_quota(self):
+        now = [0.0]
+        controller = AdmissionController(
+            (TenantSpec(name="acme", api_key="k1", rate=1.0, burst=1.0),),
+            clock=lambda: now[0],
+        )
+        assert controller.admit("k1").admitted
+        denied = controller.admit("k1")
+        assert (denied.admitted, denied.status) == (False, 429)
+        assert denied.retry_after == pytest.approx(1.0)
+        unknown = controller.admit("wrong")
+        assert (unknown.admitted, unknown.status) == (False, 401)
+        stats = controller.stats()
+        assert stats["admitted"] == 1
+        assert stats["rejected_quota"] == 1
+        assert stats["rejected_auth"] == 1
+
+    def test_open_access_when_no_tenants(self):
+        controller = AdmissionController()
+        assert controller.open_access
+        assert controller.admit(None).admitted
+
+    def test_parse_tenants_from_json(self):
+        tenants = parse_tenants(
+            '[{"name": "a", "key": "ka", "rate": 5, "burst": 10}, {"key": "kb"}]'
+        )
+        assert tenants[0] == TenantSpec(name="a", api_key="ka", rate=5.0, burst=10.0)
+        assert tenants[1].name == "kb"
+        with pytest.raises(ValueError):
+            parse_tenants('[{"name": "missing-key"}]')
+
+    def test_duplicate_api_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            AdmissionController(
+                (TenantSpec(name="a", api_key="k"), TenantSpec(name="b", api_key="k"))
+            )
+
+
+class TestCoalescer:
+    def test_concurrent_fetches_share_one_execution(self):
+        async def scenario():
+            coalescer = Coalescer()
+            runs = []
+
+            async def runner():
+                runs.append(1)
+                await asyncio.sleep(0.05)
+                return 42
+
+            outcomes = await asyncio.gather(
+                *(coalescer.fetch("k", runner) for _ in range(5))
+            )
+            return runs, outcomes
+
+        runs, outcomes = asyncio.run(scenario())
+        assert len(runs) == 1
+        assert all(value == 42 for value, _ in outcomes)
+        assert sorted(coalesced for _, coalesced in outcomes) == [
+            False, True, True, True, True,
+        ]
+
+    def test_leader_failure_propagates_to_followers(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def runner():
+                await asyncio.sleep(0.05)
+                raise RuntimeError("boom")
+
+            results = await asyncio.gather(
+                *(coalescer.fetch("k", runner) for _ in range(3)),
+                return_exceptions=True,
+            )
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(entry, RuntimeError) for entry in results)
+
+    def test_key_splits_on_seed_and_mutation(self, medium_database):
+        service = CountingService(medium_database)
+        query = parse_query("Ans(x, y) :- E(x, y)")
+        base = coalescing_key(service, CountRequest(query=query, seed=1))
+        assert base == coalescing_key(service, CountRequest(query=query, seed=1))
+        assert base != coalescing_key(service, CountRequest(query=query, seed=2))
+        medium_database.add_fact("E", (0, 0))  # self-loops never pre-exist
+        assert base != coalescing_key(service, CountRequest(query=query, seed=1))
+
+
+class TestServerEndToEnd:
+    def test_count_is_bit_identical_to_in_process_submit(
+        self, medium_database, medium_graph
+    ):
+        from repro.workloads import database_from_graph
+
+        twin = CountingService(database_from_graph(medium_graph))
+        with running_server(medium_database) as (_, handle):
+            client = client_for(handle)
+            for text, seed in [
+                ("Ans(x, y) :- E(x, y)", 7),
+                ("Ans(x) :- E(x, y), E(y, z)", 11),
+                ("Ans(x, y) :- E(x, y), x != y", 13),
+            ]:
+                served = client.count(text, seed=seed, epsilon=0.25)
+                local = twin.submit(
+                    query=parse_query(text), seed=seed, epsilon=0.25
+                )
+                assert served.estimate == local.estimate
+                assert served.scheme == local.scheme
+                assert served.seed == local.seed
+
+    def test_batch_matches_in_process_count_batch(
+        self, medium_database, medium_graph
+    ):
+        from repro.workloads import database_from_graph
+
+        texts = ["Ans(x) :- E(x, y)", "Ans(x, y) :- E(x, y)"]
+        twin = CountingService(database_from_graph(medium_graph))
+        local = twin.count_batch(
+            [parse_query(text) for text in texts], seed=5, executor="serial"
+        )
+        with running_server(medium_database) as (_, handle):
+            served = client_for(handle).count_batch(
+                texts, seed=5, executor="serial"
+            )
+        assert [r.estimate for r in served.results] == [
+            r.estimate for r in local.results
+        ]
+        assert served.executed_executor == "serial"
+
+    def test_plan_stats_metrics_health(self, medium_database):
+        with running_server(medium_database) as (service, handle):
+            client = client_for(handle)
+            plan = client.plan("Ans(x) :- E(x, y)")
+            assert plan.scheme == service.plan(parse_query("Ans(x) :- E(x, y)")).scheme
+            client.count("Ans(x) :- E(x, y)", seed=1)
+            stats = client.stats()
+            assert set(stats) == {"service", "serve"}
+            assert stats["serve"]["max_pending"] == 64
+            assert stats["serve"]["admission"]["open_access"] is True
+            metrics = client.metrics_text()
+            assert "repro_serve_requests" in metrics
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["database_size"] == medium_database.size()
+
+    def test_herd_of_identical_requests_counts_once(self, medium_database):
+        herd = 24
+        with running_server(
+            medium_database, ServiceConfig(fault_plan=SLOW_PLAN)
+        ) as (service, handle):
+            client = client_for(handle)
+            miss = service.metrics.counter("service.requests", cache="miss")
+            misses_before = miss.value
+            barrier = threading.Barrier(herd)
+            results, errors = [], []
+
+            def worker():
+                barrier.wait()
+                try:
+                    results.append(client.count("Ans(x, y) :- E(x, y)", seed=9))
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(herd)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert len(results) == herd
+            # The whole herd executed the underlying count exactly once...
+            assert miss.value - misses_before == 1
+            # ...and every response carries the identical estimate.
+            assert len({result.estimate for result in results}) == 1
+            # Followers carry coalesced provenance.  (A straggler arriving
+            # after the leader finished is served by the result cache rather
+            # than the coalescer — still zero extra executions — so the
+            # coalesced count is bounded, not pinned, at herd - 1.)
+            coalesced = sum(1 for result in results if result.coalesced)
+            assert 1 <= coalesced <= herd - 1
+            stats = client.stats()["serve"]
+            assert stats["coalesced"] == coalesced
+            assert stats["led"] >= 1
+
+    def test_herd_estimate_is_bit_identical_to_in_process(
+        self, medium_database, medium_graph
+    ):
+        from repro.workloads import database_from_graph
+
+        twin = CountingService(database_from_graph(medium_graph))
+        local = twin.submit(
+            query=parse_query("Ans(x, y) :- E(x, y), x != y"), seed=21
+        )
+        with running_server(
+            medium_database, ServiceConfig(fault_plan=SLOW_PLAN)
+        ) as (_, handle):
+            client = client_for(handle)
+            barrier = threading.Barrier(8)
+            results = []
+
+            def worker():
+                barrier.wait()
+                results.append(
+                    client.count("Ans(x, y) :- E(x, y), x != y", seed=21)
+                )
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert {result.estimate for result in results} == {local.estimate}
+
+    def test_auth_and_quota_rejections(self, medium_database):
+        config = ServeConfig(
+            tenants=(TenantSpec(name="acme", api_key="k1", rate=0.5, burst=2.0),)
+        )
+        with running_server(medium_database, serve_config=config) as (_, handle):
+            good = client_for(handle, api_key="k1")
+            assert good.count("Ans(x, y) :- E(x, y)", seed=1).estimate >= 0
+
+            with pytest.raises(ServeError) as unknown:
+                client_for(handle, api_key="wrong").count("Ans(x) :- E(x, y)")
+            assert unknown.value.status == 401
+            with pytest.raises(ServeError) as missing:
+                client_for(handle).count("Ans(x) :- E(x, y)")
+            assert missing.value.status == 401
+
+            with pytest.raises(ServeError) as quota:
+                for _ in range(4):
+                    good.count("Ans(x, y) :- E(x, y)", seed=1)
+            assert quota.value.status == 429
+            assert quota.value.retry_after > 0
+
+    def test_batch_admission_costs_one_token_per_query(self, medium_database):
+        config = ServeConfig(
+            tenants=(TenantSpec(name="acme", api_key="k1", rate=0.1, burst=3.0),)
+        )
+        with running_server(medium_database, serve_config=config) as (_, handle):
+            client = client_for(handle, api_key="k1")
+            with pytest.raises(ServeError) as rejected:
+                client.count_batch(
+                    ["Ans(x) :- E(x, y)"] * 4, seed=1, executor="serial"
+                )
+            assert rejected.value.status == 429
+
+    def test_deadline_maps_to_504(self, medium_database):
+        with running_server(medium_database) as (_, handle):
+            with pytest.raises(ServeError) as timed_out:
+                client_for(handle).count(
+                    "Ans(x, y) :- E(x, y)", seed=1, deadline_seconds=1e-9
+                )
+            assert timed_out.value.status == 504
+
+    def test_queue_overflow_returns_429_with_retry_after(self, medium_database):
+        config = ServeConfig(max_pending=1, queue_retry_after=0.05)
+        with running_server(
+            medium_database, ServiceConfig(fault_plan=SLOW_PLAN), config
+        ) as (_, handle):
+            client = client_for(handle)
+            occupant = threading.Thread(
+                target=lambda: client.count("Ans(x, y) :- E(x, y)", seed=1)
+            )
+            occupant.start()
+            time.sleep(0.1)  # let it enter the (slow) count
+            with pytest.raises(ServeError) as overflow:
+                client.count("Ans(x) :- E(x, y), E(y, z)", seed=2)
+            assert overflow.value.status == 429
+            assert overflow.value.retry_after == pytest.approx(0.05)
+            occupant.join(timeout=30)
+
+    def test_facts_mutation_feeds_sse_subscription(self, medium_database):
+        with running_server(medium_database) as (_, handle):
+            client = client_for(handle)
+            events = []
+
+            def subscriber():
+                for live in client.subscribe(
+                    "Ans(x, y) :- E(x, y)", max_events=2, timeout=30
+                ):
+                    events.append(live)
+
+            thread = threading.Thread(target=subscriber)
+            thread.start()
+            deadline = time.time() + 10
+            while not events and time.time() < deadline:
+                time.sleep(0.02)
+            assert events, "first SSE event never arrived"
+            first = events[0].estimate
+            outcome = client.add_facts(adds=[("E", (0, 99)), ("E", (99, 0))])
+            assert outcome["added"] == 2
+            thread.join(timeout=30)
+            assert len(events) == 2
+            assert events[1].estimate == first + 2  # exact scheme, delta-patched
+            assert events[1].mode in {"delta", "recount", "estimate"}
+
+    def test_facts_removal_and_unknown_fact_is_400(self, medium_database):
+        with running_server(medium_database) as (_, handle):
+            client = client_for(handle)
+            client.add_facts(adds=[("E", (0, 99))])
+            client.add_facts(removes=[("E", (0, 99))])
+            with pytest.raises(ServeError) as missing:
+                client.add_facts(removes=[("E", (0, 99))])
+            assert missing.value.status == 400
+
+    def test_mutations_can_be_disabled(self, medium_database):
+        config = ServeConfig(allow_mutations=False)
+        with running_server(medium_database, serve_config=config) as (_, handle):
+            with pytest.raises(ServeError) as forbidden:
+                client_for(handle).add_facts(adds=[("E", (0, 99))])
+            assert forbidden.value.status == 403
+
+    def test_unknown_paths_and_versions_get_404(self, medium_database):
+        import http.client
+
+        with running_server(medium_database) as (_, handle):
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=10
+            )
+            connection.request("GET", "/v2/count")
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 404
+            assert "repro.v1" in body["error"]
+            connection.close()
+
+            with pytest.raises(ServeError) as missing:
+                client_for(handle)._request("GET", "/v1/nothing")
+            assert missing.value.status == 404
+
+    def test_malformed_body_is_400_not_500(self, medium_database):
+        import http.client
+
+        with running_server(medium_database) as (_, handle):
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=10
+            )
+            connection.request(
+                "POST",
+                "/v1/count",
+                body=b"this is not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            payload = json.loads(response.read())
+            assert payload["kind"] == "error"
+            connection.close()
+
+    def test_server_default_deadline_applies(self, medium_database):
+        config = ServeConfig(default_deadline_seconds=1e-9)
+        with running_server(medium_database, serve_config=config) as (_, handle):
+            with pytest.raises(ServeError) as timed_out:
+                client_for(handle).count("Ans(x, y) :- E(x, y)", seed=1)
+            assert timed_out.value.status == 504
